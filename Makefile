@@ -1,0 +1,46 @@
+# XRefine build targets. Everything is stdlib-only Go; the Makefile just
+# names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Short fuzz bursts on every fuzz target; lengthen with FUZZTIME=1m.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/dewey -fuzz FuzzFromBytes -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dewey -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/xmltree -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -fuzz FuzzDecodeNode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -fuzz FuzzDecodeMeta -fuzztime $(FUZZTIME)
+
+# Regenerate every table and figure of the paper (takes minutes at scale 1).
+experiments:
+	$(GO) run ./cmd/xbench -scale 1.0 -reps 3 -queries 50 all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sponsored
+	$(GO) run ./examples/baseball
+	$(GO) run ./examples/narrowing
+	$(GO) run ./examples/bibliography
+
+clean:
+	$(GO) clean ./...

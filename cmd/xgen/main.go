@@ -1,0 +1,96 @@
+// Command xgen generates the synthetic evaluation datasets: a DBLP-like
+// bibliography and a Baseball-like season document (the substitutes for
+// the paper's real datasets), plus optional corruption workloads.
+//
+// Usage:
+//
+//	xgen -kind dblp -authors 2000 -seed 42 -out dblp.xml
+//	xgen -kind baseball -teams 30 -out baseball.xml
+//	xgen -kind workload -xml dblp.xml -queries 50 -out queries.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xrefine/internal/datagen"
+	"xrefine/internal/xmltree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the generator with the given arguments; output goes to the
+// -out file or to defaultOut.
+func run(args []string, defaultOut io.Writer) error {
+	fs := flag.NewFlagSet("xgen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "dblp", "dataset kind: dblp | baseball | workload")
+		out     = fs.String("out", "", "output file (default stdout)")
+		seed    = fs.Int64("seed", 42, "random seed")
+		authors = fs.Int("authors", 2000, "dblp: number of authors")
+		teams   = fs.Int("teams", 30, "baseball: number of teams")
+		xmlPath = fs.String("xml", "", "workload: document to sample queries from")
+		queries = fs.Int("queries", 50, "workload: number of queries")
+		ops     = fs.Int("ops", 1, "workload: corruptions per query")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := defaultOut
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "dblp":
+		return datagen.DBLP(w, datagen.DBLPConfig{Authors: *authors, Seed: *seed})
+	case "baseball":
+		return datagen.Baseball(w, datagen.BaseballConfig{Teams: *teams, Seed: *seed})
+	case "workload":
+		if *xmlPath == "" {
+			return fmt.Errorf("workload needs -xml")
+		}
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			return err
+		}
+		doc, err := xmltree.Parse(f, nil)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cases, err := datagen.Workload(doc, datagen.WorkloadConfig{
+			Seed: *seed, Queries: *queries, OpsPerQuery: *ops,
+		})
+		if err != nil {
+			return err
+		}
+		for _, cs := range cases {
+			opNames := make([]string, len(cs.Applied))
+			for i, op := range cs.Applied {
+				opNames[i] = op.String()
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n",
+				strings.Join(cs.Corrupted, " "),
+				strings.Join(cs.Intended, " "),
+				strings.Join(opNames, "+"))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xrefine/internal/xmltree"
+)
+
+func TestRunDBLPToStdout(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-kind", "dblp", "-authors", "10", "-seed", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(b.String(), nil)
+	if err != nil {
+		t.Fatalf("generated dblp does not parse: %v", err)
+	}
+	if doc.Root.Tag != "bib" || len(doc.Partitions()) != 10 {
+		t.Errorf("doc shape: root %s, %d partitions", doc.Root.Tag, len(doc.Partitions()))
+	}
+}
+
+func TestRunBaseballToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bb.xml")
+	if err := run([]string{"-kind", "baseball", "-teams", "4", "-out", out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmltree.ParseString(string(data), nil); err != nil {
+		t.Fatalf("generated baseball does not parse: %v", err)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "d.xml")
+	if err := run([]string{"-kind", "dblp", "-authors", "40", "-out", xml}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-kind", "workload", "-xml", xml, "-queries", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("workload lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		if parts := strings.Split(line, "\t"); len(parts) != 3 {
+			t.Errorf("bad workload line %q", line)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "bogus"},
+		{"-kind", "workload"}, // missing -xml
+		{"-kind", "workload", "-xml", "/nonexistent.xml"},
+		{"-badflag"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

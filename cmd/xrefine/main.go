@@ -1,0 +1,366 @@
+// Command xrefine indexes an XML document and answers keyword queries with
+// automatic refinement — the paper's prototype as a CLI.
+//
+// Usage:
+//
+//	xrefine index  -xml dblp.xml -index dblp.kv
+//	xrefine search -xml dblp.xml "online databse"
+//	xrefine search -index dblp.kv -k 5 -strategy sle "efficient key word search"
+//	xrefine repl   -xml dblp.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xrefine"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "index":
+		cmdIndex(os.Args[2:])
+	case "search":
+		cmdSearch(os.Args[2:])
+	case "repl":
+		cmdREPL(os.Args[2:])
+	case "batch":
+		cmdBatch(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "narrow":
+		cmdNarrow(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xrefine index  -xml <file> -index <file>      build a persistent index
+  xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] <query>
+  xrefine batch  [-xml <file> | -index <file>] [-k N] -queries <file>   one query per line, TSV out
+  xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
+  xrefine narrow [-xml <file>] [-max N] [-k N] <query>    too-many-results suggestions
+  xrefine repl   [-xml <file> | -index <file>]  interactive session`)
+	os.Exit(2)
+}
+
+func cmdIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	xmlPath := fs.String("xml", "", "XML document to index")
+	indexPath := fs.String("index", "", "output index file")
+	withDoc := fs.Bool("with-doc", false, "also store the document (keeps snippets and narrowing)")
+	fs.Parse(args)
+	if *xmlPath == "" || *indexPath == "" {
+		fatal(fmt.Errorf("index needs -xml and -index"))
+	}
+	f, err := os.Open(*xmlPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	eng, err := xrefine.NewFromXML(f, nil)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := xrefine.OpenStore(*indexPath, false)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	if *withDoc {
+		err = eng.SaveIndexWithDocument(store)
+	} else {
+		err = eng.SaveIndex(store)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st := store.Stats()
+	fmt.Printf("indexed %s -> %s (%d keys, %d pages, %d bytes)\n",
+		*xmlPath, *indexPath, st.Keys, st.Pages, st.FileSize)
+}
+
+// load builds an engine from either -xml or -index.
+func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
+	xmlPath := fs.Lookup("xml").Value.String()
+	indexPath := fs.Lookup("index").Value.String()
+	switch {
+	case xmlPath != "":
+		f, err := os.Open(xmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		doc, err := xrefine.ParseXML(f)
+		if err != nil {
+			fatal(err)
+		}
+		return xrefine.NewFromDocument(doc, nil), doc, func() {}
+	case indexPath != "":
+		store, err := xrefine.OpenStore(indexPath, true)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := xrefine.OpenIndex(store, nil)
+		if err != nil {
+			store.Close()
+			fatal(err)
+		}
+		return eng, nil, func() { store.Close() }
+	}
+	fatal(fmt.Errorf("need -xml or -index"))
+	return nil, nil, nil
+}
+
+func parseStrategy(s string) xrefine.Strategy {
+	switch s {
+	case "partition":
+		return xrefine.StrategyPartition
+	case "sle":
+		return xrefine.StrategySLE
+	case "stack":
+		return xrefine.StrategyStack
+	}
+	fatal(fmt.Errorf("unknown strategy %q", s))
+	return 0
+}
+
+func cmdSearch(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	fs.String("xml", "", "XML document")
+	fs.String("index", "", "index file")
+	k := fs.Int("k", 3, "number of refined queries")
+	strategy := fs.String("strategy", "partition", "partition | sle | stack")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("search needs a query"))
+	}
+	eng, doc, closeFn := load(fs)
+	defer closeFn()
+	query := strings.Join(fs.Args(), " ")
+	answer(os.Stdout, eng, doc, query, parseStrategy(*strategy), *k)
+}
+
+func cmdBatch(args []string) {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	fs.String("xml", "", "XML document")
+	fs.String("index", "", "index file")
+	k := fs.Int("k", 3, "number of refined queries")
+	strategy := fs.String("strategy", "partition", "partition | sle | stack")
+	queriesPath := fs.String("queries", "", "file with one keyword query per line")
+	fs.Parse(args)
+	if *queriesPath == "" {
+		fatal(fmt.Errorf("batch needs -queries"))
+	}
+	eng, _, closeFn := load(fs)
+	defer closeFn()
+	qf, err := os.Open(*queriesPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer qf.Close()
+	if err := runBatch(os.Stdout, eng, qf, parseStrategy(*strategy), *k); err != nil {
+		fatal(err)
+	}
+}
+
+// runBatch answers one query per input line, emitting TSV:
+// query, need_refine, best keywords, dSim, result count.
+func runBatch(w io.Writer, eng *xrefine.Engine, queries io.Reader, strategy xrefine.Strategy, k int) error {
+	sc := bufio.NewScanner(queries)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" || strings.HasPrefix(q, "#") {
+			continue
+		}
+		terms := tokenizeArg(q)
+		if len(terms) == 0 {
+			fmt.Fprintf(w, "%s\terror\tempty query\t\t\n", q)
+			continue
+		}
+		resp, err := eng.QueryTerms(terms, strategy, k)
+		if err != nil {
+			fmt.Fprintf(w, "%s\terror\t%s\t\t\n", q, err)
+			continue
+		}
+		if len(resp.Queries) == 0 {
+			fmt.Fprintf(w, "%s\t%v\t\t\t0\n", q, resp.NeedRefine)
+			continue
+		}
+		best := resp.Queries[0]
+		fmt.Fprintf(w, "%s\t%v\t%s\t%.1f\t%d\n",
+			q, resp.NeedRefine, strings.Join(best.Keywords, " "), best.DSim, len(best.Results))
+	}
+	return sc.Err()
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	fs.String("xml", "", "XML document")
+	fs.String("index", "", "index file")
+	k := fs.Int("k", 4, "number of refined queries")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("explain needs a query"))
+	}
+	eng, _, closeFn := load(fs)
+	defer closeFn()
+	if err := explain(os.Stdout, eng, strings.Join(fs.Args(), " "), *k); err != nil {
+		fatal(err)
+	}
+}
+
+// explain prints the full decision trace: normalized terms, generated
+// rules, search-for candidates with confidences, and the ranked refined
+// queries with provenance and scores.
+func explain(w io.Writer, eng *xrefine.Engine, query string, k int) error {
+	terms := tokenizeArg(query)
+	resp, err := eng.QueryTerms(terms, xrefine.StrategyPartition, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "query terms: %v\n", resp.Terms)
+	fmt.Fprintf(w, "needs refinement: %v\n", resp.NeedRefine)
+	fmt.Fprintf(w, "\nrules derived for this query (%d):\n", len(resp.Rules))
+	for _, r := range resp.Rules {
+		fmt.Fprintf(w, "  [%s] %s\n", r.Origin, r)
+	}
+	fmt.Fprintf(w, "\nsearch-for candidates (Formula 1):\n")
+	for _, c := range resp.SearchFor {
+		fmt.Fprintf(w, "  %-40s confidence %.4f\n", c.Type.Path(), c.Confidence)
+	}
+	fmt.Fprintf(w, "\nranked queries:\n")
+	for i, rq := range resp.Queries {
+		label := "refined"
+		if rq.IsOriginal {
+			label = "original"
+		}
+		fmt.Fprintf(w, "  %d. [%s] {%s}  dSim=%.1f rank=%.4f (sim %.4f + dep %.4f) results=%d\n",
+			i+1, label, strings.Join(rq.Keywords, ", "), rq.DSim, rq.Score, rq.SimScore, rq.DepScore, len(rq.Results))
+		for _, st := range rq.Steps {
+			fmt.Fprintf(w, "       via %s\n", st)
+		}
+	}
+	return nil
+}
+
+func cmdNarrow(args []string) {
+	fs := flag.NewFlagSet("narrow", flag.ExitOnError)
+	fs.String("xml", "", "XML document")
+	fs.String("index", "", "index file (must carry the document; see index -with-doc)")
+	max := fs.Int("max", 50, "result count above which a query is too broad")
+	k := fs.Int("k", 3, "number of suggestions")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("narrow needs a query"))
+	}
+	eng, _, closeFn := load(fs)
+	defer closeFn()
+	if err := narrowQuery(os.Stdout, eng, strings.Join(fs.Args(), " "), *max, *k); err != nil {
+		fatal(err)
+	}
+}
+
+func narrowQuery(w io.Writer, eng *xrefine.Engine, query string, max, k int) error {
+	out, err := eng.Narrow(query, &xrefine.NarrowOptions{MaxResults: max, TopK: k})
+	if err != nil {
+		return err
+	}
+	if !out.TooBroad {
+		fmt.Fprintf(w, "%d result(s) — specific enough (threshold %d)\n", out.OriginalResults, max)
+		return nil
+	}
+	fmt.Fprintf(w, "%d results — too broad; try instead:\n", out.OriginalResults)
+	if len(out.Suggestions) == 0 {
+		fmt.Fprintln(w, "  (no narrowing suggestion found)")
+		return nil
+	}
+	for i, s := range out.Suggestions {
+		fmt.Fprintf(w, "%d. {%s}  (%d results, +%s)\n",
+			i+1, strings.Join(s.Keywords, " "), len(s.Results), strings.Join(s.Added, "+"))
+	}
+	return nil
+}
+
+func cmdREPL(args []string) {
+	fs := flag.NewFlagSet("repl", flag.ExitOnError)
+	fs.String("xml", "", "XML document")
+	fs.String("index", "", "index file")
+	k := fs.Int("k", 3, "number of refined queries")
+	strategy := fs.String("strategy", "partition", "partition | sle | stack")
+	fs.Parse(args)
+	eng, doc, closeFn := load(fs)
+	defer closeFn()
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("xrefine> ")
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" || q == "quit" || q == "exit" {
+			break
+		}
+		answer(os.Stdout, eng, doc, q, parseStrategy(*strategy), *k)
+		fmt.Print("xrefine> ")
+	}
+}
+
+func answer(w io.Writer, eng *xrefine.Engine, doc *xrefine.Document, query string, strategy xrefine.Strategy, k int) {
+	resp, err := eng.QueryTerms(tokenizeArg(query), strategy, k)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	if len(resp.SearchFor) > 0 {
+		var names []string
+		for _, c := range resp.SearchFor {
+			names = append(names, c.Type.Tag)
+		}
+		fmt.Fprintf(w, "search-for: %s\n", strings.Join(names, ", "))
+	}
+	if !resp.NeedRefine {
+		fmt.Fprintf(w, "query %v matches directly (%d results)\n", resp.Terms, len(resp.Queries[0].Results))
+		printResults(w, doc, resp.Queries[0].Results)
+		return
+	}
+	fmt.Fprintf(w, "query %v has no meaningful result; refinements:\n", resp.Terms)
+	if len(resp.Queries) == 0 {
+		fmt.Fprintln(w, "  (none found)")
+		return
+	}
+	for i, rq := range resp.Queries {
+		fmt.Fprintf(w, "%d. {%s}  dSim=%.1f rank=%.3f  (%d results)\n",
+			i+1, strings.Join(rq.Keywords, ", "), rq.DSim, rq.Score, len(rq.Results))
+		for _, st := range rq.Steps {
+			fmt.Fprintf(w, "     via: %s\n", st)
+		}
+		printResults(w, doc, rq.Results)
+	}
+}
+
+func printResults(w io.Writer, doc *xrefine.Document, results []xrefine.Match) {
+	const maxShow = 5
+	for i, m := range results {
+		if i == maxShow {
+			fmt.Fprintf(w, "     ... %d more\n", len(results)-maxShow)
+			break
+		}
+		fmt.Fprintf(w, "     %s\n", xrefine.Snippet(doc, m, 80))
+	}
+}
+
+// tokenizeArg normalizes the shell-provided query string with the same
+// tokenizer the engine uses.
+func tokenizeArg(q string) []string { return xrefine.Tokenize(q) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xrefine:", err)
+	os.Exit(1)
+}

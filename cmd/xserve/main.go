@@ -1,0 +1,75 @@
+// Command xserve runs the XRefine HTTP query server over an XML document
+// or a prebuilt index.
+//
+// Usage:
+//
+//	xserve -xml dblp.xml -addr :8080
+//	xserve -index dblp.kv -addr :8080
+//
+// Endpoints:
+//
+//	GET /search?q=online+databse&k=3&strategy=partition|sle|stack
+//	GET /narrow?q=database&max=50&k=3    (requires -xml)
+//	GET /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"xrefine"
+	"xrefine/internal/core"
+	"xrefine/internal/server"
+)
+
+func main() {
+	var (
+		xmlPath   = flag.String("xml", "", "XML document to index and serve")
+		indexPath = flag.String("index", "", "prebuilt index file to serve")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var eng *core.Engine
+	switch {
+	case *xmlPath != "":
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := xrefine.ParseXML(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = core.NewFromDocument(doc, nil)
+		log.Printf("indexed %s: %d nodes", *xmlPath, doc.NodeCount)
+	case *indexPath != "":
+		store, err := xrefine.OpenStore(*indexPath, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		eng, err = core.Open(store, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("opened index %s", *indexPath)
+	default:
+		fmt.Fprintln(os.Stderr, "xserve: need -xml or -index")
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(eng),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Printf("serving on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

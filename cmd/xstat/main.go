@@ -1,0 +1,114 @@
+// Command xstat inspects an XML document or a prebuilt index: node and
+// type counts, vocabulary size, the most frequent keywords, and the
+// physical statistics of the index store — the numbers one checks before
+// trusting benchmark output.
+//
+// Usage:
+//
+//	xstat -xml dblp.xml [-top 15]
+//	xstat -index dblp.kv [-top 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"xrefine/internal/index"
+	"xrefine/internal/kvstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("xstat", flag.ContinueOnError)
+	var (
+		xmlPath   = fs.String("xml", "", "XML document to inspect")
+		indexPath = fs.String("index", "", "index file to inspect")
+		top       = fs.Int("top", 15, "how many top keywords to list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ix *index.Index
+	var storeStats *kvstore.Stats
+	switch {
+	case *xmlPath != "":
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ix, err = index.BuildStream(f, nil)
+		if err != nil {
+			return err
+		}
+	case *indexPath != "":
+		store, err := kvstore.Open(*indexPath, &kvstore.Options{ReadOnly: true})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		ix, err = index.Load(store)
+		if err != nil {
+			return err
+		}
+		st := store.Stats()
+		storeStats = &st
+	default:
+		return fmt.Errorf("need -xml or -index")
+	}
+	return report(w, ix, storeStats, *top)
+}
+
+func report(w io.Writer, ix *index.Index, store *kvstore.Stats, top int) error {
+	vocab := ix.Vocabulary()
+	fmt.Fprintf(w, "nodes:       %d\n", ix.NodeCount)
+	fmt.Fprintf(w, "node types:  %d\n", ix.Types.Len())
+	fmt.Fprintf(w, "partitions:  %d\n", len(ix.PartitionRoots()))
+	fmt.Fprintf(w, "vocabulary:  %d terms\n", len(vocab))
+	if store != nil {
+		fmt.Fprintf(w, "store:       %d keys, %d pages (%d free), %d bytes\n",
+			store.Keys, store.Pages, store.FreePages, store.FileSize)
+	}
+
+	type tf struct {
+		term string
+		n    int
+	}
+	freqs := make([]tf, 0, len(vocab))
+	for _, term := range vocab {
+		freqs = append(freqs, tf{term: term, n: ix.ListLen(term)})
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].n != freqs[j].n {
+			return freqs[i].n > freqs[j].n
+		}
+		return freqs[i].term < freqs[j].term
+	})
+	if top > len(freqs) {
+		top = len(freqs)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\ntop keywords\tpostings")
+	for _, f := range freqs[:top] {
+		fmt.Fprintf(tw, "%s\t%d\n", f.term, f.n)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nnode type\tcount\tdistinct terms")
+	for _, ty := range ix.Types.SortTypesByPath() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", ty.Path(), ix.NT(ty), ix.GT(ty))
+	}
+	return tw.Flush()
+}

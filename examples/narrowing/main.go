@@ -1,0 +1,44 @@
+// Narrowing: the other extreme the paper's conclusion points at — a query
+// with far too many results. The engine mines discriminative co-occurring
+// terms from the flood and proposes tightened queries that still have
+// meaningful matches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xrefine"
+	"xrefine/internal/datagen"
+)
+
+func main() {
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: 600, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := xrefine.NewFromDocument(doc, nil)
+
+	for _, q := range []string{
+		"database",            // floods: the most common title word
+		"query processing",    // still broad
+		"skyline computation", // already specific
+	} {
+		fmt.Printf("> %s\n", q)
+		out, err := eng.Narrow(q, &xrefine.NarrowOptions{MaxResults: 40, TopK: 4, TargetResults: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !out.TooBroad {
+			fmt.Printf("  %d result(s) — specific enough\n\n", out.OriginalResults)
+			continue
+		}
+		fmt.Printf("  %d results — too broad; try instead:\n", out.OriginalResults)
+		for i, s := range out.Suggestions {
+			fmt.Printf("  %d. {%s}  (%d results, +%s)\n",
+				i+1, strings.Join(s.Keywords, " "), len(s.Results), strings.Join(s.Added, "+"))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module xrefine
+
+go 1.22

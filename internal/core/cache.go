@@ -1,0 +1,92 @@
+package core
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// queryCache is a small LRU over complete responses. Serving workloads
+// (sponsored search especially) repeat queries heavily, and the whole
+// pipeline — rule generation, inference, exploration, ranking — is
+// deterministic for a fixed index, so caching whole responses is sound.
+// Cached responses are shared; callers must treat them as read-only, which
+// the Response API already implies.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// cacheKey identifies a query execution: terms are order-insensitive at
+// the semantic level but the DP consumes them in order, so the raw order
+// participates in the key.
+func cacheKey(terms []string, strategy Strategy, k int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(strategy)))
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(k))
+	for _, t := range terms {
+		b.WriteByte(' ')
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+func (c *queryCache) get(key string) (*Response, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *queryCache) put(key string, resp *Response) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	c.byKey[key] = el
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached responses (for tests).
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

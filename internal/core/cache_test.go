@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xrefine/internal/xmltree"
+)
+
+func cacheDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(`
+<bib>
+  <author><publications>
+    <paper><title>database systems</title><year>2003</year></paper>
+    <paper><title>keyword search</title><year>2005</year></paper>
+  </publications></author>
+</bib>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestCacheHitReturnsSameResponse(t *testing.T) {
+	e := NewFromDocument(cacheDoc(t), &Config{CacheSize: 8})
+	r1, err := e.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("cache miss on identical query")
+	}
+	// Different k or strategy must not collide.
+	r3, err := e.QueryTerms([]string{"databse"}, StrategyPartition, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("different k collided in cache")
+	}
+	r4, err := e.QueryTerms([]string{"databse"}, StrategySLE, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r1 {
+		t.Error("different strategy collided in cache")
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	e := NewFromDocument(cacheDoc(t), nil)
+	r1, _ := e.Query("databse")
+	r2, _ := e.Query("databse")
+	if r1 == r2 {
+		t.Error("caching active without CacheSize")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newQueryCache(2)
+	a, b, d := &Response{}, &Response{}, &Response{}
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // touch a -> b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("d", d)
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+	// overwrite moves to front and replaces
+	a2 := &Response{}
+	c.put("a", a2)
+	if got, _ := c.get("a"); got != a2 {
+		t.Error("overwrite ignored")
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *queryCache
+	if _, ok := c.get("x"); ok {
+		t.Error("nil cache hit")
+	}
+	c.put("x", &Response{}) // must not panic
+	if c.len() != 0 {
+		t.Error("nil cache length")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	e := NewFromDocument(cacheDoc(t), &Config{CacheSize: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				q := fmt.Sprintf("databse%d", j%3)
+				if j%3 == 0 {
+					q = "database"
+				}
+				if _, err := e.Query(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestEngineStats(t *testing.T) {
+	e := NewFromDocument(cacheDoc(t), &Config{CacheSize: 4})
+	if _, err := e.Query("databse"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("databse"); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	if _, err := e.Query("database"); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Queries != 3 {
+		t.Errorf("Queries = %d", st.Queries)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("CacheHits = %d", st.CacheHits)
+	}
+	if st.Refined != 2 { // the two databse lookups
+		t.Errorf("Refined = %d", st.Refined)
+	}
+}

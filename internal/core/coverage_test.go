@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Targeted tests for entry points the broader suites reach only through
+// other packages.
+
+func TestNewFromXMLAndErrors(t *testing.T) {
+	eng, err := NewFromXML(strings.NewReader(`<r><a><b>word here</b></a></r>`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Document() == nil {
+		t.Error("NewFromXML should retain the document")
+	}
+	if _, err := NewFromXML(strings.NewReader("not xml"), nil); err == nil {
+		t.Error("malformed XML accepted")
+	}
+	if _, err := NewFromXMLStream(strings.NewReader("<a><b></a>"), nil); err == nil {
+		t.Error("malformed XML accepted by stream builder")
+	}
+}
+
+func TestExploreDirect(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	out, cands, err := e.Explore([]string{"online", "databse"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Candidates) == 0 {
+		t.Fatal("no candidates from Explore")
+	}
+	if len(cands) == 0 {
+		t.Error("no search-for candidates")
+	}
+	if _, _, err := e.Explore(nil, 3); err == nil {
+		t.Error("empty terms accepted")
+	}
+}
+
+func TestStackTopKThroughEngine(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	resp, err := e.QueryTerms([]string{"online", "databse"}, StrategyStack, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine || len(resp.Queries) == 0 {
+		t.Fatalf("stack top-K path: %+v", resp)
+	}
+	// k>1 must be able to return more than one refinement here.
+	if len(resp.Queries) < 2 {
+		t.Errorf("stack top-K returned %d queries", len(resp.Queries))
+	}
+	// And the satisfiable path at k>1:
+	resp2, err := e.QueryTerms([]string{"online", "database"}, StrategyStack, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.NeedRefine || !resp2.Queries[0].IsOriginal {
+		t.Fatalf("stack top-K satisfiable path: %+v", resp2)
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	if _, err := e.QueryTerms([]string{"online"}, Strategy(99), 1); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStackStrategyNoRefinementFound(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	resp, err := e.QueryTerms([]string{"zzzz", "qqqq"}, StrategyStack, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine || len(resp.Queries) != 0 {
+		t.Fatalf("hopeless stack query: %+v", resp)
+	}
+}

@@ -1,0 +1,484 @@
+// Package core assembles the XRefine engine — the paper's prototype system
+// of the same name. An Engine owns a document index and answers keyword
+// queries end-to-end: tokenize, derive the relevant refinement rules, infer
+// the search-for node candidates, run one of the three refinement
+// algorithms of Section VI (which simultaneously decide whether the query
+// needs refinement, explore refined-query candidates, and produce their
+// matching results in a single scan of the inverted lists), and finally
+// rank refined queries with the model of Section IV.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"xrefine/internal/index"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/lexicon"
+	"xrefine/internal/narrow"
+	"xrefine/internal/rank"
+	"xrefine/internal/refine"
+	"xrefine/internal/rules"
+	"xrefine/internal/searchfor"
+	"xrefine/internal/slca"
+	"xrefine/internal/tokenize"
+	"xrefine/internal/xmltree"
+)
+
+// Strategy selects the refinement algorithm.
+type Strategy int
+
+const (
+	// StrategyPartition is Algorithm 2, the paper's best performer and
+	// the default.
+	StrategyPartition Strategy = iota
+	// StrategySLE is Algorithm 3, short-list eager.
+	StrategySLE
+	// StrategyStack is Algorithm 1; it yields only the single optimal
+	// refined query rather than a top-K list.
+	StrategyStack
+)
+
+// String names the strategy as in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPartition:
+		return "partition"
+	case StrategySLE:
+		return "sle"
+	case StrategyStack:
+		return "stack-refine"
+	}
+	return "unknown"
+}
+
+// Config tunes an Engine. The zero value works: builtin lexicon, default
+// generator, default ranking model, scan-eager SLCA, partition strategy,
+// top-3 refinements.
+type Config struct {
+	// Lexicon used for synonym/acronym rules; nil means lexicon.Builtin().
+	Lexicon *lexicon.Lexicon
+	// Rules configures rule generation; its Lexicon field is overridden
+	// by the engine's.
+	Rules rules.Generator
+	// Rank is the ranking model; a zero model is replaced by
+	// rank.Default().
+	Rank rank.Model
+	// SearchFor tunes search-for node inference.
+	SearchFor searchfor.Options
+	// SLCA picks the delegated SLCA algorithm.
+	SLCA slca.Algorithm
+	// Strategy picks the refinement algorithm.
+	Strategy Strategy
+	// TopK bounds the number of refined queries returned; 0 means 3.
+	TopK int
+	// CacheSize enables an LRU over complete responses when positive.
+	// Cached responses are shared and must be treated as read-only.
+	CacheSize int
+	// ExpandResults lifts every match to its closest search-for-typed
+	// ancestor (the entity), merging duplicates — XSeek-style display
+	// granularity instead of raw SLCA nodes.
+	ExpandResults bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.Lexicon == nil {
+		out.Lexicon = lexicon.Builtin()
+	}
+	out.Rules.Lexicon = out.Lexicon
+	if out.Rank == (rank.Model{}) {
+		out.Rank = rank.Default()
+	}
+	if out.TopK <= 0 {
+		out.TopK = 3
+	}
+	return out
+}
+
+// Engine is an XRefine instance bound to one indexed document.
+type Engine struct {
+	ix    *index.Index
+	doc   *xmltree.Document // nil for engines loaded from an index store
+	cfg   Config
+	cache *queryCache // nil when caching is disabled
+
+	statQueries   atomic.Uint64
+	statRefined   atomic.Uint64
+	statCacheHits atomic.Uint64
+}
+
+// EngineStats is a snapshot of the engine's serving counters.
+type EngineStats struct {
+	// Queries counts QueryTerms invocations (including cache hits).
+	Queries uint64
+	// Refined counts responses that needed refinement.
+	Refined uint64
+	// CacheHits counts responses served from the LRU cache.
+	CacheHits uint64
+}
+
+// Stats returns the current counter snapshot.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Queries:   e.statQueries.Load(),
+		Refined:   e.statRefined.Load(),
+		CacheHits: e.statCacheHits.Load(),
+	}
+}
+
+// NewFromIndex wraps an existing index. Engines built this way have no
+// source document, so Narrow is unavailable.
+func NewFromIndex(ix *index.Index, cfg *Config) *Engine {
+	c := cfg.withDefaults()
+	return &Engine{ix: ix, cfg: c, cache: newQueryCache(c.CacheSize)}
+}
+
+// NewFromDocument indexes a parsed document in memory and keeps the
+// document for snippets and narrowing.
+func NewFromDocument(doc *xmltree.Document, cfg *Config) *Engine {
+	e := NewFromIndex(index.Build(doc), cfg)
+	e.doc = doc
+	return e
+}
+
+// NewFromXML parses and indexes XML from r, keeping the document tree for
+// snippets and narrowing.
+func NewFromXML(r io.Reader, cfg *Config) (*Engine, error) {
+	doc, err := xmltree.Parse(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromDocument(doc, cfg), nil
+}
+
+// NewFromXMLStream indexes XML from r without materializing the document
+// tree — memory stays proportional to the index, which matters for
+// corpora the size of the paper's DBLP dump. The resulting engine has no
+// Document, so snippets and narrowing are unavailable.
+func NewFromXMLStream(r io.Reader, cfg *Config) (*Engine, error) {
+	ix, err := index.BuildStream(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromIndex(ix, cfg), nil
+}
+
+// Open loads an engine from an index file previously written with
+// SaveIndex or SaveIndexWithDocument. When the store also carries the
+// source document (SaveIndexWithDocument), it is restored so snippets and
+// narrowing keep working. The store stays open for lazy posting-list
+// loads; the caller owns closing it.
+func Open(store *kvstore.Store, cfg *Config) (*Engine, error) {
+	ix, err := index.Load(store)
+	if err != nil {
+		return nil, err
+	}
+	e := NewFromIndex(ix, cfg)
+	doc, ok, err := xmltree.LoadDocument(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore document: %w", err)
+	}
+	if ok {
+		e.doc = doc
+	}
+	return e, nil
+}
+
+// SaveIndex persists the engine's index into a kvstore.
+func (e *Engine) SaveIndex(store *kvstore.Store) error { return e.ix.Save(store) }
+
+// SaveIndexWithDocument persists the index plus the source document, so an
+// engine opened from this store retains snippets and narrowing. It fails
+// on engines that have no document (built from an index or a stream).
+func (e *Engine) SaveIndexWithDocument(store *kvstore.Store) error {
+	if e.doc == nil {
+		return errors.New("core: engine has no source document to save")
+	}
+	if err := xmltree.SaveDocument(e.doc, store); err != nil {
+		return err
+	}
+	return e.ix.Save(store)
+}
+
+// Index exposes the underlying index (read-only by convention).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Document returns the source document when the engine was built from one,
+// or nil for engines loaded from an index store.
+func (e *Engine) Document() *xmltree.Document { return e.doc }
+
+// Complete suggests up to k indexed terms starting with the last token of
+// the partial query — search-as-you-type over the corpus vocabulary,
+// most-frequent first.
+func (e *Engine) Complete(partial string, k int) []string {
+	terms := tokenize.Query(partial)
+	if len(terms) == 0 {
+		return nil
+	}
+	return e.ix.CompleteByPrefix(terms[len(terms)-1], k)
+}
+
+// Narrow handles the opposite failure mode of refinement — the paper's
+// stated future work: a query with *too many* meaningful results. It
+// proposes narrowed queries (original keywords plus a discriminative
+// co-occurring term each), verified to still have meaningful results.
+// Engines loaded from an index store return narrow.ErrNeedsDocument.
+func (e *Engine) Narrow(q string, opts *narrow.Options) (*narrow.Outcome, error) {
+	terms := tokenize.Query(q)
+	if len(terms) == 0 {
+		return nil, errors.New("core: query has no keywords")
+	}
+	in, _, err := e.Prepare(terms)
+	if err != nil {
+		return nil, err
+	}
+	return narrow.Narrow(e.doc, e.ix, terms, in.Judge, e.cfg.SLCA, opts)
+}
+
+// RankedQuery is one entry of a response: a query (the original or a
+// refinement) with its matching results.
+type RankedQuery struct {
+	// Keywords of the query, sorted.
+	Keywords []string
+	// DSim is dSim(Q, RQ); 0 for the original query.
+	DSim float64
+	// Score is the overall rank by Formula 10 (0 for the original:
+	// the ranking model only compares refinements).
+	Score float64
+	// SimScore and DepScore are the two components of Score before the
+	// α/β weighting — the similarity (Formula 6) and dependence
+	// (Formula 9) parts, exposed for explanation UIs.
+	SimScore, DepScore float64
+	// IsOriginal marks the original query.
+	IsOriginal bool
+	// Steps explains how the original query was refined into this one
+	// (deletions and rule applications, in order); empty for the
+	// original.
+	Steps []refine.Step
+	// Results are the meaningful SLCA matches.
+	Results []refine.Match
+}
+
+// Response is the engine's answer to one keyword query.
+type Response struct {
+	// Terms is the normalized original query.
+	Terms []string
+	// NeedRefine reports Definition 3.4: the original query had no
+	// meaningful SLCA.
+	NeedRefine bool
+	// SearchFor lists the inferred search-for node candidates.
+	SearchFor []searchfor.Candidate
+	// Rules is the rule set that was derived for the query.
+	Rules []rules.Rule
+	// Queries holds the original query (when satisfiable) or the ranked
+	// refined queries, best first.
+	Queries []RankedQuery
+}
+
+// Query tokenizes and answers a raw keyword query with the configured
+// strategy and K.
+func (e *Engine) Query(q string) (*Response, error) {
+	terms := tokenize.Query(q)
+	if len(terms) == 0 {
+		return nil, errors.New("core: query has no keywords")
+	}
+	return e.QueryTerms(terms, e.cfg.Strategy, e.cfg.TopK)
+}
+
+// Prepare derives the per-query machinery — rule set, search-for
+// candidates and refinement input — without running any algorithm. It is
+// the shared front half of QueryTerms and Explore.
+func (e *Engine) Prepare(terms []string) (refine.Input, []searchfor.Candidate, error) {
+	rs, err := e.cfg.Rules.Generate(e.ix, terms)
+	if err != nil {
+		return refine.Input{}, nil, fmt.Errorf("core: rule generation: %w", err)
+	}
+	// Search-for inference uses the query terms plus the rule-generated
+	// keywords: for fully mismatched queries only the latter touch the
+	// data at all.
+	inferTerms := append(append([]string(nil), terms...), rs.NewKeywords(terms)...)
+	cands := searchfor.Infer(e.ix, inferTerms, &e.cfg.SearchFor)
+	in := refine.Input{
+		Index: e.ix,
+		Query: terms,
+		Rules: rs,
+		Judge: searchfor.NewJudge(cands),
+		SLCA:  e.cfg.SLCA,
+	}
+	return in, cands, nil
+}
+
+// Explore runs the partition-based exploration and returns the raw top-2K
+// candidate list before ranking — the hook the experiment harness uses to
+// re-rank one exploration under several ranking-model variants (Tables IX
+// and X).
+func (e *Engine) Explore(terms []string, k int) (*refine.TopKOutcome, []searchfor.Candidate, error) {
+	if len(terms) == 0 {
+		return nil, nil, errors.New("core: query has no keywords")
+	}
+	in, cands, err := e.Prepare(terms)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := refine.PartitionTopK(in, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, cands, nil
+}
+
+// QueryTerms answers a pre-tokenized query with an explicit strategy and K
+// — the entry point the experiment harness uses.
+func (e *Engine) QueryTerms(terms []string, strategy Strategy, k int) (*Response, error) {
+	if len(terms) == 0 {
+		return nil, errors.New("core: query has no keywords")
+	}
+	if k <= 0 {
+		k = e.cfg.TopK
+	}
+	e.statQueries.Add(1)
+	key := cacheKey(terms, strategy, k)
+	if resp, ok := e.cache.get(key); ok {
+		e.statCacheHits.Add(1)
+		if resp.NeedRefine {
+			e.statRefined.Add(1)
+		}
+		return resp, nil
+	}
+	resp, err := e.queryUncached(terms, strategy, k)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.ExpandResults {
+		expandResponse(resp)
+	}
+	if resp.NeedRefine {
+		e.statRefined.Add(1)
+	}
+	e.cache.put(key, resp)
+	return resp, nil
+}
+
+// queryUncached runs the full pipeline.
+func (e *Engine) queryUncached(terms []string, strategy Strategy, k int) (*Response, error) {
+	in, cands, err := e.Prepare(terms)
+	if err != nil {
+		return nil, err
+	}
+	rs := in.Rules
+	resp := &Response{Terms: terms, SearchFor: cands, Rules: rs.Rules()}
+	switch strategy {
+	case StrategyStack:
+		if k > 1 {
+			// Top-K via the stack walk is an extension beyond the
+			// paper's optimal-only Algorithm 1; see refine.StackTopK.
+			out, err := refine.StackTopK(in, k)
+			if err != nil {
+				return nil, err
+			}
+			return e.finishTopK(resp, terms, out, k)
+		}
+		out, err := refine.Stack(in)
+		if err != nil {
+			return nil, err
+		}
+		resp.NeedRefine = out.NeedRefine
+		if !out.NeedRefine {
+			resp.Queries = []RankedQuery{{
+				Keywords:   refine.NewRQ(terms, 0).Keywords,
+				IsOriginal: true,
+				Results:    out.Original,
+			}}
+			return resp, nil
+		}
+		if out.Found {
+			score, err := e.cfg.Rank.Rank(e.ix, cands, terms, out.Best.Keywords, out.Best.DSim)
+			if err != nil {
+				return nil, err
+			}
+			resp.Queries = []RankedQuery{{
+				Keywords: out.Best.Keywords,
+				DSim:     out.Best.DSim,
+				Score:    score,
+				Steps:    out.Best.Steps,
+				Results:  out.BestResults,
+			}}
+		}
+		return resp, nil
+	case StrategySLE, StrategyPartition:
+		var out *refine.TopKOutcome
+		if strategy == StrategySLE {
+			out, err = refine.ShortListEager(in, k)
+		} else {
+			out, err = refine.PartitionTopK(in, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return e.finishTopK(resp, terms, out, k)
+	}
+	return nil, fmt.Errorf("core: unknown strategy %d", strategy)
+}
+
+// finishTopK interprets a top-K outcome: when the original query itself
+// surfaced with results it needs no refinement; otherwise the candidates
+// are ranked with Formula 10 and cut to K (the paper's line 19).
+func (e *Engine) finishTopK(resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
+	for _, it := range out.Candidates {
+		if it.RQ.DSim == 0 && it.RQ.SameKeywords(terms) {
+			resp.NeedRefine = false
+			resp.Queries = []RankedQuery{{
+				Keywords:   it.RQ.Keywords,
+				IsOriginal: true,
+				Results:    it.Results,
+			}}
+			return resp, nil
+		}
+	}
+	resp.NeedRefine = true
+	for _, it := range out.Candidates {
+		sim := e.cfg.Rank.Similarity(e.ix, resp.SearchFor, terms, it.RQ.Keywords, it.RQ.DSim)
+		dep, err := e.cfg.Rank.Dependence(e.ix, resp.SearchFor, it.RQ.Keywords)
+		if err != nil {
+			return nil, err
+		}
+		resp.Queries = append(resp.Queries, RankedQuery{
+			Keywords: it.RQ.Keywords,
+			DSim:     it.RQ.DSim,
+			Score:    e.cfg.Rank.Alpha*sim + e.cfg.Rank.Beta*dep,
+			SimScore: sim,
+			DepScore: dep,
+			Steps:    it.RQ.Steps,
+			Results:  it.Results,
+		})
+	}
+	sort.SliceStable(resp.Queries, func(i, j int) bool {
+		if resp.Queries[i].Score != resp.Queries[j].Score {
+			return resp.Queries[i].Score > resp.Queries[j].Score
+		}
+		return resp.Queries[i].DSim < resp.Queries[j].DSim
+	})
+	if len(resp.Queries) > k {
+		resp.Queries = resp.Queries[:k]
+	}
+	return resp, nil
+}
+
+// Snippet renders a human-readable preview of a match against the original
+// document; engines loaded from an index file have no document and return
+// the bare label.
+func Snippet(doc *xmltree.Document, m refine.Match, max int) string {
+	if doc != nil {
+		if n, ok := doc.NodeByID(m.ID); ok {
+			return n.Snippet(max)
+		}
+	}
+	return fmt.Sprintf("%s:%s", m.Type.Tag, m.ID)
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xrefine/internal/kvstore"
+	"xrefine/internal/slca"
+	"xrefine/internal/xmltree"
+)
+
+// A small bibliography that exercises every refinement operation: synonyms
+// (publication ~ inproceedings/article via the builtin lexicon), merging
+// (key word -> keyword), splitting, spelling (databse -> database) and
+// stemming (match -> matching).
+const corpus = `
+<bib>
+  <author>
+    <name>John Ben</name>
+    <publications>
+      <inproceedings>
+        <title>online database systems</title>
+        <year>2003</year>
+      </inproceedings>
+      <inproceedings>
+        <title>efficient keyword search</title>
+        <year>2005</year>
+      </inproceedings>
+    </publications>
+  </author>
+  <author>
+    <name>Mary Lee</name>
+    <publications>
+      <article>
+        <title>matching twig patterns in database systems</title>
+        <year>2006</year>
+      </article>
+      <inproceedings>
+        <title>skyline computation</title>
+        <year>2007</year>
+      </inproceedings>
+    </publications>
+  </author>
+</bib>`
+
+func newEngine(t testing.TB, cfg *Config) (*Engine, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFromDocument(doc, cfg), doc
+}
+
+func TestSatisfiableQueryNeedsNoRefinement(t *testing.T) {
+	for _, strat := range []Strategy{StrategyPartition, StrategySLE, StrategyStack} {
+		e, _ := newEngine(t, &Config{Strategy: strat})
+		resp, err := e.Query("online database")
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if resp.NeedRefine {
+			t.Fatalf("%v: satisfiable query flagged for refinement", strat)
+		}
+		if len(resp.Queries) != 1 || !resp.Queries[0].IsOriginal {
+			t.Fatalf("%v: queries = %+v", strat, resp.Queries)
+		}
+		if len(resp.Queries[0].Results) == 0 {
+			t.Fatalf("%v: no results for original query", strat)
+		}
+		if got := resp.Queries[0].Results[0].ID.String(); got != "0.0.1.0.0" {
+			t.Errorf("%v: result = %s, want 0.0.1.0.0 (the title holding both terms)", strat, got)
+		}
+	}
+}
+
+func TestSpellingRefinement(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	resp, err := e.Query("online databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine {
+		t.Fatal("misspelled query not flagged")
+	}
+	if len(resp.Queries) == 0 {
+		t.Fatal("no refinements offered")
+	}
+	best := resp.Queries[0]
+	if strings.Join(best.Keywords, " ") != "database online" {
+		t.Errorf("best refinement = %v", best.Keywords)
+	}
+	if best.DSim != 1 {
+		t.Errorf("dSim = %v, want 1 (one edit)", best.DSim)
+	}
+	if len(best.Results) == 0 {
+		t.Error("refinement has no results")
+	}
+}
+
+func TestSynonymRefinementPaperExample1(t *testing.T) {
+	// The paper's Example 1: {database, publication} where the data uses
+	// inproceedings/article instead of "publication".
+	e, _ := newEngine(t, nil)
+	resp, err := e.Query("database publication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine {
+		t.Fatal("mismatched query not flagged")
+	}
+	found := false
+	for _, q := range resp.Queries {
+		kws := strings.Join(q.Keywords, " ")
+		if kws == "database inproceedings" || kws == "article database" {
+			found = true
+			if len(q.Results) == 0 {
+				t.Errorf("synonym refinement %v has no results", q.Keywords)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no synonym-substituted refinement among %+v", resp.Queries)
+	}
+}
+
+func TestMergeRefinement(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	resp, err := e.Query("efficient key word search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine {
+		t.Fatal("expected refinement")
+	}
+	best := resp.Queries[0]
+	if strings.Join(best.Keywords, " ") != "efficient keyword search" {
+		t.Errorf("best = %v", best.Keywords)
+	}
+	if best.DSim != 1 {
+		t.Errorf("dSim = %v", best.DSim)
+	}
+}
+
+func TestStemmingRefinement(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	resp, err := e.Query("match twig patterns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine {
+		t.Fatal("expected refinement")
+	}
+	var keys []string
+	for _, q := range resp.Queries {
+		keys = append(keys, strings.Join(q.Keywords, " "))
+	}
+	if !contains(keys, "matching twig") && !contains(keys, "matching patterns twig") && !contains(keys, "matching pattern twig") {
+		t.Errorf("no stemming refinement in %v", keys)
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStrategiesAgreeOnBestDissimilarity(t *testing.T) {
+	queries := []string{
+		"online databse",
+		"efficient key word search",
+		"database publication",
+		"skylinecomputation",
+	}
+	for _, q := range queries {
+		var dsims []float64
+		for _, strat := range []Strategy{StrategyPartition, StrategySLE, StrategyStack} {
+			e, _ := newEngine(t, &Config{Strategy: strat})
+			resp, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", q, strat, err)
+			}
+			if !resp.NeedRefine || len(resp.Queries) == 0 {
+				t.Fatalf("%s/%v: unexpected outcome %+v", q, strat, resp)
+			}
+			min := resp.Queries[0].DSim
+			for _, rq := range resp.Queries {
+				if rq.DSim < min {
+					min = rq.DSim
+				}
+			}
+			dsims = append(dsims, min)
+		}
+		if dsims[0] != dsims[1] || dsims[1] != dsims[2] {
+			t.Errorf("%s: best dSim disagrees across strategies: %v", q, dsims)
+		}
+	}
+}
+
+func TestTopKLimit(t *testing.T) {
+	e, _ := newEngine(t, &Config{TopK: 1})
+	resp, err := e.Query("database publication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Queries) > 1 {
+		t.Errorf("TopK=1 returned %d queries", len(resp.Queries))
+	}
+}
+
+func TestRankingOrdersQueries(t *testing.T) {
+	e, _ := newEngine(t, &Config{TopK: 5})
+	resp, err := e.Query("database publication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(resp.Queries); i++ {
+		if resp.Queries[i-1].Score < resp.Queries[i].Score {
+			t.Errorf("queries not sorted by score: %v then %v",
+				resp.Queries[i-1].Score, resp.Queries[i].Score)
+		}
+	}
+}
+
+func TestEmptyQueryRejected(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	if _, err := e.Query("   ,, "); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := e.QueryTerms(nil, StrategyPartition, 3); err == nil {
+		t.Error("nil terms accepted")
+	}
+}
+
+func TestHopelessQuery(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	resp, err := e.Query("zzzz qqqq xxxx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NeedRefine {
+		t.Error("hopeless query not flagged")
+	}
+	// No crash; possibly zero refinements.
+}
+
+func TestEngineFromSavedIndex(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	store := kvstore.NewMem()
+	defer store.Close()
+	if err := e.SaveIndex(store); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Query("online databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Query("online databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Queries) != len(r2.Queries) {
+		t.Fatalf("saved/loaded engines disagree: %d vs %d queries", len(r1.Queries), len(r2.Queries))
+	}
+	for i := range r1.Queries {
+		if strings.Join(r1.Queries[i].Keywords, " ") != strings.Join(r2.Queries[i].Keywords, " ") {
+			t.Errorf("query %d keywords differ", i)
+		}
+		if len(r1.Queries[i].Results) != len(r2.Queries[i].Results) {
+			t.Errorf("query %d result counts differ", i)
+		}
+	}
+}
+
+func TestSLCAConfigRespected(t *testing.T) {
+	for _, algo := range []slca.Algorithm{slca.AlgoScanEager, slca.AlgoIndexedLookupEager, slca.AlgoStack, slca.AlgoMultiway} {
+		e, _ := newEngine(t, &Config{SLCA: algo})
+		resp, err := e.Query("online databse")
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(resp.Queries) == 0 || len(resp.Queries[0].Results) == 0 {
+			t.Fatalf("%v: no results", algo)
+		}
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	e, doc := newEngine(t, nil)
+	resp, err := e.Query("online database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := resp.Queries[0].Results[0]
+	s := Snippet(doc, m, 50)
+	if !strings.Contains(s, "online database") {
+		t.Errorf("snippet = %q", s)
+	}
+	bare := Snippet(nil, m, 50)
+	if !strings.Contains(bare, m.ID.String()) {
+		t.Errorf("bare snippet = %q", bare)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyPartition.String() != "partition" || StrategySLE.String() != "sle" ||
+		StrategyStack.String() != "stack-refine" || Strategy(9).String() != "unknown" {
+		t.Error("Strategy.String broken")
+	}
+}
+
+func TestStreamEngineMatchesTreeEngine(t *testing.T) {
+	tree, _ := newEngine(t, nil)
+	streamed, err := NewFromXMLStream(strings.NewReader(corpus), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Document() != nil {
+		t.Error("stream engine should have no document")
+	}
+	for _, q := range []string{"online databse", "efficient key word search", "database publication"} {
+		r1, err := tree.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := streamed.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Queries) != len(r2.Queries) {
+			t.Fatalf("%q: %d vs %d queries", q, len(r1.Queries), len(r2.Queries))
+		}
+		for i := range r1.Queries {
+			if strings.Join(r1.Queries[i].Keywords, " ") != strings.Join(r2.Queries[i].Keywords, " ") ||
+				len(r1.Queries[i].Results) != len(r2.Queries[i].Results) {
+				t.Fatalf("%q: query %d differs", q, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"xrefine/internal/refine"
+	"xrefine/internal/searchfor"
+)
+
+// Result expansion in the spirit of XSeek (the paper's reference [5]): an
+// SLCA can be an arbitrary interior node — a title, a year — while what
+// the user wants to *see* is the enclosing entity. With ExpandResults set,
+// every meaningful match is lifted to its closest search-for-typed
+// ancestor-or-self and duplicates merge, so a query matching three fields
+// of one paper returns that paper once.
+
+// expandResults lifts matches to entity level. Matches whose type path
+// passes through no candidate type (impossible for meaningful matches, but
+// stay total) are kept as-is.
+func expandResults(cands []searchfor.Candidate, matches []refine.Match) []refine.Match {
+	if len(cands) == 0 || len(matches) == 0 {
+		return matches
+	}
+	seen := map[string]bool{}
+	out := make([]refine.Match, 0, len(matches))
+	for _, m := range matches {
+		best := -1 // depth of the deepest candidate type containing m
+		for _, c := range cands {
+			if c.Type.Depth > best && c.Type.Depth < len(m.ID) && m.Type.HasPrefix(c.Type) {
+				best = c.Type.Depth
+			}
+		}
+		lifted := m
+		if best >= 0 {
+			entityType, err := m.Type.AncestorAt(best)
+			if err == nil {
+				lifted = refine.Match{ID: m.ID[:best+1].Clone(), Type: entityType}
+			}
+		}
+		key := lifted.ID.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, lifted)
+	}
+	return out
+}
+
+// expandResponse applies expansion to every query of a response in place.
+func expandResponse(resp *Response) {
+	for i := range resp.Queries {
+		resp.Queries[i].Results = expandResults(resp.SearchFor, resp.Queries[i].Results)
+	}
+}

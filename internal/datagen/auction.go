@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"xrefine/internal/xmltree"
+)
+
+// AuctionConfig sizes an XMark-flavoured auction-site document:
+// site/(regions/region/item | people/person | auctions/auction). It is the
+// third synthetic schema, added beyond the paper's two datasets to exercise
+// the system on a document whose partitions have *heterogeneous* types —
+// DBLP and Baseball partitions are homogeneous (all authors, all leagues),
+// which hides a class of search-for inference mistakes.
+type AuctionConfig struct {
+	// Items is the number of auctioned items; 0 means 150.
+	Items int
+	// People is the number of registered people; 0 means 80.
+	People int
+	// Auctions is the number of open auctions; 0 means 100.
+	Auctions int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c AuctionConfig) withDefaults() AuctionConfig {
+	if c.Items == 0 {
+		c.Items = 150
+	}
+	if c.People == 0 {
+		c.People = 80
+	}
+	if c.Auctions == 0 {
+		c.Auctions = 100
+	}
+	return c
+}
+
+var (
+	auctionCategories = []string{
+		"books", "electronics", "furniture", "clothing", "jewelry",
+		"toys", "music", "garden", "sports", "automotive",
+	}
+	auctionAdjectives = []string{
+		"vintage", "antique", "rare", "mint", "restored", "signed",
+		"limited", "original", "handmade", "imported",
+	}
+	auctionNouns = []string{
+		"guitar", "watch", "lamp", "desk", "camera", "bicycle",
+		"painting", "typewriter", "globe", "radio", "clock", "rug",
+	}
+	regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+)
+
+// Auction writes a synthetic auction-site document to w.
+func Auction(w io.Writer, cfg AuctionConfig) error {
+	c := cfg.withDefaults()
+	r := rand.New(rand.NewSource(c.Seed))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "<site>")
+
+	// regions/region/item — items grouped by region.
+	fmt.Fprintln(bw, "  <regions>")
+	perRegion := (c.Items + len(regions) - 1) / len(regions)
+	item := 0
+	for _, reg := range regions {
+		fmt.Fprintf(bw, "    <region><name>%s</name>\n", reg)
+		for i := 0; i < perRegion && item < c.Items; i++ {
+			name := auctionAdjectives[r.Intn(len(auctionAdjectives))] + " " +
+				auctionNouns[r.Intn(len(auctionNouns))]
+			cat := auctionCategories[r.Intn(len(auctionCategories))]
+			fmt.Fprintf(bw, "      <item><name>%s</name><category>%s</category><price>%d</price></item>\n",
+				name, cat, 10+r.Intn(990))
+			item++
+		}
+		fmt.Fprintln(bw, "    </region>")
+	}
+	fmt.Fprintln(bw, "  </regions>")
+
+	// people/person — bidders and sellers.
+	fmt.Fprintln(bw, "  <people>")
+	for p := 0; p < c.People; p++ {
+		given := firstNames[r.Intn(len(firstNames))]
+		surname := lastNames[r.Intn(len(lastNames))]
+		city := teamCities[r.Intn(len(teamCities))]
+		fmt.Fprintf(bw, "    <person><name>%s %s</name><city>%s</city><rating>%d</rating></person>\n",
+			given, surname, city, r.Intn(100))
+	}
+	fmt.Fprintln(bw, "  </people>")
+
+	// auctions/auction — open auctions referencing items by words.
+	fmt.Fprintln(bw, "  <auctions>")
+	for a := 0; a < c.Auctions; a++ {
+		noun := auctionNouns[r.Intn(len(auctionNouns))]
+		bidder := lastNames[r.Intn(len(lastNames))]
+		fmt.Fprintf(bw, "    <auction><itemname>%s</itemname><highbidder>%s</highbidder><current>%d</current><bids>%d</bids></auction>\n",
+			noun, bidder, 20+r.Intn(2000), r.Intn(40))
+	}
+	fmt.Fprintln(bw, "  </auctions>")
+	fmt.Fprintln(bw, "</site>")
+	return bw.Flush()
+}
+
+// AuctionDocument generates and parses in one step.
+func AuctionDocument(cfg AuctionConfig) (*xmltree.Document, error) {
+	var b strings.Builder
+	if err := Auction(&b, cfg); err != nil {
+		return nil, err
+	}
+	return xmltree.ParseString(b.String(), nil)
+}

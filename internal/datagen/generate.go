@@ -1,0 +1,160 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"xrefine/internal/xmltree"
+)
+
+// DBLPConfig sizes a DBLP-like bibliography. The document shape is
+// bib/author/(name|publications/(inproceedings|article)/(title|booktitle|
+// year)|hobby), matching the paper's Figure 1 so that authors are the
+// document partitions and inproceedings/article are the entity-level
+// search-for types.
+type DBLPConfig struct {
+	// Authors is the number of author partitions; 0 means 200.
+	Authors int
+	// Seed makes generation deterministic.
+	Seed int64
+	// MaxPapers bounds the papers per author (1..MaxPapers); 0 means 8.
+	MaxPapers int
+	// ZipfS is the Zipf skew for title words; 0 means 1.3.
+	ZipfS float64
+}
+
+func (c DBLPConfig) withDefaults() DBLPConfig {
+	if c.Authors == 0 {
+		c.Authors = 200
+	}
+	if c.MaxPapers == 0 {
+		c.MaxPapers = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.3
+	}
+	return c
+}
+
+// DBLP writes a synthetic bibliography to w.
+func DBLP(w io.Writer, cfg DBLPConfig) error {
+	c := cfg.withDefaults()
+	r := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(r, c.ZipfS, 1, uint64(len(titleWords)-1))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "<bib>")
+	for a := 0; a < c.Authors; a++ {
+		name := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+		fmt.Fprintf(bw, "  <author>\n    <name>%s</name>\n    <publications>\n", name)
+		papers := 1 + r.Intn(c.MaxPapers)
+		for p := 0; p < papers; p++ {
+			tag := "inproceedings"
+			if r.Intn(4) == 0 {
+				tag = "article"
+			}
+			nWords := 3 + r.Intn(5)
+			words := make([]string, nWords)
+			for i := range words {
+				words[i] = titleWords[zipf.Uint64()]
+			}
+			venue := venues[r.Intn(len(venues))]
+			year := 1995 + r.Intn(13)
+			venueTag := "booktitle"
+			if tag == "article" {
+				venueTag = "journal"
+			}
+			fmt.Fprintf(bw, "      <%s>\n        <title>%s</title>\n        <%s>%s</%s>\n        <year>%d</year>\n      </%s>\n",
+				tag, strings.Join(words, " "), venueTag, venue, venueTag, year, tag)
+		}
+		fmt.Fprintln(bw, "    </publications>")
+		if r.Intn(5) == 0 {
+			fmt.Fprintf(bw, "    <hobby>%s</hobby>\n", hobbies[r.Intn(len(hobbies))])
+		}
+		fmt.Fprintln(bw, "  </author>")
+	}
+	fmt.Fprintln(bw, "</bib>")
+	return bw.Flush()
+}
+
+// BaseballConfig sizes a Baseball-like dataset with shape
+// season/league/division/team/(name|city|players/player/...).
+type BaseballConfig struct {
+	// Teams is the number of team elements; 0 means 30.
+	Teams int
+	// Seed makes generation deterministic.
+	Seed int64
+	// MaxPlayers bounds players per team; 0 means 25.
+	MaxPlayers int
+}
+
+func (c BaseballConfig) withDefaults() BaseballConfig {
+	if c.Teams == 0 {
+		c.Teams = 30
+	}
+	if c.MaxPlayers == 0 {
+		c.MaxPlayers = 25
+	}
+	return c
+}
+
+// Baseball writes a synthetic season dataset to w. Leagues are the
+// document partitions; team and player are the entity types.
+func Baseball(w io.Writer, cfg BaseballConfig) error {
+	c := cfg.withDefaults()
+	r := rand.New(rand.NewSource(c.Seed))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "<season>")
+	leagues := []string{"american", "national"}
+	divisions := []string{"east", "central", "west"}
+	perLeague := (c.Teams + 1) / 2
+	team := 0
+	for _, lg := range leagues {
+		fmt.Fprintf(bw, "  <league>\n    <name>%s</name>\n", lg)
+		for _, dv := range divisions {
+			fmt.Fprintf(bw, "    <division>\n      <name>%s</name>\n", dv)
+			perDiv := (perLeague + 2) / 3
+			for t := 0; t < perDiv && team < c.Teams; t++ {
+				city := teamCities[team%len(teamCities)]
+				nick := teamNicknames[team%len(teamNicknames)]
+				fmt.Fprintf(bw, "      <team>\n        <city>%s</city>\n        <nickname>%s</nickname>\n        <players>\n", city, nick)
+				players := 15 + r.Intn(c.MaxPlayers-14)
+				for p := 0; p < players; p++ {
+					given := firstNames[r.Intn(len(firstNames))]
+					surname := lastNames[r.Intn(len(lastNames))]
+					pos := positions[r.Intn(len(positions))]
+					avg := 180 + r.Intn(170) // batting average in thousandths
+					hr := r.Intn(45)
+					fmt.Fprintf(bw, "          <player>\n            <given>%s</given>\n            <surname>%s</surname>\n            <position>%s</position>\n            <avg>%d</avg>\n            <homeruns>%d</homeruns>\n          </player>\n",
+						given, surname, pos, avg, hr)
+				}
+				fmt.Fprintln(bw, "        </players>\n      </team>")
+				team++
+			}
+			fmt.Fprintln(bw, "    </division>")
+		}
+		fmt.Fprintln(bw, "  </league>")
+	}
+	fmt.Fprintln(bw, "</season>")
+	return bw.Flush()
+}
+
+// DBLPDocument generates and parses in one step.
+func DBLPDocument(cfg DBLPConfig) (*xmltree.Document, error) {
+	var b strings.Builder
+	if err := DBLP(&b, cfg); err != nil {
+		return nil, err
+	}
+	return xmltree.ParseString(b.String(), nil)
+}
+
+// BaseballDocument generates and parses in one step.
+func BaseballDocument(cfg BaseballConfig) (*xmltree.Document, error) {
+	var b strings.Builder
+	if err := Baseball(&b, cfg); err != nil {
+		return nil, err
+	}
+	return xmltree.ParseString(b.String(), nil)
+}

@@ -1,0 +1,344 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"xrefine/internal/lexicon"
+	"xrefine/internal/xmltree"
+)
+
+// Corruption labels how an intended query was damaged.
+type Corruption int
+
+const (
+	// CorruptTypo mutates letters of one term (spelling error).
+	CorruptTypo Corruption = iota
+	// CorruptSplit breaks one term in two (mistaken split).
+	CorruptSplit
+	// CorruptMerge concatenates two adjacent terms (mistaken merge).
+	CorruptMerge
+	// CorruptMismatch replaces a term with a synonym the data does not
+	// use (vocabulary mismatch, the paper's Example 1).
+	CorruptMismatch
+	// CorruptRestrict adds a term from an unrelated entity, making the
+	// query over-restrictive (the paper's Q4 scenario).
+	CorruptRestrict
+)
+
+// String names the corruption.
+func (c Corruption) String() string {
+	switch c {
+	case CorruptTypo:
+		return "typo"
+	case CorruptSplit:
+		return "split"
+	case CorruptMerge:
+		return "merge"
+	case CorruptMismatch:
+		return "mismatch"
+	case CorruptRestrict:
+		return "restrict"
+	}
+	return "unknown"
+}
+
+// AllCorruptions lists every corruption kind.
+var AllCorruptions = []Corruption{CorruptTypo, CorruptSplit, CorruptMerge, CorruptMismatch, CorruptRestrict}
+
+// Case is one workload query: a corrupted query with its known intent —
+// the ground truth the simulated relevance judges score against.
+type Case struct {
+	// Intended is the clean query, sampled from one entity subtree so it
+	// is guaranteed to have a meaningful co-occurrence.
+	Intended []string
+	// Corrupted is the query a careless user would type.
+	Corrupted []string
+	// Applied lists the corruption operations, in application order.
+	Applied []Corruption
+}
+
+// String renders the case compactly.
+func (c Case) String() string {
+	ops := make([]string, len(c.Applied))
+	for i, op := range c.Applied {
+		ops[i] = op.String()
+	}
+	return fmt.Sprintf("{%s} ~%s~> {%s}", strings.Join(c.Intended, ","), strings.Join(ops, "+"), strings.Join(c.Corrupted, ","))
+}
+
+// WorkloadConfig controls query sampling and corruption.
+type WorkloadConfig struct {
+	// Seed makes the workload deterministic.
+	Seed int64
+	// Queries is the number of cases; 0 means 50.
+	Queries int
+	// MinLen/MaxLen bound the intended query length; 0 means 2..4.
+	MinLen, MaxLen int
+	// Ops restricts the corruption kinds; empty means all.
+	Ops []Corruption
+	// OpsPerQuery applies that many corruptions per case; 0 means 1.
+	OpsPerQuery int
+	// EntityDepth is the minimum node-type depth an entity subtree must
+	// have to be sampled from; 0 means 2.
+	EntityDepth int
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Queries == 0 {
+		c.Queries = 50
+	}
+	if c.MinLen == 0 {
+		c.MinLen = 2
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 4
+	}
+	if c.MaxLen < c.MinLen {
+		c.MaxLen = c.MinLen
+	}
+	if len(c.Ops) == 0 {
+		c.Ops = AllCorruptions
+	}
+	if c.OpsPerQuery == 0 {
+		c.OpsPerQuery = 1
+	}
+	if c.EntityDepth == 0 {
+		c.EntityDepth = 2
+	}
+	return c
+}
+
+// Workload samples intended queries from entity subtrees of doc and
+// corrupts them. It returns an error when the document has no suitable
+// entities.
+func Workload(doc *xmltree.Document, cfg WorkloadConfig) ([]Case, error) {
+	c := cfg.withDefaults()
+	r := rand.New(rand.NewSource(c.Seed))
+	lex := lexicon.Builtin()
+
+	// Collect entity subtrees: nodes deep enough with enough distinct
+	// value terms (tag terms make poor query keywords for sampling).
+	// Along the way, track each term's occurrence count and home
+	// partition: over-restriction terms are drawn from rare terms of
+	// *other* partitions, so the restricted query reliably has no
+	// meaningful co-occurrence.
+	type entity struct {
+		terms []string
+		part  uint32 // partition ordinal (first Dewey component below root)
+	}
+	type termInfo struct {
+		count     int
+		part      uint32
+		multiPart bool
+	}
+	var entities []entity
+	terms := map[string]*termInfo{}
+	var allTerms []string
+	// Pass 1: term statistics over the whole document.
+	doc.Walk(func(n *xmltree.Node) bool {
+		part := uint32(0)
+		if len(n.ID) > 1 {
+			part = n.ID[1]
+		}
+		ws := n.Terms()
+		for i := 1; i < len(ws); i++ { // skip the tag term
+			w := ws[i]
+			ti := terms[w]
+			if ti == nil {
+				ti = &termInfo{part: part}
+				terms[w] = ti
+				allTerms = append(allTerms, w)
+			}
+			ti.count++
+			if ti.part != part {
+				ti.multiPart = true
+			}
+		}
+		return true
+	})
+	sort.Strings(allTerms)
+	// Pass 2: entity subtrees with their term sets.
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Type.Depth < c.EntityDepth {
+			return true
+		}
+		termSet := map[string]bool{}
+		var rec func(m *xmltree.Node)
+		rec = func(m *xmltree.Node) {
+			ts := m.Terms()
+			for i := 1; i < len(ts); i++ {
+				termSet[ts[i]] = true
+			}
+			for _, ch := range m.Children {
+				rec(ch)
+			}
+		}
+		rec(n)
+		if len(termSet) >= c.MaxLen {
+			ts := make([]string, 0, len(termSet))
+			for w := range termSet {
+				ts = append(ts, w)
+			}
+			sort.Strings(ts)
+			part := uint32(0)
+			if len(n.ID) > 1 {
+				part = n.ID[1]
+			}
+			entities = append(entities, entity{terms: ts, part: part})
+		}
+		return false // entities do not nest for sampling purposes
+	})
+	if len(entities) == 0 {
+		return nil, fmt.Errorf("datagen: no entity subtrees at depth >= %d with >= %d terms", c.EntityDepth, c.MaxLen)
+	}
+	// Restriction candidates: rare terms confined to a single partition.
+	// Adding one to a query sampled from a different partition makes the
+	// conjunction unsatisfiable anywhere below the root.
+	var restrictAll []string
+	for _, w := range allTerms {
+		ti := terms[w]
+		if !ti.multiPart && ti.count <= 3 {
+			restrictAll = append(restrictAll, w)
+		}
+	}
+	if len(restrictAll) == 0 {
+		restrictAll = allTerms // degenerate tiny documents
+	}
+
+	cases := make([]Case, 0, c.Queries)
+	for len(cases) < c.Queries {
+		ent := entities[r.Intn(len(entities))]
+		qLen := c.MinLen + r.Intn(c.MaxLen-c.MinLen+1)
+		if qLen > len(ent.terms) {
+			qLen = len(ent.terms)
+		}
+		perm := r.Perm(len(ent.terms))
+		intended := make([]string, qLen)
+		for i := 0; i < qLen; i++ {
+			intended[i] = ent.terms[perm[i]]
+		}
+		inEntity := map[string]bool{}
+		for _, w := range ent.terms {
+			inEntity[w] = true
+		}
+		pickRestrict := func() (string, bool) {
+			for tries := 0; tries < 64; tries++ {
+				w := restrictAll[r.Intn(len(restrictAll))]
+				if !inEntity[w] && terms[w].part != ent.part {
+					return w, true
+				}
+			}
+			return "", false
+		}
+		corrupted := append([]string(nil), intended...)
+		var applied []Corruption
+		for i := 0; i < c.OpsPerQuery; i++ {
+			op := c.Ops[r.Intn(len(c.Ops))]
+			next, ok := applyCorruption(r, lex, corrupted, op, pickRestrict)
+			if !ok {
+				continue
+			}
+			corrupted = next
+			applied = append(applied, op)
+		}
+		if len(applied) == 0 || sameStrings(corrupted, intended) {
+			continue // corruption was a no-op; resample
+		}
+		cases = append(cases, Case{Intended: intended, Corrupted: corrupted, Applied: applied})
+	}
+	return cases, nil
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyCorruption damages q with one operation; it reports failure when the
+// operation is inapplicable (e.g. no term long enough to split).
+func applyCorruption(r *rand.Rand, lex *lexicon.Lexicon, q []string, op Corruption, pickRestrict func() (string, bool)) ([]string, bool) {
+	out := append([]string(nil), q...)
+	switch op {
+	case CorruptTypo:
+		for _, i := range r.Perm(len(out)) {
+			w := out[i]
+			if len(w) < 4 {
+				continue
+			}
+			out[i] = typo(r, w)
+			return out, out[i] != w
+		}
+	case CorruptSplit:
+		for _, i := range r.Perm(len(out)) {
+			w := out[i]
+			if len(w) < 5 {
+				continue
+			}
+			cut := 2 + r.Intn(len(w)-3)
+			left, right := w[:cut], w[cut:]
+			res := append([]string(nil), out[:i]...)
+			res = append(res, left, right)
+			res = append(res, out[i+1:]...)
+			return res, true
+		}
+	case CorruptMerge:
+		if len(out) < 2 {
+			return nil, false
+		}
+		i := r.Intn(len(out) - 1)
+		res := append([]string(nil), out[:i]...)
+		res = append(res, out[i]+out[i+1])
+		res = append(res, out[i+2:]...)
+		return res, true
+	case CorruptMismatch:
+		for _, i := range r.Perm(len(out)) {
+			syns := lex.Synonyms(out[i])
+			if len(syns) == 0 {
+				continue
+			}
+			out[i] = syns[r.Intn(len(syns))].Other(out[i])
+			return out, true
+		}
+		// No synonym known for any term; substitute a generic
+		// mismatched vocabulary word instead.
+		i := r.Intn(len(out))
+		out[i] = "publication"
+		return out, true
+	case CorruptRestrict:
+		if w, ok := pickRestrict(); ok {
+			return append(out, w), true
+		}
+	}
+	return nil, false
+}
+
+// typo injects a realistic spelling error: transpose two adjacent letters,
+// drop a letter, or double one.
+func typo(r *rand.Rand, w string) string {
+	b := []byte(w)
+	switch r.Intn(3) {
+	case 0: // transpose
+		i := r.Intn(len(b) - 1)
+		if b[i] != b[i+1] {
+			b[i], b[i+1] = b[i+1], b[i]
+			return string(b)
+		}
+		fallthrough
+	case 1: // drop
+		i := r.Intn(len(b))
+		return string(append(b[:i:i], b[i+1:]...))
+	default: // double
+		i := r.Intn(len(b))
+		return string(b[:i]) + string(b[i]) + string(b[i:])
+	}
+}

@@ -1,0 +1,75 @@
+package dewey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromBytes feeds arbitrary bytes to the binary decoder: it must never
+// panic, and whenever it succeeds the re-encoding of the decoded label must
+// decode to the same label (the encoder is canonical, but the wide form can
+// also carry small components, so byte-level identity is not required).
+func FuzzFromBytes(f *testing.F) {
+	f.Add([]byte{0x01, 0x00})
+	f.Add([]byte{0xFF, 0x00, 0x00, 0x00, 0x7F, 0x00})
+	f.Add([]byte{0x00})
+	f.Add([]byte{})
+	f.Add(MustParse("0.1.2.300").Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, n, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := id.Bytes()
+		id2, _, err := FromBytes(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !Equal(id, id2) {
+			t.Fatalf("roundtrip changed label: %s vs %s", id, id2)
+		}
+	})
+}
+
+// FuzzParse checks the text parser never panics and roundtrips.
+func FuzzParse(f *testing.F) {
+	f.Add("0")
+	f.Add("0.1.2")
+	f.Add("0..1")
+	f.Add("-")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := Parse(s)
+		if err != nil {
+			return
+		}
+		id2, err := Parse(id.String())
+		if err != nil || !Equal(id, id2) {
+			t.Fatalf("roundtrip of %q failed: %v", s, err)
+		}
+	})
+}
+
+// FuzzCompareConsistency cross-checks Compare against the byte encoding on
+// arbitrary component slices.
+func FuzzCompareConsistency(f *testing.F) {
+	f.Add([]byte{0, 1}, []byte{0, 2})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) == 0 || len(b) == 0 {
+			return
+		}
+		ida := make(ID, len(a))
+		for i, v := range a {
+			ida[i] = uint32(v)
+		}
+		idb := make(ID, len(b))
+		for i, v := range b {
+			idb[i] = uint32(v)
+		}
+		if got, want := bytes.Compare(ida.Bytes(), idb.Bytes()), Compare(ida, idb); got != want {
+			t.Fatalf("encoding order %d != compare %d for %s vs %s", got, want, ida, idb)
+		}
+	})
+}

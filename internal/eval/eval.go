@@ -1,0 +1,250 @@
+// Package eval implements the effectiveness methodology of Section VIII-C:
+// Cumulated Gain evaluation (Järvelin & Kekäläinen [27]) over graded
+// relevance judgements on a four-point scale.
+//
+// The paper recruits six human judges. This reproduction substitutes a
+// simulated judge with access to ground truth the original study lacked:
+// every workload query is a *corruption* of a known intended query (see
+// datagen.Workload), so a refined query's relevance is measured by how well
+// its result set recovers the intended query's result set, mapped onto the
+// same 0-1-2-3 scale the paper uses ("moderate relevance scores, as our
+// users are assumed to be patient"). Per-judge noise models inter-judge
+// disagreement.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Relevance is the four-point scale of Section VIII-C.
+type Relevance int
+
+const (
+	// Irrelevant: no overlap with the intention.
+	Irrelevant Relevance = iota
+	// Marginal: few results partially match the intention.
+	Marginal
+	// Fair: some results fully match the intention.
+	Fair
+	// High: almost all results contain the intended topic.
+	High
+)
+
+// String names the grade.
+func (r Relevance) String() string {
+	switch r {
+	case Irrelevant:
+		return "irrelevant"
+	case Marginal:
+		return "marginally relevant"
+	case Fair:
+		return "fairly relevant"
+	case High:
+		return "highly relevant"
+	}
+	return "unknown"
+}
+
+// CG turns a gain vector into its cumulated gain vector:
+// CG[0] = G[0], CG[i] = CG[i-1] + G[i].
+func CG(gains []float64) []float64 {
+	out := make([]float64, len(gains))
+	acc := 0.0
+	for i, g := range gains {
+		acc += g
+		out[i] = acc
+	}
+	return out
+}
+
+// DCG computes the discounted variant of [27]: gains below rank b (the
+// paper's reference uses b = 2) are divided by log_b(rank), modeling user
+// patience decaying down the list. Ranks are 1-based; ranks 1 and 2 are
+// undiscounted for b = 2.
+func DCG(gains []float64, b float64) []float64 {
+	if b <= 1 {
+		b = 2
+	}
+	out := make([]float64, len(gains))
+	acc := 0.0
+	logB := math.Log(b)
+	for i, g := range gains {
+		rank := float64(i + 1)
+		if rank > b {
+			g /= math.Log(rank) / logB
+		}
+		acc += g
+		out[i] = acc
+	}
+	return out
+}
+
+// IdealGains returns the best possible gain vector of the given depth: all
+// positions at the highest grade. Used to normalize DCG into nDCG.
+func IdealGains(depth int) []float64 {
+	out := make([]float64, depth)
+	for i := range out {
+		out[i] = float64(High)
+	}
+	return out
+}
+
+// NDCG normalizes a DCG vector by the ideal DCG at the same depth,
+// yielding values in [0,1].
+func NDCG(gains []float64, b float64) []float64 {
+	dcg := DCG(gains, b)
+	ideal := DCG(IdealGains(len(gains)), b)
+	out := make([]float64, len(dcg))
+	for i := range dcg {
+		if ideal[i] > 0 {
+			out[i] = dcg[i] / ideal[i]
+		}
+	}
+	return out
+}
+
+// Judge is a simulated relevance assessor.
+type Judge struct {
+	noise float64
+	rnd   *rand.Rand
+}
+
+// NewJudges creates n deterministic judges. Noise is the probability a
+// judge shifts a grade by one point (either way), modeling disagreement;
+// the paper's judges agreed on rank-1 but differed below.
+func NewJudges(n int, seed int64, noise float64) []*Judge {
+	out := make([]*Judge, n)
+	for i := range out {
+		out[i] = &Judge{noise: noise, rnd: rand.New(rand.NewSource(seed + int64(i)*7919))}
+	}
+	return out
+}
+
+// F1 computes the balanced overlap of two result-identity sets.
+func F1(intended, got map[string]bool) float64 {
+	if len(intended) == 0 || len(got) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range got {
+		if intended[k] {
+			inter++
+		}
+	}
+	if inter == 0 {
+		return 0
+	}
+	p := float64(inter) / float64(len(got))
+	r := float64(inter) / float64(len(intended))
+	return 2 * p * r / (p + r)
+}
+
+// Score grades a refined query's result set against the intended result
+// set: F1 >= 0.8 is highly relevant, >= 0.45 fairly, > 0.05 marginally,
+// else irrelevant — then per-judge noise perturbs the grade.
+func (j *Judge) Score(intended, got map[string]bool) Relevance {
+	f1 := F1(intended, got)
+	var base Relevance
+	switch {
+	case f1 >= 0.8:
+		base = High
+	case f1 >= 0.45:
+		base = Fair
+	case f1 > 0.05:
+		base = Marginal
+	default:
+		base = Irrelevant
+	}
+	if j.noise > 0 && j.rnd.Float64() < j.noise {
+		if j.rnd.Intn(2) == 0 {
+			base++
+		} else {
+			base--
+		}
+		if base < Irrelevant {
+			base = Irrelevant
+		}
+		if base > High {
+			base = High
+		}
+	}
+	return base
+}
+
+// GainVector grades a ranked list of result sets, padding with zero gains
+// to depth so CG vectors of different queries align.
+func (j *Judge) GainVector(intended map[string]bool, ranked []map[string]bool, depth int) []float64 {
+	out := make([]float64, depth)
+	for i := 0; i < depth && i < len(ranked); i++ {
+		out[i] = float64(j.Score(intended, ranked[i]))
+	}
+	return out
+}
+
+// AverageCG averages the cumulated gain vectors of all judges for one
+// ranked list — the quantity Tables IX and X report (averaged again over
+// queries by the caller).
+func AverageCG(judges []*Judge, intended map[string]bool, ranked []map[string]bool, depth int) ([]float64, error) {
+	if len(judges) == 0 {
+		return nil, fmt.Errorf("eval: no judges")
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("eval: depth %d", depth)
+	}
+	acc := make([]float64, depth)
+	for _, j := range judges {
+		cg := CG(j.GainVector(intended, ranked, depth))
+		for i, v := range cg {
+			acc[i] += v
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(len(judges))
+	}
+	return acc, nil
+}
+
+// Rank1Agreement reports the fraction of judges who grade the rank-1
+// result set at least as relevant as every lower-ranked set — the paper's
+// "all 6 judges have an agreement that the rank-1 refined query is the
+// most appropriate refinement" made measurable.
+func Rank1Agreement(judges []*Judge, intended map[string]bool, ranked []map[string]bool) float64 {
+	if len(judges) == 0 || len(ranked) == 0 {
+		return 0
+	}
+	agree := 0
+	for _, j := range judges {
+		top := j.Score(intended, ranked[0])
+		best := true
+		for _, r := range ranked[1:] {
+			if j.Score(intended, r) > top {
+				best = false
+				break
+			}
+		}
+		if best {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(judges))
+}
+
+// MeanVectors averages equal-length vectors element-wise — the per-query
+// aggregation step of the effectiveness tables.
+func MeanVectors(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i := range out {
+			out[i] += v[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vs))
+	}
+	return out
+}

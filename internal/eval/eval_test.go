@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func set(keys ...string) map[string]bool {
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+func TestCG(t *testing.T) {
+	got := CG([]float64{3, 2, 0, 1})
+	want := []float64{3, 5, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CG = %v, want %v", got, want)
+		}
+	}
+	if len(CG(nil)) != 0 {
+		t.Error("CG(nil) nonempty")
+	}
+}
+
+func TestF1(t *testing.T) {
+	if f := F1(set("a", "b"), set("a", "b")); f != 1 {
+		t.Errorf("perfect F1 = %v", f)
+	}
+	if f := F1(set("a", "b"), set("c")); f != 0 {
+		t.Errorf("disjoint F1 = %v", f)
+	}
+	if f := F1(set(), set("a")); f != 0 {
+		t.Errorf("empty intended F1 = %v", f)
+	}
+	// precision 1, recall 0.5 -> F1 = 2/3
+	if f := F1(set("a", "b"), set("a")); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Errorf("partial F1 = %v", f)
+	}
+}
+
+func TestScoreGrades(t *testing.T) {
+	j := NewJudges(1, 1, 0)[0]
+	cases := []struct {
+		intended, got map[string]bool
+		want          Relevance
+	}{
+		{set("a", "b"), set("a", "b"), High},
+		{set("a", "b"), set("a"), Fair},                                                  // F1 = 2/3
+		{set("a", "b", "c", "d", "e", "f", "g", "h"), set("a", "x", "y", "z"), Marginal}, // F1 = 1/6
+		{set("a"), set("z"), Irrelevant},
+	}
+	for i, c := range cases {
+		if got := j.Score(c.intended, c.got); got != c.want {
+			t.Errorf("case %d: score = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestJudgeNoiseBounded(t *testing.T) {
+	judges := NewJudges(4, 5, 0.5)
+	for _, j := range judges {
+		for i := 0; i < 200; i++ {
+			s := j.Score(set("a"), set("a"))
+			if s < Irrelevant || s > High {
+				t.Fatalf("score out of scale: %v", s)
+			}
+		}
+	}
+}
+
+func TestJudgesDeterministic(t *testing.T) {
+	a := NewJudges(3, 42, 0.3)
+	b := NewJudges(3, 42, 0.3)
+	for i := range a {
+		for trial := 0; trial < 50; trial++ {
+			sa := a[i].Score(set("a", "b"), set("a"))
+			sb := b[i].Score(set("a", "b"), set("a"))
+			if sa != sb {
+				t.Fatal("same-seed judges disagree")
+			}
+		}
+	}
+}
+
+func TestGainVectorPadding(t *testing.T) {
+	j := NewJudges(1, 1, 0)[0]
+	g := j.GainVector(set("a"), []map[string]bool{set("a")}, 4)
+	if len(g) != 4 || g[0] != 3 || g[1] != 0 {
+		t.Errorf("gain vector = %v", g)
+	}
+}
+
+func TestAverageCG(t *testing.T) {
+	judges := NewJudges(6, 9, 0)
+	ranked := []map[string]bool{set("a", "b"), set("a"), set("z")}
+	cg, err := AverageCG(judges, set("a", "b"), ranked, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// noise-free judges agree: gains 3, 2, 0, 0 -> CG 3 5 5 5
+	want := []float64{3, 5, 5, 5}
+	for i := range want {
+		if math.Abs(cg[i]-want[i]) > 1e-12 {
+			t.Fatalf("CG = %v, want %v", cg, want)
+		}
+	}
+	// CG must be non-decreasing always.
+	for i := 1; i < len(cg); i++ {
+		if cg[i] < cg[i-1] {
+			t.Error("CG decreased")
+		}
+	}
+	if _, err := AverageCG(nil, set("a"), ranked, 4); err == nil {
+		t.Error("no judges accepted")
+	}
+	if _, err := AverageCG(judges, set("a"), ranked, 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestMeanVectors(t *testing.T) {
+	got := MeanVectors([][]float64{{2, 4}, {4, 8}})
+	if got[0] != 3 || got[1] != 6 {
+		t.Errorf("mean = %v", got)
+	}
+	if MeanVectors(nil) != nil {
+		t.Error("mean of nothing should be nil")
+	}
+}
+
+func TestRelevanceString(t *testing.T) {
+	names := map[Relevance]string{
+		Irrelevant: "irrelevant", Marginal: "marginally relevant",
+		Fair: "fairly relevant", High: "highly relevant", Relevance(9): "unknown",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestDCG(t *testing.T) {
+	gains := []float64{3, 2, 3, 0}
+	dcg := DCG(gains, 2)
+	// ranks 1,2 undiscounted; rank 3 divided by log2(3); rank 4 by log2(4).
+	want2 := 5.0
+	if math.Abs(dcg[1]-want2) > 1e-12 {
+		t.Errorf("DCG[2] = %v, want %v", dcg[1], want2)
+	}
+	want3 := 5 + 3/(math.Log(3)/math.Log(2))
+	if math.Abs(dcg[2]-want3) > 1e-12 {
+		t.Errorf("DCG[3] = %v, want %v", dcg[2], want3)
+	}
+	if dcg[3] != dcg[2] {
+		t.Error("zero gain changed DCG")
+	}
+	// Discounting never increases the cumulated value.
+	cg := CG(gains)
+	for i := range cg {
+		if dcg[i] > cg[i]+1e-12 {
+			t.Errorf("DCG[%d] = %v exceeds CG %v", i, dcg[i], cg[i])
+		}
+	}
+	// b <= 1 falls back to 2.
+	fallback := DCG(gains, 0)
+	for i := range fallback {
+		if fallback[i] != dcg[i] {
+			t.Error("fallback base differs")
+		}
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	perfect := NDCG(IdealGains(4), 2)
+	for i, v := range perfect {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("perfect nDCG[%d] = %v", i, v)
+		}
+	}
+	zero := NDCG([]float64{0, 0}, 2)
+	for _, v := range zero {
+		if v != 0 {
+			t.Errorf("zero nDCG = %v", v)
+		}
+	}
+	mixed := NDCG([]float64{3, 0}, 2)
+	if mixed[0] != 1 || mixed[1] >= 1 || mixed[1] <= 0 {
+		t.Errorf("mixed nDCG = %v", mixed)
+	}
+}
+
+func TestRank1Agreement(t *testing.T) {
+	judges := NewJudges(6, 1, 0)
+	intended := set("a", "b")
+	// rank-1 perfect, rank-2 partial: everyone agrees.
+	if got := Rank1Agreement(judges, intended, []map[string]bool{set("a", "b"), set("a")}); got != 1 {
+		t.Errorf("agreement = %v, want 1", got)
+	}
+	// rank-1 worse than rank-2: nobody agrees.
+	if got := Rank1Agreement(judges, intended, []map[string]bool{set("z"), set("a", "b")}); got != 0 {
+		t.Errorf("agreement = %v, want 0", got)
+	}
+	// degenerate inputs
+	if Rank1Agreement(nil, intended, []map[string]bool{set("a")}) != 0 {
+		t.Error("no judges should be 0")
+	}
+	if Rank1Agreement(judges, intended, nil) != 0 {
+		t.Error("no ranking should be 0")
+	}
+	// single-entry ranking: trivially agreed.
+	if got := Rank1Agreement(judges, intended, []map[string]bool{set("z")}); got != 1 {
+		t.Errorf("single entry agreement = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/datagen"
+	"xrefine/internal/eval"
+	"xrefine/internal/rank"
+	"xrefine/internal/searchfor"
+	"xrefine/internal/slca"
+)
+
+// This file holds ablations beyond the paper's own tables, probing the
+// design choices DESIGN.md calls out: the dissimilarity decay constant
+// (the paper asserts "ρ=0.8 is a good choice" without printing the sweep),
+// the search-for confidence threshold θ behind Guideline 3, and the cost
+// of each pluggable SLCA algorithm inside the partition framework
+// (Lemma 3 guarantees identical *results*; this measures the *time*).
+
+// AblationDecay sweeps the Guideline-4 decay base and reports CG@1..4 —
+// the experiment behind the paper's "ρ=0.8" assertion.
+func AblationDecay(c *Corpus, numQueries int) ([]CGRow, error) {
+	var variants []rankingVariant
+	for _, p := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		m := rank.Default()
+		m.Decay = p
+		variants = append(variants, rankingVariant{Name: fmt.Sprintf("p=%.2g", p), Model: m})
+	}
+	return cgTable(c, variants, numQueries, 4)
+}
+
+// SearchForRow is one point of the search-for threshold ablation.
+type SearchForRow struct {
+	Theta float64
+	// AvgCandidates is the mean number of search-for candidates per
+	// query at this threshold.
+	AvgCandidates float64
+	// CG is CG@1..4 of the full ranking model.
+	CG []float64
+}
+
+// AblationSearchFor sweeps the candidate threshold θ of Formula 1's
+// candidate selection (Guideline 3 admits types with "comparable"
+// confidence; θ quantifies comparable).
+func AblationSearchFor(c *Corpus, numQueries int) ([]SearchForRow, error) {
+	cases, err := c.Workload(datagen.WorkloadConfig{Seed: 4321, Queries: numQueries * 3})
+	if err != nil {
+		return nil, err
+	}
+	judges := eval.NewJudges(6, 99, 0.15)
+	var rows []SearchForRow
+	for _, theta := range []float64{0.5, 0.7, 0.8, 0.9, 0.99} {
+		cfg := &core.Config{SearchFor: searchfor.Options{Threshold: theta}}
+		eng := core.NewFromIndex(c.Index, cfg)
+		var vectors [][]float64
+		candTotal, candQueries := 0, 0
+		used := 0
+		for _, cs := range cases {
+			if used >= numQueries {
+				break
+			}
+			resp, err := eng.QueryTerms(cs.Corrupted, core.StrategyPartition, 4)
+			if err != nil {
+				return nil, err
+			}
+			if !resp.NeedRefine || len(resp.Queries) == 0 {
+				continue
+			}
+			used++
+			candTotal += len(resp.SearchFor)
+			candQueries++
+			intended, err := intendedResults(c, cs.Intended)
+			if err != nil {
+				return nil, err
+			}
+			if len(intended) == 0 {
+				continue
+			}
+			ranked := make([]map[string]bool, 0, len(resp.Queries))
+			for _, q := range resp.Queries {
+				set := map[string]bool{}
+				for _, m := range q.Results {
+					set[m.ID.String()] = true
+				}
+				ranked = append(ranked, set)
+			}
+			cg, err := eval.AverageCG(judges, intended, ranked, 4)
+			if err != nil {
+				return nil, err
+			}
+			vectors = append(vectors, cg)
+		}
+		row := SearchForRow{Theta: theta, CG: eval.MeanVectors(vectors)}
+		if candQueries > 0 {
+			row.AvgCandidates = float64(candTotal) / float64(candQueries)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SLCARow is one point of the SLCA-plugin cost ablation.
+type SLCARow struct {
+	Algo      slca.Algorithm
+	Partition time.Duration
+}
+
+// AblationSLCA times the partition-based Top-3 refinement with each
+// pluggable SLCA algorithm over the same batch. Lemma 3 says the results
+// are identical (a property test asserts it); this reports the price.
+func AblationSLCA(c *Corpus, batchSize, reps int) ([]SLCARow, error) {
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 909, Queries: batchSize})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SLCARow
+	for _, algo := range []slca.Algorithm{
+		slca.AlgoScanEager, slca.AlgoIndexedLookupEager, slca.AlgoStack, slca.AlgoMultiway,
+	} {
+		eng := core.NewFromIndex(c.Index, &core.Config{SLCA: algo})
+		d, err := timeIt(reps, func() error {
+			for _, cs := range batch {
+				if _, err := eng.QueryTerms(cs.Corrupted, core.StrategyPartition, 3); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SLCARow{Algo: algo, Partition: d})
+	}
+	return rows, nil
+}

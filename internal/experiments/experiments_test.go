@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"testing"
+
+	"xrefine/internal/datagen"
+)
+
+// The test corpus is a tenth of the full evaluation corpus; the runners
+// must behave identically, just faster.
+func testCorpus(t testing.TB) *Corpus {
+	t.Helper()
+	c, err := DBLPCorpus(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusCaching(t *testing.T) {
+	a, err := DBLPCorpus(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DBLPCorpus(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("corpus not cached")
+	}
+	if _, err := DBLPCorpus(0); err == nil {
+		t.Error("invalid scale accepted")
+	}
+	bb, err := BaseballCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Doc.Root.Tag != "season" {
+		t.Error("baseball corpus malformed")
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	c := testCorpus(t)
+	samples, err := SampleQueries(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 16 { // 3 per operation + 4 mixed
+		t.Fatalf("samples = %d, want 16", len(samples))
+	}
+	ops := map[string]int{}
+	for _, s := range samples {
+		ops[s.Op]++
+		if len(s.Terms) == 0 || len(s.Intended) == 0 {
+			t.Errorf("sample %s incomplete", s.ID)
+		}
+	}
+	for _, op := range []string{"deletion", "merging", "split", "substitution"} {
+		if ops[op] != 3 {
+			t.Errorf("op %s has %d samples", op, ops[op])
+		}
+	}
+	if ops["mixed"] != 4 {
+		t.Errorf("mixed samples = %d", ops["mixed"])
+	}
+}
+
+func TestTables3to6(t *testing.T) {
+	c := testCorpus(t)
+	tables, err := Tables3to6(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	suggested := 0
+	for op, rows := range tables {
+		if len(rows) != 3 {
+			t.Errorf("%s rows = %d", op, len(rows))
+		}
+		for _, r := range rows {
+			if len(r.Suggested) > 0 {
+				suggested++
+				if r.ResultSize == 0 {
+					t.Errorf("%s %s: suggestion %v with zero results", op, r.ID, r.Suggested)
+				}
+			}
+		}
+	}
+	// The vast majority of corrupted queries must receive a suggestion.
+	if suggested < 9 {
+		t.Errorf("only %d of 12 queries got suggestions", suggested)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := Fig4(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.StackRefine <= 0 || r.SLE <= 0 || r.Partition <= 0 || r.StackSLCA < 0 || r.ScanSLCA < 0 {
+			t.Errorf("%s: non-positive timing %+v", r.ID, r)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	c := testCorpus(t)
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 8, Queries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Fig5(c, batch, []int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].K != 1 || rows[1].K != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Partition <= 0 || r.SLE <= 0 {
+			t.Errorf("K=%d: non-positive timings", r.K)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	rows, err := Fig6([]float64{0.02, 0.04}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Nodes >= rows[1].Nodes {
+		t.Error("scales not increasing in size")
+	}
+}
+
+func TestTable7(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := Table7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no Table VII rows")
+	}
+	for _, r := range rows {
+		if len(r.RQs) == 0 || len(r.RQs) > 4 {
+			t.Errorf("%s: %d RQs", r.ID, len(r.RQs))
+		}
+		for i := 1; i < len(r.RQs); i++ {
+			if r.RQs[i-1].Score < r.RQs[i].Score {
+				t.Errorf("%s: RQs not rank-ordered", r.ID)
+			}
+		}
+		for _, rq := range r.RQs {
+			if rq.Results == 0 {
+				t.Errorf("%s: RQ %v without results", r.ID, rq.Keywords)
+			}
+		}
+	}
+}
+
+func TestTable8(t *testing.T) {
+	c := testCorpus(t)
+	t8, pool, err := BuildTable8(c, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.PoolSize != 30 {
+		t.Errorf("pool size = %d", t8.PoolSize)
+	}
+	if t8.AvgLen < 2 || t8.AvgLen > 6 {
+		t.Errorf("avg len = %v", t8.AvgLen)
+	}
+	if t8.NeedRefine == 0 {
+		t.Error("no queries needed refinement — the workload is broken")
+	}
+	if t8.Refinable > t8.NeedRefine || len(pool) != t8.Refinable {
+		t.Errorf("refinable bookkeeping wrong: %+v pool=%d", t8, len(pool))
+	}
+	if len(t8.ByCorruption) == 0 {
+		t.Error("corruption histogram empty")
+	}
+}
+
+func TestTable9And10(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := Table9(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Model != "RS0" {
+		t.Fatalf("table9 rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if len(r.CG) != 4 {
+			t.Fatalf("%s: CG depth %d", r.Model, len(r.CG))
+		}
+		for i := 1; i < 4; i++ {
+			if r.CG[i] < r.CG[i-1]-1e-9 {
+				t.Errorf("%s: CG decreases: %v", r.Model, r.CG)
+			}
+		}
+	}
+	if rows[0].CG[3] <= 0 {
+		t.Error("RS0 found nothing relevant at depth 4")
+	}
+	rows10, err := Table10(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows10) != 5 || rows10[0].Model != "[1,1]" {
+		t.Fatalf("table10 rows = %+v", rows10)
+	}
+}
+
+func TestFig4Verified(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := Fig4(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s: strategies disagree on minimum dissimilarity", r.ID)
+		}
+	}
+}

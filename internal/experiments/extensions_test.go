@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+func TestAblationBeam(t *testing.T) {
+	rows, err := AblationBeam(40, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if !r.OptimalAlways {
+			t.Errorf("beam factor %d lost the exact optimum", r.BeamFactor)
+		}
+		if r.Recall <= 0 || r.Recall > 1 {
+			t.Errorf("recall = %v", r.Recall)
+		}
+		// Wider beams never reduce recall.
+		if i > 0 && r.Recall < rows[i-1].Recall-1e-9 {
+			t.Errorf("recall dropped from beam %d to %d: %v -> %v",
+				rows[i-1].BeamFactor, r.BeamFactor, rows[i-1].Recall, r.Recall)
+		}
+	}
+	// The widest beam should be near-perfect on these small instances.
+	if last := rows[len(rows)-1]; last.Recall < 0.9 {
+		t.Errorf("beam factor %d recall only %v", last.BeamFactor, last.Recall)
+	}
+}
+
+func TestCompareELCA(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := CompareELCA(c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	for _, r := range rows {
+		if r.ELCA < r.SLCA {
+			t.Errorf("%v: ELCA %d < SLCA %d", r.Query, r.ELCA, r.SLCA)
+		}
+		if r.SLCA == 0 {
+			t.Errorf("%v: intended query has no SLCA", r.Query)
+		}
+	}
+}

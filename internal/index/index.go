@@ -1,0 +1,330 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/xmltree"
+)
+
+// typeStat accumulates the frequent-table row of one (keyword, type) pair.
+type typeStat struct {
+	df uint32 // f_k^T: T-typed nodes whose subtree contains k
+	tf uint32 // tf(k,T): occurrences of k within T-typed subtrees
+}
+
+// kwEntry is everything the index knows about one keyword.
+type kwEntry struct {
+	list    *List
+	listLen uint32           // posting count, known without loading the list
+	stats   map[int]typeStat // keyed by type ID
+}
+
+// Index is the complete access structure for one document: inverted lists
+// plus the statistics tables of Section VII. It is immutable after Build or
+// Load and safe for concurrent readers (the co-occurrence cache has its own
+// lock).
+type Index struct {
+	// Types is the node-type registry of the indexed document.
+	Types *xmltree.Registry
+	// Root is the Dewey label of the document root (always dewey.Root()).
+	Root dewey.ID
+	// NodeCount is the total number of indexed nodes.
+	NodeCount int
+
+	mu       sync.Mutex // guards terms map when lists load lazily, and coCache
+	terms    map[string]*kwEntry
+	loader   func(term string) (*List, error) // nil for fully-resident indexes
+	nt       []uint32                         // N_T per type ID
+	gt       []uint32                         // G_T per type ID
+	coCache  map[coKey]int
+	partRoot []dewey.ID // document partition roots in order
+}
+
+type coKey struct {
+	a, b   string
+	typeID int
+}
+
+// Build constructs the index from a parsed document with a single
+// document-order walk (the "multiple traversal" of the paper collapses to
+// one pass because every statistic here is prefix-incremental).
+func Build(doc *xmltree.Document) *Index {
+	ix := &Index{
+		Types:     doc.Types,
+		Root:      dewey.Root(),
+		NodeCount: doc.NodeCount,
+		terms:     make(map[string]*kwEntry),
+		coCache:   make(map[coKey]int),
+	}
+	ix.nt = make([]uint32, doc.Types.Len())
+	type buildState struct {
+		*kwEntry
+		postings []Posting
+		lastID   dewey.ID // previous posting, for new-subtree-root detection
+	}
+	states := make(map[string]*buildState)
+	doc.Walk(func(n *xmltree.Node) bool {
+		ix.nt[n.Type.ID]++
+		terms := n.Terms()
+		if len(terms) == 0 {
+			return true
+		}
+		// tf: every occurrence counts once per ancestor-or-self type.
+		ancestors := make([]*xmltree.Type, 0, n.Type.Depth+1)
+		for t := n.Type; t != nil; t = t.Parent {
+			ancestors = append(ancestors, t)
+		}
+		seen := make(map[string]bool, len(terms))
+		for _, term := range terms {
+			st := states[term]
+			if st == nil {
+				st = &buildState{kwEntry: &kwEntry{stats: make(map[int]typeStat)}}
+				states[term] = st
+			}
+			for _, t := range ancestors {
+				row := st.stats[t.ID]
+				row.tf++
+				st.stats[t.ID] = row
+			}
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			// df: ancestor roots not shared with the previous posting
+			// of this term are newly-containing subtrees.
+			shared := 0
+			if st.lastID != nil {
+				shared = dewey.LCALen(st.lastID, n.ID)
+			}
+			for depth := shared; depth <= n.Type.Depth; depth++ {
+				t := ancestors[len(ancestors)-1-depth] // ancestors is self..root
+				row := st.stats[t.ID]
+				row.df++
+				st.stats[t.ID] = row
+			}
+			st.lastID = n.ID
+			st.postings = append(st.postings, Posting{ID: n.ID, Type: n.Type})
+		}
+		return true
+	})
+	for term, st := range states {
+		st.kwEntry.list = NewList(term, st.postings)
+		st.kwEntry.listLen = uint32(len(st.postings))
+		ix.terms[term] = st.kwEntry
+	}
+	ix.gt = make([]uint32, doc.Types.Len())
+	for _, e := range ix.terms {
+		for tid := range e.stats {
+			ix.gt[tid]++
+		}
+	}
+	for _, p := range doc.Partitions() {
+		ix.partRoot = append(ix.partRoot, p.ID)
+	}
+	return ix
+}
+
+// HasTerm reports whether the keyword occurs anywhere in the document.
+func (ix *Index) HasTerm(term string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	_, ok := ix.terms[term]
+	return ok
+}
+
+// List returns the inverted list of term, or an empty list when the term
+// does not occur. Lists load lazily on disk-backed indexes.
+func (ix *Index) List(term string) (*List, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e, ok := ix.terms[term]
+	if !ok {
+		return &List{Term: term}, nil
+	}
+	if e.list == nil {
+		if ix.loader == nil {
+			return nil, fmt.Errorf("index: list for %q missing and no loader", term)
+		}
+		l, err := ix.loader(term)
+		if err != nil {
+			return nil, fmt.Errorf("index: load list %q: %w", term, err)
+		}
+		e.list = l
+	}
+	return e.list, nil
+}
+
+// ListLen returns the posting count of term without forcing a lazy list
+// load (the frequent table carries the length).
+func (ix *Index) ListLen(term string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	e, ok := ix.terms[term]
+	if !ok {
+		return 0
+	}
+	if e.list != nil {
+		return e.list.Len()
+	}
+	return int(e.listLen)
+}
+
+// Vocabulary returns every indexed term in lexicographic order.
+func (ix *Index) Vocabulary() []string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make([]string, 0, len(ix.terms))
+	for t := range ix.terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DF returns the XML document frequency f_k^T (Definition 3.2).
+func (ix *Index) DF(term string, t *xmltree.Type) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if e, ok := ix.terms[term]; ok {
+		return int(e.stats[t.ID].df)
+	}
+	return 0
+}
+
+// TF returns tf(k,T): the number of occurrences of term within subtrees
+// rooted at T-typed nodes.
+func (ix *Index) TF(term string, t *xmltree.Type) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if e, ok := ix.terms[term]; ok {
+		return int(e.stats[t.ID].tf)
+	}
+	return 0
+}
+
+// NT returns N_T, the number of T-typed nodes.
+func (ix *Index) NT(t *xmltree.Type) int { return int(ix.nt[t.ID]) }
+
+// GT returns G_T, the number of distinct keywords within T-typed subtrees.
+func (ix *Index) GT(t *xmltree.Type) int { return int(ix.gt[t.ID]) }
+
+// PartitionRoots returns the Dewey labels of the document partitions
+// (Definition 6.1) in document order.
+func (ix *Index) PartitionRoots() []dewey.ID { return ix.partRoot }
+
+// CoDF returns the co-occurrence frequency f_{a,b}^T: the number of T-typed
+// nodes whose subtree contains both keywords. The paper materializes an
+// O(K^2 * T) table at parse time; this implementation computes entries on
+// demand from the two inverted lists (a sorted merge over subtree roots)
+// and memoizes them, which is the same table realized lazily.
+func (ix *Index) CoDF(a, b string, t *xmltree.Type) (int, error) {
+	if a > b {
+		a, b = b, a
+	}
+	key := coKey{a: a, b: b, typeID: t.ID}
+	ix.mu.Lock()
+	if v, ok := ix.coCache[key]; ok {
+		ix.mu.Unlock()
+		return v, nil
+	}
+	ix.mu.Unlock()
+	la, err := ix.List(a)
+	if err != nil {
+		return 0, err
+	}
+	lb, err := ix.List(b)
+	if err != nil {
+		return 0, err
+	}
+	v := coOccurringRoots(la, lb, t)
+	ix.mu.Lock()
+	ix.coCache[key] = v
+	ix.mu.Unlock()
+	return v, nil
+}
+
+// coOccurringRoots counts distinct T-typed subtree roots containing
+// postings from both lists. Both lists are in document order, so the
+// T-typed ancestor roots of each list are non-decreasing and the count is a
+// single sorted merge with on-the-fly dedup.
+func coOccurringRoots(la, lb *List, t *xmltree.Type) int {
+	rootsA := typedRoots(la, t)
+	rootsB := typedRoots(lb, t)
+	i, j, count := 0, 0, 0
+	for i < len(rootsA) && j < len(rootsB) {
+		switch dewey.Compare(rootsA[i], rootsB[j]) {
+		case -1:
+			i++
+		case 1:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// typedRoots maps each posting to its T-typed ancestor root (when its path
+// passes through type t) and dedups consecutive repeats.
+func typedRoots(l *List, t *xmltree.Type) []dewey.ID {
+	var roots []dewey.ID
+	depth := t.Depth
+	for _, p := range l.Postings() {
+		if p.Type.Depth < depth {
+			continue
+		}
+		at, err := p.Type.AncestorAt(depth)
+		if err != nil || at != t {
+			continue
+		}
+		root := p.ID[:depth+1]
+		if len(roots) > 0 && dewey.Equal(roots[len(roots)-1], root) {
+			continue
+		}
+		roots = append(roots, root.Clone())
+	}
+	return roots
+}
+
+// CompleteByPrefix returns up to k indexed terms starting with prefix,
+// most frequent first — the datasource behind search-as-you-type
+// completion. The vocabulary is consulted in sorted order, so the prefix
+// range is two binary searches plus a scan of the matching block.
+func (ix *Index) CompleteByPrefix(prefix string, k int) []string {
+	if prefix == "" || k < 1 {
+		return nil
+	}
+	vocab := ix.Vocabulary()
+	lo := sort.SearchStrings(vocab, prefix)
+	type tf struct {
+		term string
+		n    int
+	}
+	var hits []tf
+	for i := lo; i < len(vocab) && strings.HasPrefix(vocab[i], prefix); i++ {
+		hits = append(hits, tf{term: vocab[i], n: ix.ListLen(vocab[i])})
+	}
+	sort.SliceStable(hits, func(a, b int) bool {
+		if hits[a].n != hits[b].n {
+			return hits[a].n > hits[b].n
+		}
+		return hits[a].term < hits[b].term
+	})
+	if len(hits) == 0 {
+		return nil
+	}
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.term
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package index builds and serves the access structures of Section VII of
+// the paper: keyword inverted lists (document-ordered <DeweyID, prefixPath>
+// postings), the frequent table (XML document frequency f_k^T and term
+// frequency tf(k,T) per keyword and node type, plus N_T and G_T), and the
+// co-occurrence frequency table f_{ki,kj}^T. Indexes build in memory from a
+// parsed document and persist into the embedded kvstore (the repository's
+// Berkeley DB substitute), from which posting lists load lazily per keyword
+// so query processing touches only the lists it scans.
+package index
+
+import (
+	"sort"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/xmltree"
+)
+
+// Posting is one inverted-list entry: a node containing the keyword in its
+// tag or value, with its interned node type (the paper's prefixPath).
+type Posting struct {
+	ID   dewey.ID
+	Type *xmltree.Type
+}
+
+// List is a keyword's inverted list in document order. Lists are immutable
+// after construction and safe for concurrent use.
+type List struct {
+	Term     string
+	postings []Posting
+}
+
+// NewList builds a list from postings that must already be in document
+// order; it panics if they are not, because every algorithm downstream
+// silently corrupts otherwise.
+func NewList(term string, postings []Posting) *List {
+	for i := 1; i < len(postings); i++ {
+		if dewey.Compare(postings[i-1].ID, postings[i].ID) >= 0 {
+			panic("index: postings out of document order for " + term)
+		}
+	}
+	return &List{Term: term, postings: postings}
+}
+
+// Len returns the number of postings.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.postings)
+}
+
+// At returns the i-th posting in document order.
+func (l *List) At(i int) Posting { return l.postings[i] }
+
+// SeekGE returns the index of the first posting with ID >= d, or Len().
+func (l *List) SeekGE(d dewey.ID) int {
+	if l == nil {
+		return 0
+	}
+	return sort.Search(len(l.postings), func(i int) bool {
+		return dewey.Compare(l.postings[i].ID, d) >= 0
+	})
+}
+
+// SeekGT returns the index of the first posting with ID > d, or Len().
+func (l *List) SeekGT(d dewey.ID) int {
+	if l == nil {
+		return 0
+	}
+	return sort.Search(len(l.postings), func(i int) bool {
+		return dewey.Compare(l.postings[i].ID, d) > 0
+	})
+}
+
+// Range returns the half-open index interval [start, end) of postings whose
+// IDs fall in the Dewey interval [lo, hi).
+func (l *List) Range(lo, hi dewey.ID) (int, int) {
+	return l.SeekGE(lo), l.SeekGE(hi)
+}
+
+// InSubtree returns the index interval of postings inside the subtree
+// rooted at root (self included).
+func (l *List) InSubtree(root dewey.ID) (int, int) {
+	return l.Range(root, root.Next())
+}
+
+// HasInSubtree reports whether any posting lies in root's subtree; this is
+// the random-access probe of the short-list eager algorithm (Algorithm 3).
+func (l *List) HasInSubtree(root dewey.ID) bool {
+	s, e := l.InSubtree(root)
+	return s < e
+}
+
+// Slice returns a view of the postings in [start, end). The backing array
+// is shared; callers must not mutate postings.
+func (l *List) Slice(start, end int) []Posting { return l.postings[start:end] }
+
+// Postings returns the whole list under the same sharing contract as Slice.
+func (l *List) Postings() []Posting { return l.postings }
+
+// LM returns the rightmost posting with ID <= d (the paper's lm(v,S) match
+// function from XKSearch) and false when no posting precedes d.
+func (l *List) LM(d dewey.ID) (Posting, bool) {
+	i := l.SeekGT(d)
+	if i == 0 {
+		return Posting{}, false
+	}
+	return l.postings[i-1], true
+}
+
+// RM returns the leftmost posting with ID >= d (the rm(v,S) match function)
+// and false when no posting follows d.
+func (l *List) RM(d dewey.ID) (Posting, bool) {
+	i := l.SeekGE(d)
+	if i == len(l.postings) {
+		return Posting{}, false
+	}
+	return l.postings[i], true
+}

@@ -1,0 +1,342 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/xmltree"
+)
+
+// On-disk layout inside the kvstore (all keys are byte strings; '\x00'
+// separates components so terms cannot collide with structure):
+//
+//	M\x00types                  node-type registry
+//	M\x00doc                    document-level stats (N_T, G_T, partitions)
+//	F\x00<term>                 frequent-table row: list length + per-type df/tf
+//	L\x00<term>\x00<chunk BE32> posting-list chunk, delta-encoded
+//
+// Posting lists are chunked to respect the store's quarter-page cell bound;
+// chunks load lazily and concatenate in key order, which is chunk order.
+const (
+	metaTypesKey = "M\x00types"
+	metaDocKey   = "M\x00doc"
+	freqPrefix   = "F\x00"
+	listPrefix   = "L\x00"
+)
+
+// chunkBudget caps encoded chunk payloads comfortably under the kvstore's
+// quarter-page cell limit for the default page size.
+const chunkBudget = 768
+
+// Save writes the whole index into the store and commits. Posting lists of
+// a lazily-loaded index are forced resident first.
+func (ix *Index) Save(s *kvstore.Store) error {
+	if err := s.Put([]byte(metaTypesKey), ix.Types.Marshal()); err != nil {
+		return err
+	}
+	if err := s.Put([]byte(metaDocKey), ix.encodeDocMeta()); err != nil {
+		return err
+	}
+	for _, term := range ix.Vocabulary() {
+		l, err := ix.List(term)
+		if err != nil {
+			return err
+		}
+		ix.mu.Lock()
+		e := ix.terms[term]
+		row := encodeFreqRow(uint32(l.Len()), e.stats)
+		ix.mu.Unlock()
+		if err := s.Put(freqKey(term), row); err != nil {
+			return fmt.Errorf("index: save freq %q: %w", term, err)
+		}
+		if err := saveChunks(s, term, l); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+func freqKey(term string) []byte { return append([]byte(freqPrefix), term...) }
+
+func listChunkKey(term string, chunk uint32) []byte {
+	k := append([]byte(listPrefix), term...)
+	k = append(k, 0)
+	var be [4]byte
+	binary.BigEndian.PutUint32(be[:], chunk)
+	return append(k, be[:]...)
+}
+
+func (ix *Index) encodeDocMeta() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(ix.NodeCount))
+	b = binary.AppendUvarint(b, uint64(len(ix.nt)))
+	for _, v := range ix.nt {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	for _, v := range ix.gt {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	// Partition roots are always 0.0 .. 0.(F-1); the fanout F suffices.
+	b = binary.AppendUvarint(b, uint64(len(ix.partRoot)))
+	return b
+}
+
+func decodeDocMeta(ix *Index, b []byte) error {
+	r := bytes.NewReader(b)
+	nodeCount, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("index: doc meta: %w", err)
+	}
+	ix.NodeCount = int(nodeCount)
+	nTypes, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	if int(nTypes) != ix.Types.Len() {
+		return fmt.Errorf("index: doc meta lists %d types, registry has %d", nTypes, ix.Types.Len())
+	}
+	ix.nt = make([]uint32, nTypes)
+	ix.gt = make([]uint32, nTypes)
+	for i := range ix.nt {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		ix.nt[i] = uint32(v)
+	}
+	for i := range ix.gt {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		ix.gt[i] = uint32(v)
+	}
+	nParts, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nParts; i++ {
+		ix.partRoot = append(ix.partRoot, dewey.Root().Child(uint32(i)))
+	}
+	return nil
+}
+
+func encodeFreqRow(listLen uint32, stats map[int]typeStat) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(listLen))
+	b = binary.AppendUvarint(b, uint64(len(stats)))
+	// Deterministic order: ascending type ID.
+	ids := make([]int, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	for _, id := range ids {
+		st := stats[id]
+		b = binary.AppendUvarint(b, uint64(id))
+		b = binary.AppendUvarint(b, uint64(st.df))
+		b = binary.AppendUvarint(b, uint64(st.tf))
+	}
+	return b
+}
+
+func decodeFreqRow(b []byte) (uint32, map[int]typeStat, error) {
+	r := bytes.NewReader(b)
+	listLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	stats := make(map[int]typeStat, n)
+	for i := 0; i < int(n); i++ {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		df, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		tf, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		stats[int(id)] = typeStat{df: uint32(df), tf: uint32(tf)}
+	}
+	return uint32(listLen), stats, nil
+}
+
+// saveChunks writes a posting list as delta-encoded chunks.
+func saveChunks(s *kvstore.Store, term string, l *List) error {
+	var buf []byte
+	chunk := uint32(0)
+	var prev dewey.ID
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := s.Put(listChunkKey(term, chunk), buf); err != nil {
+			return fmt.Errorf("index: save chunk %d of %q: %w", chunk, term, err)
+		}
+		chunk++
+		buf = buf[:0]
+		prev = nil // each chunk is self-contained
+		return nil
+	}
+	for i := 0; i < l.Len(); i++ {
+		p := l.At(i)
+		shared := 0
+		if prev != nil {
+			shared = dewey.LCALen(prev, p.ID)
+		}
+		var cell []byte
+		cell = binary.AppendUvarint(cell, uint64(shared))
+		cell = binary.AppendUvarint(cell, uint64(len(p.ID)-shared))
+		for _, c := range p.ID[shared:] {
+			cell = binary.AppendUvarint(cell, uint64(c))
+		}
+		cell = binary.AppendUvarint(cell, uint64(p.Type.ID))
+		if len(buf)+len(cell) > chunkBudget {
+			if err := flush(); err != nil {
+				return err
+			}
+			// Re-encode without delta against the flushed chunk.
+			cell = cell[:0]
+			cell = binary.AppendUvarint(cell, 0)
+			cell = binary.AppendUvarint(cell, uint64(len(p.ID)))
+			for _, c := range p.ID {
+				cell = binary.AppendUvarint(cell, uint64(c))
+			}
+			cell = binary.AppendUvarint(cell, uint64(p.Type.ID))
+		}
+		buf = append(buf, cell...)
+		prev = p.ID
+	}
+	return flush()
+}
+
+// loadChunks reads and concatenates every chunk of a term's posting list.
+func loadChunks(s *kvstore.Store, types *xmltree.Registry, term string) (*List, error) {
+	prefix := append([]byte(listPrefix), term...)
+	prefix = append(prefix, 0)
+	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	var postings []Posting
+	var decodeErr error
+	err := s.Range(prefix, end, func(k, v []byte) bool {
+		var prev dewey.ID
+		r := bytes.NewReader(v)
+		for r.Len() > 0 {
+			shared, err := binary.ReadUvarint(r)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			extra, err := binary.ReadUvarint(r)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			if int(shared) > len(prev) {
+				decodeErr = fmt.Errorf("index: chunk of %q: shared %d > prev %d", term, shared, len(prev))
+				return false
+			}
+			id := make(dewey.ID, 0, int(shared)+int(extra))
+			id = append(id, prev[:shared]...)
+			for i := 0; i < int(extra); i++ {
+				c, err := binary.ReadUvarint(r)
+				if err != nil {
+					decodeErr = err
+					return false
+				}
+				id = append(id, uint32(c))
+			}
+			tid, err := binary.ReadUvarint(r)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			t, ok := types.ByID(int(tid))
+			if !ok {
+				decodeErr = fmt.Errorf("index: chunk of %q names unknown type %d", term, tid)
+				return false
+			}
+			if len(postings) > 0 && dewey.Compare(postings[len(postings)-1].ID, id) >= 0 {
+				decodeErr = fmt.Errorf("index: chunk of %q out of document order", term)
+				return false
+			}
+			postings = append(postings, Posting{ID: id, Type: t})
+			prev = id
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	return NewList(term, postings), nil
+}
+
+// Load opens an index previously written with Save. Statistics load
+// eagerly (they are small and every query ranking touches them); posting
+// lists load lazily per keyword on first List call.
+func Load(s *kvstore.Store) (*Index, error) {
+	raw, ok, err := s.Get([]byte(metaTypesKey))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("index: store has no type registry (not an index?)")
+	}
+	types, err := xmltree.UnmarshalRegistry(raw)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		Types:   types,
+		Root:    dewey.Root(),
+		terms:   make(map[string]*kwEntry),
+		coCache: make(map[coKey]int),
+	}
+	docRaw, ok, err := s.Get([]byte(metaDocKey))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("index: store has no document metadata")
+	}
+	if err := decodeDocMeta(ix, docRaw); err != nil {
+		return nil, err
+	}
+	// Frequent table: one row per term.
+	fEnd := []byte{freqPrefix[0], 1} // '\x01' > '\x00' separator
+	var rowErr error
+	err = s.Range([]byte(freqPrefix), fEnd, func(k, v []byte) bool {
+		term := string(k[len(freqPrefix):])
+		listLen, stats, err := decodeFreqRow(v)
+		if err != nil {
+			rowErr = fmt.Errorf("index: freq row %q: %w", term, err)
+			return false
+		}
+		ix.terms[term] = &kwEntry{listLen: listLen, stats: stats}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rowErr != nil {
+		return nil, rowErr
+	}
+	ix.loader = func(term string) (*List, error) { return loadChunks(s, types, term) }
+	return ix, nil
+}
+
+func sortInts(a []int) { sort.Ints(a) }

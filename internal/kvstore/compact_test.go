@@ -1,0 +1,121 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompactTo(t *testing.T) {
+	dir := t.TempDir()
+	src, err := Open(filepath.Join(dir, "src.kv"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// Lots of churn: inserts, overwrites, deletes, intermediate commits.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 500; i++ {
+			if err := src.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d-%d", i, round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := src.Delete([]byte(fmt.Sprintf("k%04d", i*5))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := src.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dstPath := filepath.Join(dir, "dst.kv")
+	if err := src.CompactTo(dstPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Open(dstPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if dst.Len() != src.Len() {
+		t.Fatalf("Len: %d vs %d", dst.Len(), src.Len())
+	}
+	// Every pair identical, in order.
+	srcC, dstC := src.Cursor(), dst.Cursor()
+	srcC.First()
+	dstC.First()
+	for srcC.Valid() {
+		if !dstC.Valid() {
+			t.Fatal("compacted store ran out early")
+		}
+		if string(srcC.Key()) != string(dstC.Key()) || string(srcC.Value()) != string(dstC.Value()) {
+			t.Fatalf("mismatch: %q=%q vs %q=%q", srcC.Key(), srcC.Value(), dstC.Key(), dstC.Value())
+		}
+		srcC.Next()
+		dstC.Next()
+	}
+	if dstC.Valid() {
+		t.Fatal("compacted store has extra keys")
+	}
+	// The compacted file must be no larger and have no free pages.
+	ss, ds := src.Stats(), dst.Stats()
+	if ds.FileSize > ss.FileSize {
+		t.Errorf("compacted file grew: %d > %d", ds.FileSize, ss.FileSize)
+	}
+	if ds.FreePages != 0 {
+		t.Errorf("compacted store has %d free pages", ds.FreePages)
+	}
+}
+
+func TestCompactToErrors(t *testing.T) {
+	dir := t.TempDir()
+	src, err := Open(filepath.Join(dir, "src.kv"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// existing target rejected
+	exist := filepath.Join(dir, "exists.kv")
+	other, err := Open(exist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Close()
+	if err := src.CompactTo(exist, nil); err == nil {
+		t.Error("existing target accepted")
+	}
+	// read-only options rejected
+	if err := src.CompactTo(filepath.Join(dir, "ro.kv"), &Options{ReadOnly: true}); err == nil {
+		t.Error("read-only target accepted")
+	}
+}
+
+func TestCompactToDifferentPageSize(t *testing.T) {
+	dir := t.TempDir()
+	src, err := Open(filepath.Join(dir, "src.kv"), &Options{PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 300; i++ {
+		if err := src.Put([]byte(fmt.Sprintf("key%05d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dstPath := filepath.Join(dir, "small.kv")
+	if err := src.CompactTo(dstPath, &Options{PageSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Open(dstPath, &Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if dst.Len() != 300 {
+		t.Fatalf("Len = %d", dst.Len())
+	}
+}

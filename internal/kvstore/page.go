@@ -1,0 +1,213 @@
+// Package kvstore implements an embedded, ordered, persistent key-value
+// store: a page-based copy-on-write B+tree in a single file. It fills the
+// role Berkeley DB plays in the paper's Section VII — durable storage for
+// keyword inverted lists and the statistics tables, with O(log n) ordered
+// lookup and range scans — without any dependency outside the standard
+// library.
+//
+// Design notes:
+//
+//   - Copy-on-write shadow paging: mutations never overwrite live pages;
+//     a commit writes all new pages, syncs, then atomically publishes the
+//     new root through the checksummed meta page. A crash before the meta
+//     write leaves the previous committed tree intact.
+//   - Pages freed by COW become reusable only after the commit that made
+//     them unreachable. The free list is not persisted; Open rebuilds it
+//     with a reachability scan from the root, which also verifies basic
+//     structural integrity.
+//   - Deletion is lazy: pages may become underfull and are only removed
+//     when empty (the strategy used by several production stores); the
+//     workload here is build-once/read-many, so rebalancing on delete
+//     would buy nothing.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// DefaultPageSize is the page size used unless Options overrides it.
+	DefaultPageSize = 4096
+	// minPageSize keeps the cell-size arithmetic sane.
+	minPageSize = 512
+
+	pageLeaf   = byte(1)
+	pageBranch = byte(2)
+
+	metaMagic   = uint32(0x58524b56) // "XRKV"
+	metaVersion = uint32(1)
+	metaPageID  = uint32(0)
+)
+
+// node is the decoded in-memory form of a tree page.
+type node struct {
+	id     uint32
+	isLeaf bool
+	keys   [][]byte
+	vals   [][]byte // leaf only; len == len(keys)
+	// children holds child page IDs for branch nodes; len == len(keys)+1.
+	// children[i] covers keys < keys[i]; the last child covers the rest.
+	children []uint32
+	dirty    bool
+}
+
+// size returns the encoded size of the node in bytes.
+func (n *node) size() int {
+	sz := 3 // type byte + nkeys
+	if n.isLeaf {
+		for i, k := range n.keys {
+			sz += 4 + len(k) + len(n.vals[i])
+		}
+	} else {
+		sz += 4 // leftmost child
+		for _, k := range n.keys {
+			sz += 6 + len(k)
+		}
+	}
+	return sz
+}
+
+// cellSize returns the encoded size of a single leaf cell.
+func cellSize(key, value []byte) int { return 4 + len(key) + len(value) }
+
+// encode serializes the node into a page buffer of length pageSize.
+func (n *node) encode(pageSize int) ([]byte, error) {
+	if n.size() > pageSize {
+		return nil, fmt.Errorf("kvstore: node %d overflows page: %d > %d", n.id, n.size(), pageSize)
+	}
+	buf := make([]byte, pageSize)
+	if n.isLeaf {
+		buf[0] = pageLeaf
+	} else {
+		buf[0] = pageBranch
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	off := 3
+	if n.isLeaf {
+		for i, k := range n.keys {
+			v := n.vals[i]
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+			binary.LittleEndian.PutUint16(buf[off+2:], uint16(len(v)))
+			off += 4
+			off += copy(buf[off:], k)
+			off += copy(buf[off:], v)
+		}
+	} else {
+		binary.LittleEndian.PutUint32(buf[off:], n.children[0])
+		off += 4
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+			binary.LittleEndian.PutUint32(buf[off+2:], n.children[i+1])
+			off += 6
+			off += copy(buf[off:], k)
+		}
+	}
+	return buf, nil
+}
+
+// decodeNode parses a page buffer into a node.
+func decodeNode(id uint32, buf []byte) (*node, error) {
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("kvstore: page %d truncated", id)
+	}
+	n := &node{id: id}
+	switch buf[0] {
+	case pageLeaf:
+		n.isLeaf = true
+	case pageBranch:
+	default:
+		return nil, fmt.Errorf("kvstore: page %d has bad type %d", id, buf[0])
+	}
+	nkeys := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := 3
+	bad := func() error { return fmt.Errorf("kvstore: page %d corrupt", id) }
+	if n.isLeaf {
+		n.keys = make([][]byte, 0, nkeys)
+		n.vals = make([][]byte, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			if off+4 > len(buf) {
+				return nil, bad()
+			}
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			vl := int(binary.LittleEndian.Uint16(buf[off+2:]))
+			off += 4
+			if off+kl+vl > len(buf) {
+				return nil, bad()
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			off += kl
+			n.vals = append(n.vals, append([]byte(nil), buf[off:off+vl]...))
+			off += vl
+		}
+	} else {
+		if off+4 > len(buf) {
+			return nil, bad()
+		}
+		n.children = append(n.children, binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		n.keys = make([][]byte, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			if off+6 > len(buf) {
+				return nil, bad()
+			}
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			child := binary.LittleEndian.Uint32(buf[off+2:])
+			off += 6
+			if off+kl > len(buf) {
+				return nil, bad()
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			n.children = append(n.children, child)
+			off += kl
+		}
+	}
+	return n, nil
+}
+
+// meta is the store header kept in page 0.
+type meta struct {
+	pageSize  uint32
+	rootID    uint32 // 0 when the store is empty
+	pageCount uint32 // number of allocated pages including meta
+	kvCount   uint64
+}
+
+// encodeMeta writes the header with a trailing CRC so a torn meta write is
+// detectable.
+func encodeMeta(m meta, pageSize int) []byte {
+	buf := make([]byte, pageSize)
+	binary.LittleEndian.PutUint32(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:], metaVersion)
+	binary.LittleEndian.PutUint32(buf[8:], m.pageSize)
+	binary.LittleEndian.PutUint32(buf[12:], m.rootID)
+	binary.LittleEndian.PutUint32(buf[16:], m.pageCount)
+	binary.LittleEndian.PutUint64(buf[20:], m.kvCount)
+	binary.LittleEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	return buf
+}
+
+func decodeMeta(buf []byte) (meta, error) {
+	var m meta
+	if len(buf) < 32 {
+		return m, fmt.Errorf("kvstore: meta page truncated")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return m, fmt.Errorf("kvstore: bad magic (not a kvstore file)")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != metaVersion {
+		return m, fmt.Errorf("kvstore: unsupported version %d", v)
+	}
+	if crc := binary.LittleEndian.Uint32(buf[28:]); crc != crc32.ChecksumIEEE(buf[:28]) {
+		return m, fmt.Errorf("kvstore: meta checksum mismatch")
+	}
+	m.pageSize = binary.LittleEndian.Uint32(buf[8:])
+	m.rootID = binary.LittleEndian.Uint32(buf[12:])
+	m.pageCount = binary.LittleEndian.Uint32(buf[16:])
+	m.kvCount = binary.LittleEndian.Uint64(buf[20:])
+	if m.pageSize < minPageSize {
+		return m, fmt.Errorf("kvstore: implausible page size %d", m.pageSize)
+	}
+	return m, nil
+}

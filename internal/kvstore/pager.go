@@ -1,0 +1,98 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// pager abstracts raw page IO so the store runs identically against a file
+// or anonymous memory (tests, benchmarks, throwaway indexes).
+type pager interface {
+	read(id uint32) ([]byte, error)
+	write(id uint32, data []byte) error
+	sync() error
+	close() error
+}
+
+type filePager struct {
+	f        *os.File
+	pageSize int
+}
+
+func newFilePager(path string, pageSize int, readOnly bool) (*filePager, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if readOnly {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	return &filePager{f: f, pageSize: pageSize}, nil
+}
+
+func (p *filePager) read(id uint32) ([]byte, error) {
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("kvstore: read page %d: %w", id, err)
+	}
+	return buf, nil
+}
+
+func (p *filePager) write(id uint32, data []byte) error {
+	if len(data) != p.pageSize {
+		return fmt.Errorf("kvstore: write page %d: bad length %d", id, len(data))
+	}
+	if _, err := p.f.WriteAt(data, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("kvstore: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *filePager) sync() error  { return p.f.Sync() }
+func (p *filePager) close() error { return p.f.Close() }
+
+// memPager keeps pages in a map; used by NewMem.
+type memPager struct {
+	pages    map[uint32][]byte
+	pageSize int
+}
+
+func newMemPager(pageSize int) *memPager {
+	return &memPager{pages: make(map[uint32][]byte), pageSize: pageSize}
+}
+
+func (p *memPager) read(id uint32) ([]byte, error) {
+	b, ok := p.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: read unallocated page %d", id)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (p *memPager) write(id uint32, data []byte) error {
+	if len(data) != p.pageSize {
+		return fmt.Errorf("kvstore: write page %d: bad length %d", id, len(data))
+	}
+	p.pages[id] = append([]byte(nil), data...)
+	return nil
+}
+
+func (p *memPager) sync() error  { return nil }
+func (p *memPager) close() error { return nil }
+
+// fileSize returns the current file length for the stats report; the mem
+// pager reports the sum of page sizes.
+func pagerSize(p pager) int64 {
+	switch pp := p.(type) {
+	case *filePager:
+		st, err := pp.f.Stat()
+		if err != nil {
+			return -1
+		}
+		return st.Size()
+	case *memPager:
+		return int64(len(pp.pages)) * int64(pp.pageSize)
+	}
+	return -1
+}

@@ -1,0 +1,616 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Options configure Open.
+type Options struct {
+	// PageSize must be a power-of-two-ish size >= 512; 0 means
+	// DefaultPageSize. It is fixed at creation and verified on reopen.
+	PageSize int
+	// ReadOnly opens the file without write access; Put/Delete/Commit
+	// fail with ErrReadOnly.
+	ReadOnly bool
+	// CacheSize bounds the number of clean decoded pages kept in memory;
+	// 0 means 8192 pages. Dirty pages are always retained until commit.
+	CacheSize int
+}
+
+// ErrReadOnly is returned by mutating operations on a read-only store.
+var ErrReadOnly = errors.New("kvstore: store is read-only")
+
+// ErrTooLarge is returned when a key/value pair cannot fit a quarter page,
+// the bound that guarantees node splits always make progress.
+var ErrTooLarge = errors.New("kvstore: key/value too large for page size")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Store is an ordered key-value store backed by a copy-on-write B+tree.
+// It is safe for concurrent readers; writes are serialized internally.
+// Uncommitted mutations live only in memory until Commit.
+type Store struct {
+	mu sync.RWMutex
+	// cacheMu serializes cache population by concurrent readers; the
+	// write path holds mu exclusively and so never races with readers.
+	cacheMu  sync.Mutex
+	pager    pager
+	pageSize int
+	readOnly bool
+	closed   bool
+
+	rootID    uint32
+	pageCount uint32
+	kvCount   uint64
+
+	cache     map[uint32]*node
+	cacheMax  int
+	freeIDs   []uint32
+	pendFree  []uint32
+	committed bool // true when the in-memory state matches disk
+}
+
+// MaxKV returns the largest key+value payload the store accepts.
+func (s *Store) MaxKV() int { return s.pageSize/4 - 4 }
+
+// NewMem returns a store backed by anonymous memory. Commit is a no-op
+// flush; Close discards everything.
+func NewMem() *Store {
+	return &Store{
+		pager:     newMemPager(DefaultPageSize),
+		pageSize:  DefaultPageSize,
+		pageCount: 1, // meta
+		cache:     make(map[uint32]*node),
+		cacheMax:  1 << 30, // memory store keeps everything decoded
+		committed: true,
+	}
+}
+
+// Open opens or creates a store file.
+func Open(path string, opts *Options) (*Store, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PageSize < minPageSize {
+		return nil, fmt.Errorf("kvstore: page size %d below minimum %d", o.PageSize, minPageSize)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 8192
+	}
+	fp, err := newFilePager(path, o.PageSize, o.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		pager:     fp,
+		pageSize:  o.PageSize,
+		readOnly:  o.ReadOnly,
+		cache:     make(map[uint32]*node),
+		cacheMax:  o.CacheSize,
+		committed: true,
+	}
+	st, err := fp.f.Stat()
+	if err != nil {
+		fp.close()
+		return nil, fmt.Errorf("kvstore: stat: %w", err)
+	}
+	if st.Size() == 0 {
+		if o.ReadOnly {
+			fp.close()
+			return nil, errors.New("kvstore: empty file opened read-only")
+		}
+		s.pageCount = 1
+		if err := s.writeMeta(); err != nil {
+			fp.close()
+			return nil, err
+		}
+		if err := fp.sync(); err != nil {
+			fp.close()
+			return nil, err
+		}
+		return s, nil
+	}
+	raw, err := fp.read(metaPageID)
+	if err != nil {
+		fp.close()
+		return nil, err
+	}
+	m, err := decodeMeta(raw)
+	if err != nil {
+		fp.close()
+		return nil, err
+	}
+	if int(m.pageSize) != o.PageSize {
+		fp.close()
+		return nil, fmt.Errorf("kvstore: file page size %d != requested %d", m.pageSize, o.PageSize)
+	}
+	s.rootID = m.rootID
+	s.pageCount = m.pageCount
+	s.kvCount = m.kvCount
+	if err := s.rebuildFreeList(); err != nil {
+		fp.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuildFreeList scans reachability from the root; every allocated page
+// that is not reachable (and not the meta page) is free. The scan doubles
+// as a structural integrity check.
+func (s *Store) rebuildFreeList() error {
+	reachable := make(map[uint32]bool, s.pageCount)
+	reachable[metaPageID] = true
+	if s.rootID != 0 {
+		var walk func(id uint32) error
+		walk = func(id uint32) error {
+			if id == 0 || id >= s.pageCount {
+				return fmt.Errorf("kvstore: page %d out of bounds (count %d)", id, s.pageCount)
+			}
+			if reachable[id] {
+				return fmt.Errorf("kvstore: page %d reached twice (cycle or shared page)", id)
+			}
+			reachable[id] = true
+			n, err := s.load(id)
+			if err != nil {
+				return err
+			}
+			if n.isLeaf {
+				return nil
+			}
+			for _, c := range n.children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(s.rootID); err != nil {
+			return err
+		}
+	}
+	s.freeIDs = s.freeIDs[:0]
+	for id := uint32(1); id < s.pageCount; id++ {
+		if !reachable[id] {
+			s.freeIDs = append(s.freeIDs, id)
+		}
+	}
+	return nil
+}
+
+// load returns the decoded node for id, reading and caching it on demand.
+func (s *Store) load(id uint32) (*node, error) {
+	if n, ok := s.cache[id]; ok {
+		return n, nil
+	}
+	raw, err := s.pager.read(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(id, raw)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheAdd(n)
+	return n, nil
+}
+
+func (s *Store) cacheAdd(n *node) {
+	if len(s.cache) >= s.cacheMax {
+		// Evict an arbitrary clean page. Go map iteration order is
+		// effectively random, which is good enough for this cache.
+		for id, c := range s.cache {
+			if !c.dirty {
+				delete(s.cache, id)
+				break
+			}
+		}
+	}
+	s.cache[n.id] = n
+}
+
+// alloc returns a fresh page ID, reusing committed-free pages first.
+func (s *Store) alloc() uint32 {
+	if n := len(s.freeIDs); n > 0 {
+		id := s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+		return id
+	}
+	id := s.pageCount
+	s.pageCount++
+	return id
+}
+
+// modifiable returns a dirty node the caller may mutate: n itself when it
+// is already dirty, otherwise a COW clone under a fresh page ID (the old
+// page is freed after the next commit).
+func (s *Store) modifiable(n *node) *node {
+	if n.dirty {
+		return n
+	}
+	c := &node{
+		id:       s.alloc(),
+		isLeaf:   n.isLeaf,
+		keys:     append([][]byte(nil), n.keys...),
+		dirty:    true,
+		children: append([]uint32(nil), n.children...),
+	}
+	if n.isLeaf {
+		c.vals = append([][]byte(nil), n.vals...)
+	}
+	s.pendFree = append(s.pendFree, n.id)
+	s.cache[c.id] = c
+	return c
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if s.rootID == 0 {
+		return nil, false, nil
+	}
+	id := s.rootID
+	for {
+		n, err := s.loadLocked(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.isLeaf {
+			i, found := n.search(key)
+			if !found {
+				return nil, false, nil
+			}
+			return append([]byte(nil), n.vals[i]...), true, nil
+		}
+		id = n.children[n.route(key)]
+	}
+}
+
+// loadLocked is load for paths that hold only the read lock: the cache map
+// is not safe for concurrent mutation, so reader-side population goes
+// through cacheMu.
+func (s *Store) loadLocked(id uint32) (*node, error) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.load(id)
+}
+
+// search finds key in a leaf: (position, found).
+func (n *node) search(key []byte) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return i, true
+	}
+	return i, false
+}
+
+// route picks the child index covering key in a branch node.
+func (n *node) route(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+}
+
+// Put stores value under key, replacing any previous value.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.readOnly:
+		return ErrReadOnly
+	case len(key) == 0:
+		return errors.New("kvstore: empty key")
+	case cellSize(key, value) > s.pageSize/4:
+		return fmt.Errorf("%w: %d+%d bytes, max payload %d", ErrTooLarge, len(key), len(value), s.MaxKV())
+	}
+	s.committed = false
+	if s.rootID == 0 {
+		root := &node{id: s.alloc(), isLeaf: true, dirty: true}
+		s.cache[root.id] = root
+		s.rootID = root.id
+	}
+	newRoot, sep, right, err := s.insert(s.rootID, key, value)
+	if err != nil {
+		return err
+	}
+	if right != 0 {
+		root := &node{
+			id:       s.alloc(),
+			keys:     [][]byte{sep},
+			children: []uint32{newRoot, right},
+			dirty:    true,
+		}
+		s.cache[root.id] = root
+		newRoot = root.id
+	}
+	s.rootID = newRoot
+	return nil
+}
+
+// insert adds key/value below page id, returning the (possibly COW-moved)
+// page ID plus a separator and right sibling when the node split.
+func (s *Store) insert(id uint32, key, value []byte) (uint32, []byte, uint32, error) {
+	n, err := s.load(id)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	n = s.modifiable(n)
+	if n.isLeaf {
+		i, found := n.search(key)
+		if found {
+			n.vals[i] = append([]byte(nil), value...)
+		} else {
+			n.keys = insertBytes(n.keys, i, append([]byte(nil), key...))
+			n.vals = insertBytes(n.vals, i, append([]byte(nil), value...))
+			s.kvCount++
+		}
+	} else {
+		ci := n.route(key)
+		newChild, sep, right, err := s.insert(n.children[ci], key, value)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		n.children[ci] = newChild
+		if right != 0 {
+			n.keys = insertBytes(n.keys, ci, sep)
+			n.children = insertUint32(n.children, ci+1, right)
+		}
+	}
+	if n.size() <= s.pageSize {
+		return n.id, nil, 0, nil
+	}
+	sep, rightID := s.split(n)
+	return n.id, sep, rightID, nil
+}
+
+// split divides an overfull dirty node roughly in half by encoded size and
+// returns the separator key and new right sibling ID.
+func (s *Store) split(n *node) ([]byte, uint32) {
+	// Find the split index m: keys[0:m] stay left.
+	half := n.size() / 2
+	acc := 0
+	m := 0
+	for i, k := range n.keys {
+		if n.isLeaf {
+			acc += cellSize(k, n.vals[i])
+		} else {
+			acc += 6 + len(k)
+		}
+		if acc >= half {
+			m = i + 1
+			break
+		}
+	}
+	if m <= 0 {
+		m = 1
+	}
+	if m >= len(n.keys) {
+		m = len(n.keys) - 1
+	}
+	right := &node{id: s.alloc(), isLeaf: n.isLeaf, dirty: true}
+	var sep []byte
+	if n.isLeaf {
+		sep = append([]byte(nil), n.keys[m]...)
+		right.keys = append(right.keys, n.keys[m:]...)
+		right.vals = append(right.vals, n.vals[m:]...)
+		n.keys = n.keys[:m]
+		n.vals = n.vals[:m]
+	} else {
+		// The middle key moves up; it is kept in neither side.
+		sep = n.keys[m]
+		right.keys = append(right.keys, n.keys[m+1:]...)
+		right.children = append(right.children, n.children[m+1:]...)
+		n.keys = n.keys[:m]
+		n.children = n.children[:m+1]
+	}
+	s.cache[right.id] = right
+	return sep, right.id
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return false, ErrClosed
+	case s.readOnly:
+		return false, ErrReadOnly
+	}
+	if s.rootID == 0 {
+		return false, nil
+	}
+	s.committed = false
+	newRoot, deleted, empty, err := s.remove(s.rootID, key)
+	if err != nil {
+		return false, err
+	}
+	if empty {
+		s.pendFree = append(s.pendFree, newRoot)
+		s.rootID = 0
+		return deleted, nil
+	}
+	s.rootID = newRoot
+	// Collapse a root branch chain with single children.
+	for {
+		n, err := s.load(s.rootID)
+		if err != nil {
+			return deleted, err
+		}
+		if n.isLeaf || len(n.children) > 1 {
+			break
+		}
+		s.pendFree = append(s.pendFree, n.id)
+		delete(s.cache, n.id)
+		s.rootID = n.children[0]
+	}
+	return deleted, nil
+}
+
+// remove deletes key below page id; it returns the possibly-moved page ID,
+// whether the key existed, and whether the node is now empty.
+func (s *Store) remove(id uint32, key []byte) (uint32, bool, bool, error) {
+	n, err := s.load(id)
+	if err != nil {
+		return 0, false, false, err
+	}
+	if n.isLeaf {
+		i, found := n.search(key)
+		if !found {
+			return n.id, false, len(n.keys) == 0, nil
+		}
+		n = s.modifiable(n)
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		s.kvCount--
+		return n.id, true, len(n.keys) == 0, nil
+	}
+	ci := n.route(key)
+	newChild, deleted, childEmpty, err := s.remove(n.children[ci], key)
+	if err != nil {
+		return 0, false, false, err
+	}
+	if !deleted && newChild == n.children[ci] {
+		return n.id, false, false, nil
+	}
+	n = s.modifiable(n)
+	n.children[ci] = newChild
+	if childEmpty {
+		s.pendFree = append(s.pendFree, newChild)
+		delete(s.cache, newChild)
+		n.children = append(n.children[:ci], n.children[ci+1:]...)
+		ki := ci
+		if ki >= len(n.keys) {
+			ki = len(n.keys) - 1
+		}
+		if ki >= 0 {
+			n.keys = append(n.keys[:ki], n.keys[ki+1:]...)
+		}
+	}
+	return n.id, deleted, len(n.children) == 0, nil
+}
+
+func insertBytes(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertUint32(s []uint32, i int, v uint32) []uint32 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Commit writes every dirty page, syncs, then publishes the new root via
+// the meta page. After a successful commit, pages freed by COW become
+// reusable.
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.readOnly:
+		return ErrReadOnly
+	case s.committed:
+		return nil
+	}
+	for id, n := range s.cache {
+		if !n.dirty {
+			continue
+		}
+		buf, err := n.encode(s.pageSize)
+		if err != nil {
+			return err
+		}
+		if err := s.pager.write(id, buf); err != nil {
+			return err
+		}
+	}
+	if err := s.pager.sync(); err != nil {
+		return err
+	}
+	if err := s.writeMeta(); err != nil {
+		return err
+	}
+	if err := s.pager.sync(); err != nil {
+		return err
+	}
+	for _, n := range s.cache {
+		n.dirty = false
+	}
+	s.freeIDs = append(s.freeIDs, s.pendFree...)
+	s.pendFree = s.pendFree[:0]
+	s.committed = true
+	return nil
+}
+
+func (s *Store) writeMeta() error {
+	m := meta{
+		pageSize:  uint32(s.pageSize),
+		rootID:    s.rootID,
+		pageCount: s.pageCount,
+		kvCount:   s.kvCount,
+	}
+	return s.pager.write(metaPageID, encodeMeta(m, s.pageSize))
+}
+
+// Close commits pending changes (when writable) and releases the file.
+func (s *Store) Close() error {
+	if !s.readOnly {
+		if err := s.Commit(); err != nil && !errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.pager.close()
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int(s.kvCount)
+}
+
+// Stats describes the physical state of the store.
+type Stats struct {
+	Keys      int
+	Pages     int
+	FreePages int
+	FileSize  int64
+	PageSize  int
+}
+
+// Stats returns physical storage statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Keys:      int(s.kvCount),
+		Pages:     int(s.pageCount),
+		FreePages: len(s.freeIDs) + len(s.pendFree),
+		FileSize:  pagerSize(s.pager),
+		PageSize:  s.pageSize,
+	}
+}

@@ -1,0 +1,249 @@
+// Package lexicon supplies the semantic knowledge behind synonym and
+// acronym refinement rules. The paper sources synonym dissimilarity from
+// WordNet and acronym tables from manual annotation (Section III-B); this
+// package substitutes an embedded, extensible dictionary covering the
+// bibliographic and sports domains of the evaluation datasets, with the
+// same per-pair dissimilarity scoring.
+package lexicon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xrefine/internal/tokenize"
+)
+
+// Synonym links two terms with a dissimilarity score (lower = closer in
+// meaning). Scores follow the paper's Table II convention: 1 for close
+// synonyms, larger for weaker relatedness.
+type Synonym struct {
+	A, B  string
+	Score float64
+}
+
+// Acronym expands a short form into its multi-term expansion; the paper
+// designates a fixed dissimilarity of 1 for acronym expansion.
+type Acronym struct {
+	Short     string
+	Expansion []string
+}
+
+// Lexicon is a symmetric synonym store plus an acronym table.
+type Lexicon struct {
+	syn map[string][]Synonym // keyed by either side, canonical order inside
+	acr map[string]Acronym   // keyed by short form
+	exp map[string][]Acronym // keyed by first expansion term
+}
+
+// New returns an empty lexicon.
+func New() *Lexicon {
+	return &Lexicon{
+		syn: make(map[string][]Synonym),
+		acr: make(map[string]Acronym),
+		exp: make(map[string][]Acronym),
+	}
+}
+
+// AddSynonym registers a symmetric synonym pair. Terms are normalized;
+// invalid or identical terms are rejected.
+func (l *Lexicon) AddSynonym(a, b string, score float64) error {
+	a, b = tokenize.Normalize(a), tokenize.Normalize(b)
+	if a == "" || b == "" {
+		return fmt.Errorf("lexicon: empty synonym term %q/%q", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("lexicon: self synonym %q", a)
+	}
+	if score <= 0 {
+		return fmt.Errorf("lexicon: non-positive score %v for %q/%q", score, a, b)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	for _, s := range l.syn[a] {
+		if s.A == a && s.B == b {
+			return nil // already present; keep first score
+		}
+	}
+	s := Synonym{A: a, B: b, Score: score}
+	l.syn[a] = append(l.syn[a], s)
+	l.syn[b] = append(l.syn[b], s)
+	return nil
+}
+
+// AddAcronym registers an acronym expansion. The short form and every
+// expansion term are normalized.
+func (l *Lexicon) AddAcronym(short string, expansion ...string) error {
+	short = tokenize.Normalize(short)
+	if short == "" {
+		return fmt.Errorf("lexicon: empty acronym")
+	}
+	if len(expansion) == 0 {
+		return fmt.Errorf("lexicon: acronym %q with no expansion", short)
+	}
+	terms := make([]string, len(expansion))
+	for i, e := range expansion {
+		terms[i] = tokenize.Normalize(e)
+		if terms[i] == "" {
+			return fmt.Errorf("lexicon: acronym %q has empty expansion term", short)
+		}
+	}
+	a := Acronym{Short: short, Expansion: terms}
+	l.acr[short] = a
+	l.exp[terms[0]] = append(l.exp[terms[0]], a)
+	return nil
+}
+
+// Synonyms returns all synonym pairs involving term, sorted by score then
+// by the other term, so rule generation is deterministic.
+func (l *Lexicon) Synonyms(term string) []Synonym {
+	out := append([]Synonym(nil), l.syn[tokenize.Normalize(term)]...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].A+out[i].B < out[j].A+out[j].B
+	})
+	return out
+}
+
+// Other returns the partner of term in the pair.
+func (s Synonym) Other(term string) string {
+	if s.A == term {
+		return s.B
+	}
+	return s.A
+}
+
+// Expand resolves a short form to its acronym entry.
+func (l *Lexicon) Expand(short string) (Acronym, bool) {
+	a, ok := l.acr[tokenize.Normalize(short)]
+	return a, ok
+}
+
+// Contract returns acronyms whose expansion starts with first; the rule
+// generator checks the remaining expansion terms against the query.
+func (l *Lexicon) Contract(first string) []Acronym {
+	return l.exp[tokenize.Normalize(first)]
+}
+
+// Len returns the number of stored synonym pairs and acronyms.
+func (l *Lexicon) Len() (synonyms, acronyms int) {
+	seen := 0
+	for k, ss := range l.syn {
+		for _, s := range ss {
+			if s.A == k { // count each pair once, at its A key
+				seen++
+			}
+		}
+	}
+	return seen, len(l.acr)
+}
+
+// Load reads a lexicon in a simple line format:
+//
+//	syn <a> <b> <score>
+//	acr <short> <term> [term...]
+//	# comment
+//
+// Blank lines and comments are skipped.
+func Load(r io.Reader) (*Lexicon, error) {
+	l := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "syn":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("lexicon: line %d: syn wants 3 args", line)
+			}
+			score, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("lexicon: line %d: bad score: %w", line, err)
+			}
+			if err := l.AddSynonym(fields[1], fields[2], score); err != nil {
+				return nil, fmt.Errorf("lexicon: line %d: %w", line, err)
+			}
+		case "acr":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lexicon: line %d: acr wants >=2 args", line)
+			}
+			if err := l.AddAcronym(fields[1], fields[2:]...); err != nil {
+				return nil, fmt.Errorf("lexicon: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("lexicon: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lexicon: read: %w", err)
+	}
+	return l, nil
+}
+
+// Builtin returns the embedded default lexicon: the WordNet substitute used
+// by the examples, the experiment harness and the synthetic datasets. It
+// includes every rule class of the paper's Table II.
+func Builtin() *Lexicon {
+	l := New()
+	must := func(err error) {
+		if err != nil {
+			panic(err) // embedded data is static; failure is a programming error
+		}
+	}
+	// Bibliographic domain (DBLP-like), per the paper's Example 1:
+	// publication ~ proceedings/inproceedings/article.
+	for _, s := range []Synonym{
+		{"publication", "article", 1},
+		{"publication", "inproceedings", 1},
+		{"publication", "proceedings", 1},
+		{"publication", "book", 2},
+		{"article", "inproceedings", 1},
+		{"paper", "article", 1},
+		{"paper", "inproceedings", 1},
+		{"author", "writer", 1},
+		{"venue", "booktitle", 1},
+		{"journal", "article", 2},
+		{"search", "retrieval", 1},
+		{"query", "search", 2},
+		{"database", "databases", 1},
+		{"web", "internet", 1},
+		{"mining", "analysis", 2},
+		{"efficient", "fast", 1},
+		{"evaluation", "processing", 2},
+	} {
+		must(l.AddSynonym(s.A, s.B, s.Score))
+	}
+	// Sports domain (Baseball-like).
+	for _, s := range []Synonym{
+		{"player", "athlete", 1},
+		{"team", "club", 1},
+		{"pitcher", "player", 2},
+		{"batting", "hitting", 1},
+		{"average", "avg", 1},
+		{"homeruns", "homers", 1},
+	} {
+		must(l.AddSynonym(s.A, s.B, s.Score))
+	}
+	// Acronyms (paper rule 6: WWW <-> world wide web).
+	must(l.AddAcronym("www", "world", "wide", "web"))
+	must(l.AddAcronym("xml", "extensible", "markup", "language"))
+	must(l.AddAcronym("db", "database"))
+	must(l.AddAcronym("ir", "information", "retrieval"))
+	must(l.AddAcronym("ml", "machine", "learning"))
+	must(l.AddAcronym("ai", "artificial", "intelligence"))
+	must(l.AddAcronym("dbms", "database", "management", "system"))
+	must(l.AddAcronym("lca", "lowest", "common", "ancestor"))
+	must(l.AddAcronym("mlb", "major", "league", "baseball"))
+	must(l.AddAcronym("era", "earned", "run", "average"))
+	return l
+}

@@ -1,0 +1,143 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddSynonymAndLookup(t *testing.T) {
+	l := New()
+	if err := l.AddSynonym("Database", "databases", 1); err != nil {
+		t.Fatal(err)
+	}
+	ss := l.Synonyms("database")
+	if len(ss) != 1 || ss[0].Other("database") != "databases" || ss[0].Score != 1 {
+		t.Fatalf("Synonyms = %+v", ss)
+	}
+	// symmetric lookup
+	ss = l.Synonyms("databases")
+	if len(ss) != 1 || ss[0].Other("databases") != "database" {
+		t.Fatalf("reverse Synonyms = %+v", ss)
+	}
+	// duplicate insert is a no-op
+	if err := l.AddSynonym("database", "databases", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Synonyms("database"); len(got) != 1 || got[0].Score != 1 {
+		t.Fatalf("duplicate changed store: %+v", got)
+	}
+}
+
+func TestAddSynonymErrors(t *testing.T) {
+	l := New()
+	if err := l.AddSynonym("", "x", 1); err == nil {
+		t.Error("empty term accepted")
+	}
+	if err := l.AddSynonym("x", "x", 1); err == nil {
+		t.Error("self synonym accepted")
+	}
+	if err := l.AddSynonym("x", "y", 0); err == nil {
+		t.Error("zero score accepted")
+	}
+}
+
+func TestSynonymsSorted(t *testing.T) {
+	l := New()
+	for _, pair := range [][2]string{{"a", "zz"}, {"a", "mm"}, {"a", "bb"}} {
+		if err := l.AddSynonym(pair[0], pair[1], 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddSynonym("a", "close", 1); err != nil {
+		t.Fatal(err)
+	}
+	ss := l.Synonyms("a")
+	if len(ss) != 4 || ss[0].Other("a") != "close" {
+		t.Fatalf("sort order wrong: %+v", ss)
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i-1].Score > ss[i].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+}
+
+func TestAcronyms(t *testing.T) {
+	l := New()
+	if err := l.AddAcronym("WWW", "World", "Wide", "Web"); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := l.Expand("www")
+	if !ok || len(a.Expansion) != 3 || a.Expansion[0] != "world" {
+		t.Fatalf("Expand = %+v, %v", a, ok)
+	}
+	back := l.Contract("world")
+	if len(back) != 1 || back[0].Short != "www" {
+		t.Fatalf("Contract = %+v", back)
+	}
+	if _, ok := l.Expand("nosuch"); ok {
+		t.Error("bogus acronym resolved")
+	}
+	if err := l.AddAcronym("", "x"); err == nil {
+		t.Error("empty acronym accepted")
+	}
+	if err := l.AddAcronym("x"); err == nil {
+		t.Error("expansion-less acronym accepted")
+	}
+	if err := l.AddAcronym("x", "!!"); err == nil {
+		t.Error("unnormalizable expansion accepted")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	src := `
+# comment
+syn database databases 1
+syn web internet 2
+
+acr www world wide web
+`
+	l, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, acr := l.Len()
+	if syn != 2 || acr != 1 {
+		t.Fatalf("Len = %d, %d", syn, acr)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, src := range []string{
+		"syn a b",        // missing score
+		"syn a b notnum", // bad score
+		"syn a a 1",      // self pair
+		"acr x",          // no expansion
+		"frob a b",       // unknown directive
+	} {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q): expected error", src)
+		}
+	}
+}
+
+func TestBuiltin(t *testing.T) {
+	l := Builtin()
+	syn, acr := l.Len()
+	if syn < 15 || acr < 8 {
+		t.Fatalf("builtin too small: %d synonyms, %d acronyms", syn, acr)
+	}
+	// The paper's Example 1 needs publication ~ article/inproceedings.
+	found := map[string]bool{}
+	for _, s := range l.Synonyms("publication") {
+		found[s.Other("publication")] = true
+	}
+	if !found["article"] || !found["inproceedings"] {
+		t.Errorf("publication synonyms missing: %v", found)
+	}
+	// The paper's rule 6.
+	a, ok := l.Expand("www")
+	if !ok || strings.Join(a.Expansion, " ") != "world wide web" {
+		t.Errorf("www expansion = %+v", a)
+	}
+}

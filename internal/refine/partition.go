@@ -1,0 +1,154 @@
+package refine
+
+import (
+	"xrefine/internal/dewey"
+	"xrefine/internal/index"
+	"xrefine/internal/slca"
+)
+
+// TopKOutcome is the result of the partition-based and short-list eager
+// algorithms: up to 2K refined-query candidates by dissimilarity, each with
+// its accumulated meaningful SLCA results. The caller (the engine) applies
+// the full ranking model (Formula 10) to produce the final top K — the
+// paper's line 19.
+type TopKOutcome struct {
+	// Candidates holds refined queries with at least one meaningful
+	// result, in ascending dissimilarity.
+	Candidates []*Item
+	// Partitions counts document partitions actually visited, an
+	// efficiency observable for the experiments.
+	Partitions int
+	// SLCACalls counts delegated SLCA computations.
+	SLCACalls int
+}
+
+// PartitionTopK runs Algorithm 2: walk the keyword lists partition by
+// partition (Definition 6.1) in document order; within each partition run
+// the top-2K dynamic program over the keywords present, skip SLCA work for
+// candidates that cannot enter the current top-2K (the paper's key
+// optimization), and compute results with any SLCA algorithm, restricted to
+// the partition's sublists. Each list is traversed exactly once
+// (Theorem 2).
+func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
+	if k < 1 {
+		k = 1
+	}
+	out := &TopKOutcome{}
+	ks := in.scanKeywords()
+	if len(ks) == 0 {
+		return out, nil
+	}
+	lists := make([]*index.List, len(ks))
+	for i, kw := range ks {
+		l, err := in.Index.List(kw)
+		if err != nil {
+			return nil, err
+		}
+		lists[i] = l
+	}
+	cursors := make([]int, len(ks))
+	sorted := NewSortedList(2 * k)
+
+	for {
+		// Smallest unconsumed node across lists (paper line 5).
+		var v dewey.ID
+		for i, l := range lists {
+			if cursors[i] >= l.Len() {
+				continue
+			}
+			if id := l.At(cursors[i]).ID; v == nil || dewey.Compare(id, v) < 0 {
+				v = id
+			}
+		}
+		if v == nil {
+			break
+		}
+		pid, ok := v.Partition()
+		if !ok {
+			// A posting at the document root: no partition contains
+			// it; skip it (the root is never a meaningful result).
+			for i, l := range lists {
+				if cursors[i] < l.Len() && dewey.Equal(l.At(cursors[i]).ID, v) {
+					cursors[i]++
+				}
+			}
+			continue
+		}
+		out.Partitions++
+		pidEnd := pid.Next()
+		// Sublists within the partition (getKLPartition, lines 6-8).
+		spans := make([]span, len(ks))
+		avail := make(map[string]bool, len(ks))
+		for i, l := range lists {
+			end := l.SeekGE(pidEnd)
+			if end < cursors[i] {
+				end = cursors[i]
+			}
+			spans[i] = span{start: cursors[i], end: end}
+			if end > cursors[i] {
+				avail[ks[i]] = true
+			}
+			cursors[i] = end
+		}
+		// Top-2K refined queries expressible in this partition (line 10).
+		for _, rq := range TopRQs(in.Query, avail, in.Rules, 2*k) {
+			item := sorted.Has(rq)
+			if item == nil && !sorted.Qualifies(rq.DSim) {
+				// Worse than the current 2K-th candidate: skip the
+				// SLCA computation entirely (the paper's advantage
+				// (2)).
+				continue
+			}
+			res, err := partitionSLCA(in, rq, ks, lists, spans, pid)
+			if err != nil {
+				return nil, err
+			}
+			out.SLCACalls++
+			if len(res) == 0 {
+				continue // no meaningful result in this partition
+			}
+			if item != nil {
+				item.Results = append(item.Results, res...)
+			} else {
+				sorted.Insert(rq, res)
+			}
+		}
+	}
+	for _, it := range sorted.Items() {
+		out.Candidates = append(out.Candidates, it)
+	}
+	return out, nil
+}
+
+// span is a half-open index interval into a keyword list.
+type span struct{ start, end int }
+
+// partitionSLCA computes the meaningful SLCAs of rq inside one document
+// partition by delegating to the configured SLCA algorithm over the
+// partition-restricted sublists.
+func partitionSLCA(in Input, rq RQ, ks []string, lists []*index.List, spans []span, pid dewey.ID) ([]Match, error) {
+	sub := make([]*index.List, 0, len(rq.Keywords))
+	var witness *index.List
+	for _, kw := range rq.Keywords {
+		found := false
+		for i, name := range ks {
+			if name != kw {
+				continue
+			}
+			s := spans[i]
+			if s.end <= s.start {
+				return nil, nil // keyword absent from partition
+			}
+			l := index.NewList(kw, lists[i].Slice(s.start, s.end))
+			sub = append(sub, l)
+			witness = l
+			found = true
+			break
+		}
+		if !found {
+			return nil, nil
+		}
+	}
+	ids := slca.Compute(in.SLCA, sub)
+	return meaningfulMatches(ids, witness, in.Judge), nil
+}

@@ -1,0 +1,216 @@
+// Package refine implements the heart of the paper: the exploration of
+// refined queries integrated with the generation of their matching results,
+// within one scan of the keyword inverted lists. It provides the dynamic
+// program of Section V (getOptimalRQ and its top-2K extension) and the
+// three query refinement algorithms of Section VI — stack-based (Algorithm
+// 1), partition-based top-K (Algorithm 2) and short-list eager (Algorithm
+// 3).
+package refine
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/index"
+	"xrefine/internal/rules"
+	"xrefine/internal/searchfor"
+	"xrefine/internal/slca"
+	"xrefine/internal/xmltree"
+)
+
+// RQ is a refined query: a keyword set plus its dissimilarity dSim(Q,RQ)
+// (Definition 3.6). Keywords are sorted and unique; a keyword query is a
+// set, so order carries no meaning. Steps carries the provenance of the
+// cheapest refinement sequence producing this keyword set; it is excluded
+// from identity (Key) and from dissimilarity.
+type RQ struct {
+	Keywords []string
+	DSim     float64
+	Steps    []Step
+}
+
+// NewRQ canonicalizes a keyword multiset into an RQ.
+func NewRQ(keywords []string, dSim float64) RQ {
+	return RQ{Keywords: canonical(keywords), DSim: dSim}
+}
+
+func canonical(keywords []string) []string {
+	out := append([]string(nil), keywords...)
+	sort.Strings(out)
+	uniq := out[:0]
+	for i, k := range out {
+		if i == 0 || out[i-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	return uniq
+}
+
+// Key returns a canonical identity string, used for dedup.
+func (r RQ) Key() string { return strings.Join(r.Keywords, "\x00") }
+
+// String renders the RQ for humans.
+func (r RQ) String() string { return "{" + strings.Join(r.Keywords, ", ") + "}" }
+
+// SameKeywords reports whether r's keyword set equals terms (as a set).
+func (r RQ) SameKeywords(terms []string) bool {
+	return r.Key() == NewRQ(terms, 0).Key()
+}
+
+// Match is one matching result: a meaningful SLCA node.
+type Match struct {
+	// ID is the Dewey label of the result node.
+	ID dewey.ID
+	// Type is the node type of the result node.
+	Type *xmltree.Type
+}
+
+// Item pairs a refined query with its accumulated matching results.
+type Item struct {
+	RQ      RQ
+	Results []Match
+}
+
+// SortedList is the RQSortedList of Section VI-B: a capacity-bounded list
+// of refined-query candidates ordered by dissimilarity, with O(1)
+// membership via a side table. The paper backs it with a B-tree; with the
+// capacity fixed at 2K (a dozen or so entries) a sorted slice has the same
+// asymptotics in spirit and better constants.
+type SortedList struct {
+	cap   int
+	items []*Item
+	byKey map[string]*Item
+}
+
+// NewSortedList returns an empty list holding at most cap candidates.
+func NewSortedList(cap int) *SortedList {
+	if cap < 1 {
+		cap = 1
+	}
+	return &SortedList{cap: cap, byKey: make(map[string]*Item)}
+}
+
+// Len returns the number of stored candidates.
+func (l *SortedList) Len() int { return len(l.items) }
+
+// Full reports whether the list is at capacity.
+func (l *SortedList) Full() bool { return len(l.items) >= l.cap }
+
+// Worst returns the largest stored dissimilarity, or +Inf when not full —
+// the threshold a new candidate must beat (the paper's line 12 check).
+func (l *SortedList) Worst() float64 {
+	if !l.Full() {
+		return math.Inf(1)
+	}
+	return l.items[len(l.items)-1].RQ.DSim
+}
+
+// Qualifies reports whether a candidate with the given dissimilarity would
+// be admitted.
+func (l *SortedList) Qualifies(dSim float64) bool { return dSim < l.Worst() }
+
+// Has returns the stored item for rq, or nil — the hasRQ probe.
+func (l *SortedList) Has(rq RQ) *Item { return l.byKey[rq.Key()] }
+
+// Insert admits a candidate, evicting the worst when over capacity. It
+// returns the stored item, or nil when the candidate did not qualify.
+// Inserting an already-present RQ returns the existing item unchanged.
+func (l *SortedList) Insert(rq RQ, results []Match) *Item {
+	if it := l.byKey[rq.Key()]; it != nil {
+		return it
+	}
+	if !l.Qualifies(rq.DSim) {
+		return nil
+	}
+	it := &Item{RQ: rq, Results: results}
+	pos := sort.Search(len(l.items), func(i int) bool { return l.items[i].RQ.DSim > rq.DSim })
+	l.items = append(l.items, nil)
+	copy(l.items[pos+1:], l.items[pos:])
+	l.items[pos] = it
+	l.byKey[rq.Key()] = it
+	if len(l.items) > l.cap {
+		ev := l.items[len(l.items)-1]
+		l.items = l.items[:len(l.items)-1]
+		delete(l.byKey, ev.RQ.Key())
+		if ev == it {
+			return nil
+		}
+	}
+	return it
+}
+
+// Items returns the stored candidates, best (smallest dissimilarity) first.
+// The slice is shared; callers may mutate item results but not list order.
+func (l *SortedList) Items() []*Item { return l.items }
+
+// Input bundles what every refinement algorithm needs.
+type Input struct {
+	// Index is the document's access structure.
+	Index *index.Index
+	// Query is the normalized original keyword query Q.
+	Query []string
+	// Rules is the refinement rule set relevant to Q.
+	Rules *rules.Set
+	// Judge decides meaningfulness (Definition 3.3) from the inferred
+	// search-for candidates.
+	Judge *searchfor.Judge
+	// SLCA selects the SLCA computation the partition-based and
+	// short-list eager algorithms delegate to (Lemma 3 orthogonality).
+	SLCA slca.Algorithm
+}
+
+// scanKeywords returns Q's keywords plus the rule-generated new keywords,
+// restricted to terms that occur in the data — the KS of Algorithms 1-3 —
+// with Q's terms first, in Q order.
+func (in *Input) scanKeywords() []string {
+	seen := make(map[string]bool)
+	var ks []string
+	for _, k := range in.Query {
+		if !seen[k] && in.Index.HasTerm(k) {
+			seen[k] = true
+			ks = append(ks, k)
+		}
+	}
+	for _, k := range in.Rules.NewKeywords(in.Query) {
+		if !seen[k] && in.Index.HasTerm(k) {
+			seen[k] = true
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// typedMatch resolves the node type of an SLCA result from a witnessing
+// posting list: the first posting at or after the result lies inside its
+// subtree, and the result's type is that posting's ancestor type at the
+// result's depth.
+func typedMatch(id dewey.ID, witness *index.List) (Match, bool) {
+	i := witness.SeekGE(id)
+	if i >= witness.Len() {
+		return Match{}, false
+	}
+	p := witness.At(i)
+	if !dewey.IsAncestorOrSelf(id, p.ID) {
+		return Match{}, false
+	}
+	t, err := p.Type.AncestorAt(len(id) - 1)
+	if err != nil {
+		return Match{}, false
+	}
+	return Match{ID: id, Type: t}, true
+}
+
+// meaningfulMatches converts raw SLCA IDs into typed matches and keeps the
+// meaningful ones (Definition 3.3).
+func meaningfulMatches(ids []dewey.ID, witness *index.List, judge *searchfor.Judge) []Match {
+	var out []Match
+	for _, id := range ids {
+		m, ok := typedMatch(id, witness)
+		if ok && judge.Meaningful(m.Type) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

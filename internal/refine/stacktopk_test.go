@@ -1,0 +1,95 @@
+package refine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xrefine/internal/rules"
+)
+
+func TestStackTopKBasic(t *testing.T) {
+	f := newFixture(t, fig1, []string{"online", "database"})
+	rs := rules.NewSet(2)
+	mustAdd(t, rs, rules.Rule{Op: rules.OpMerge, LHS: []string{"on", "line"}, RHS: []string{"online"}, Score: 1})
+	mustAdd(t, rs, rules.Rule{Op: rules.OpMerge, LHS: []string{"data", "base"}, RHS: []string{"database"}, Score: 1})
+	out, err := StackTopK(f.input(t, []string{"on", "line", "data", "base"}, rs), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := out.Candidates[0]
+	if best.RQ.DSim != 2 || best.RQ.Key() != NewRQ([]string{"online", "database"}, 0).Key() {
+		t.Errorf("best = %v (dSim %v)", best.RQ, best.RQ.DSim)
+	}
+	if got := strings.Join(matchIDs(best.Results), " "); got != "0.0.1.1.0" {
+		t.Errorf("results = %v", got)
+	}
+	// More than one candidate at K=3 on this fixture.
+	if len(out.Candidates) < 2 {
+		t.Errorf("only %d candidates", len(out.Candidates))
+	}
+	for i := 1; i < len(out.Candidates); i++ {
+		if out.Candidates[i-1].RQ.DSim > out.Candidates[i].RQ.DSim {
+			t.Error("candidates unordered")
+		}
+	}
+}
+
+func TestStackTopKEmptyQuery(t *testing.T) {
+	f := newFixture(t, fig1, []string{"online"})
+	out, err := StackTopK(f.input(t, []string{"zzz"}, nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Candidates) != 0 {
+		t.Errorf("unmatchable query produced %d candidates", len(out.Candidates))
+	}
+}
+
+// Property: StackTopK's best candidate has the same dissimilarity as the
+// brute-force optimum, and all results are meaningful SLCAs (the same
+// contract the other two algorithms satisfy).
+func TestPropertyStackTopKMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 100; trial++ {
+		src := randomTestDoc(r)
+		f := newFixture(t, src, []string{"w0", "w1", "w2"})
+		q := make([]string, 1+r.Intn(3))
+		for i := range q {
+			q[i] = fmt.Sprintf("w%d", r.Intn(8))
+		}
+		rs := rules.NewSet(2)
+		_ = rs.Add(rules.Rule{Op: rules.OpSubstitute, LHS: []string{"w6"}, RHS: []string{"w0"}, Score: 1})
+		_ = rs.Add(rules.Rule{Op: rules.OpSubstitute, LHS: []string{"w7"}, RHS: []string{"w1", "w2"}, Score: 2})
+		in := f.input(t, q, rs)
+		best, found := bruteBest(f, q, rs)
+		out, err := StackTopK(in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			if len(out.Candidates) != 0 {
+				t.Fatalf("trial %d: candidates despite no refinement (q=%v)", trial, q)
+			}
+			continue
+		}
+		if len(out.Candidates) == 0 || out.Candidates[0].RQ.DSim != best {
+			t.Fatalf("trial %d: stackTopK best = %+v, brute = %v (q=%v)\ndoc: %s",
+				trial, out.Candidates, best, q, src)
+		}
+		for _, it := range out.Candidates {
+			if len(it.Results) == 0 {
+				t.Fatalf("trial %d: candidate %v without results", trial, it.RQ)
+			}
+			for _, m := range it.Results {
+				if !f.judge.Meaningful(m.Type) {
+					t.Fatalf("trial %d: non-meaningful result %s", trial, m.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package server exposes an XRefine engine over HTTP as a small JSON API —
+// the deployment surface a sponsored-search or digital-library integration
+// would talk to. Handlers are plain net/http so the server embeds anywhere.
+//
+//	GET /search?q=online+databse&k=3&strategy=partition
+//	GET /narrow?q=database&max=50&k=3
+//	GET /healthz
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"xrefine/internal/core"
+	"xrefine/internal/narrow"
+	"xrefine/internal/refine"
+	"xrefine/internal/tokenize"
+)
+
+// Server wraps an engine with HTTP handlers. The engine is read-only and
+// safe for concurrent queries, so the zero-configuration http.Server
+// concurrency model just works.
+type Server struct {
+	eng *core.Engine
+	mux *http.ServeMux
+}
+
+// New builds a server around an engine.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/narrow", s.handleNarrow)
+	s.mux.HandleFunc("/complete", s.handleComplete)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// resultJSON is one match in API form.
+type resultJSON struct {
+	ID      string `json:"id"`
+	Type    string `json:"type"`
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// queryJSON is one (refined) query in API form.
+type queryJSON struct {
+	Keywords   []string     `json:"keywords"`
+	DSim       float64      `json:"dsim"`
+	Score      float64      `json:"score"`
+	IsOriginal bool         `json:"is_original,omitempty"`
+	Steps      []string     `json:"steps,omitempty"`
+	Results    []resultJSON `json:"results"`
+}
+
+// searchJSON is the /search response body.
+type searchJSON struct {
+	Terms      []string    `json:"terms"`
+	NeedRefine bool        `json:"need_refine"`
+	SearchFor  []string    `json:"search_for,omitempty"`
+	Queries    []queryJSON `json:"queries"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	terms := tokenize.Query(q)
+	if len(terms) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("missing or empty q parameter"))
+		return
+	}
+	k, err := intParam(r, "k", 3)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	strategy, err := strategyParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.QueryTerms(terms, strategy, k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := searchJSON{Terms: resp.Terms, NeedRefine: resp.NeedRefine}
+	for _, c := range resp.SearchFor {
+		out.SearchFor = append(out.SearchFor, c.Type.Path())
+	}
+	for _, rq := range resp.Queries {
+		qj := queryJSON{
+			Keywords:   rq.Keywords,
+			DSim:       rq.DSim,
+			Score:      rq.Score,
+			IsOriginal: rq.IsOriginal,
+			Results:    s.results(rq.Results),
+		}
+		for _, st := range rq.Steps {
+			qj.Steps = append(qj.Steps, st.String())
+		}
+		out.Queries = append(out.Queries, qj)
+	}
+	writeJSON(w, out)
+}
+
+// narrowJSON is the /narrow response body.
+type narrowJSON struct {
+	TooBroad        bool         `json:"too_broad"`
+	OriginalResults int          `json:"original_results"`
+	Suggestions     []suggestion `json:"suggestions,omitempty"`
+}
+
+type suggestion struct {
+	Keywords []string `json:"keywords"`
+	Added    []string `json:"added"`
+	Results  int      `json:"results"`
+}
+
+func (s *Server) handleNarrow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	max, err := intParam(r, "max", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := intParam(r, "k", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.eng.Narrow(q, &narrow.Options{MaxResults: max, TopK: k})
+	if errors.Is(err, narrow.ErrNeedsDocument) {
+		httpError(w, http.StatusNotImplemented, err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body := narrowJSON{TooBroad: out.TooBroad, OriginalResults: out.OriginalResults}
+	for _, sg := range out.Suggestions {
+		body.Suggestions = append(body.Suggestions, suggestion{
+			Keywords: sg.Keywords, Added: sg.Added, Results: len(sg.Results),
+		})
+	}
+	writeJSON(w, body)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	k, err := intParam(r, "k", 8)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	terms := s.eng.Complete(q, k)
+	if terms == nil {
+		terms = []string{}
+	}
+	writeJSON(w, map[string]any{"completions": terms})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"nodes":      s.eng.Index().NodeCount,
+		"terms":      len(s.eng.Index().Vocabulary()),
+		"queries":    st.Queries,
+		"refined":    st.Refined,
+		"cache_hits": st.CacheHits,
+	})
+}
+
+// results converts matches to API form, attaching snippets when the engine
+// still holds the source document.
+func (s *Server) results(ms []refine.Match) []resultJSON {
+	out := make([]resultJSON, 0, len(ms))
+	doc := s.eng.Document()
+	for _, m := range ms {
+		rj := resultJSON{ID: m.ID.String(), Type: m.Type.Path()}
+		if doc != nil {
+			rj.Snippet = core.Snippet(doc, m, 80)
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s parameter %q", name, v)
+	}
+	return n, nil
+}
+
+func strategyParam(r *http.Request) (core.Strategy, error) {
+	switch v := r.URL.Query().Get("strategy"); v {
+	case "", "partition":
+		return core.StrategyPartition, nil
+	case "sle":
+		return core.StrategySLE, nil
+	case "stack":
+		return core.StrategyStack, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

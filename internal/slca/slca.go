@@ -1,0 +1,384 @@
+// Package slca computes Smallest Lowest Common Ancestors, the conjunctive
+// matching semantics XML keyword search is built on: a node is an SLCA of a
+// query when its subtree contains every query keyword and no descendant's
+// subtree does too.
+//
+// The package provides the algorithm family the paper evaluates against and
+// composes with (Section II and VIII):
+//
+//   - Stack: the stack-based merge algorithm of XKSearch [3], extended by
+//     the paper's Algorithm 1,
+//   - IndexedLookupEager: XKSearch's index-lookup algorithm driven by the
+//     shortest list with binary-searched match probes,
+//   - ScanEager: XKSearch's variant that advances cursors instead of
+//     binary-searching, preferable when list lengths are comparable,
+//   - Multiway: Multiway-SLCA [8], which maximizes anchor skipping,
+//   - Naive: a brute-force reference used by tests and sanity checks.
+//
+// All functions take keyword inverted lists in document order and return
+// SLCAs in document order. Every algorithm returns identical results; they
+// differ only in cost model, which is the point of the paper's Figure 4.
+package slca
+
+import (
+	"sort"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/index"
+)
+
+// Algorithm selects an SLCA computation strategy by name; it is the
+// pluggable hook the refinement algorithms are orthogonal to (Lemma 3).
+type Algorithm int
+
+const (
+	// AlgoScanEager is the default used by the paper's Partition and SLE
+	// refinement algorithms.
+	AlgoScanEager Algorithm = iota
+	// AlgoIndexedLookupEager binary-searches the longer lists.
+	AlgoIndexedLookupEager
+	// AlgoStack merges all lists through a path stack.
+	AlgoStack
+	// AlgoMultiway maximizes skipping of redundant LCA computations.
+	AlgoMultiway
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoScanEager:
+		return "scan-eager"
+	case AlgoIndexedLookupEager:
+		return "indexed-lookup-eager"
+	case AlgoStack:
+		return "stack"
+	case AlgoMultiway:
+		return "multiway"
+	}
+	return "unknown"
+}
+
+// Compute runs the selected algorithm.
+func Compute(algo Algorithm, lists []*index.List) []dewey.ID {
+	switch algo {
+	case AlgoIndexedLookupEager:
+		return IndexedLookupEager(lists)
+	case AlgoStack:
+		return Stack(lists)
+	case AlgoMultiway:
+		return Multiway(lists)
+	default:
+		return ScanEager(lists)
+	}
+}
+
+// nonEmpty reports whether every list has at least one posting; SLCA of a
+// query with an unmatched keyword is empty by the conjunctive semantics.
+func nonEmpty(lists []*index.List) bool {
+	if len(lists) == 0 {
+		return false
+	}
+	for _, l := range lists {
+		if l.Len() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// shortestFirst returns the lists reordered so the shortest is first; the
+// anchor-driven algorithms iterate over it.
+func shortestFirst(lists []*index.List) []*index.List {
+	out := append([]*index.List(nil), lists...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Len() < out[j].Len() })
+	return out
+}
+
+// filterSLCA reduces LCA candidates to SLCAs: sort into document order,
+// dedup, then drop every candidate with a candidate descendant. In document
+// order an ancestor immediately precedes a contiguous run of its subtree,
+// so one linear pass suffices.
+func filterSLCA(cands []dewey.ID) []dewey.ID {
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return dewey.Compare(cands[i], cands[j]) < 0 })
+	uniq := cands[:1]
+	for _, c := range cands[1:] {
+		if !dewey.Equal(uniq[len(uniq)-1], c) {
+			uniq = append(uniq, c)
+		}
+	}
+	var out []dewey.ID
+	for i, c := range uniq {
+		if i+1 < len(uniq) && dewey.IsAncestor(c, uniq[i+1]) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// anchorCandidate computes the smallest node containing anchor v and at
+// least one match from every other list — XKSearch's slca(v) construction:
+// fold over the other lists, each step picking whichever of the left match
+// lm(x, S) and right match rm(x, S) yields the deeper LCA with the current
+// subtree root x.
+func anchorCandidate(v dewey.ID, others []*index.List) dewey.ID {
+	x := v
+	for _, s := range others {
+		var best dewey.ID
+		if l, ok := s.LM(x); ok {
+			best = dewey.LCA(x, l.ID)
+		}
+		if r, ok := s.RM(x); ok {
+			cand := dewey.LCA(x, r.ID)
+			if best == nil || len(cand) > len(best) {
+				best = cand
+			}
+		}
+		x = best // never nil: nonEmpty guarantees a match on some side
+	}
+	return x
+}
+
+// IndexedLookupEager implements XKSearch's Indexed Lookup Eager: iterate
+// anchors from the shortest list and probe the other lists with binary
+// searches. Cost O(|S1| * m * d * log|S|max).
+func IndexedLookupEager(lists []*index.List) []dewey.ID {
+	if !nonEmpty(lists) {
+		return nil
+	}
+	ordered := shortestFirst(lists)
+	anchors, others := ordered[0], ordered[1:]
+	cands := make([]dewey.ID, 0, anchors.Len())
+	for i := 0; i < anchors.Len(); i++ {
+		cands = append(cands, anchorCandidate(anchors.At(i).ID, others))
+	}
+	return filterSLCA(cands)
+}
+
+// Multiway implements the anchor-skipping idea of Multiway-SLCA [8]: each
+// iteration anchors on the document-order maximum of the lists' current
+// heads instead of walking every node of the smallest list, then advances
+// every cursor past the anchor. One candidate LCA computation can thereby
+// consume many postings from each list.
+func Multiway(lists []*index.List) []dewey.ID {
+	if !nonEmpty(lists) {
+		return nil
+	}
+	cursors := make([]int, len(lists))
+	var cands []dewey.ID
+	for {
+		// Anchor u: the max of the current heads. Any list exhausted
+		// ends the computation — no further node can cover it beyond
+		// matches already considered via LM probes.
+		var u dewey.ID
+		for i, l := range lists {
+			if cursors[i] >= l.Len() {
+				return filterSLCA(cands)
+			}
+			if head := l.At(cursors[i]).ID; u == nil || dewey.Compare(head, u) > 0 {
+				u = head
+			}
+		}
+		// Candidate anchored at u, matched against every other list.
+		// Probes use the full lists (binary search), so matches before
+		// consumed cursors stay visible.
+		x := u
+		for _, s := range lists {
+			var best dewey.ID
+			if l, ok := s.LM(x); ok {
+				best = dewey.LCA(x, l.ID)
+			}
+			if r, ok := s.RM(x); ok {
+				cand := dewey.LCA(x, r.ID)
+				if best == nil || len(cand) > len(best) {
+					best = cand
+				}
+			}
+			x = best
+		}
+		cands = append(cands, x)
+		// Skip: every posting <= u in every list is covered.
+		for i, l := range lists {
+			cursors[i] = l.SeekGT(u)
+		}
+	}
+}
+
+// ScanEager implements XKSearch's Scan Eager: like IndexedLookupEager, but
+// the other lists keep forward cursors instead of binary searching, which
+// wins when list sizes are comparable. Anchors arrive in increasing order,
+// so each cursor only ever moves forward — the whole computation is a
+// single coordinated scan.
+func ScanEager(lists []*index.List) []dewey.ID {
+	if !nonEmpty(lists) {
+		return nil
+	}
+	ordered := shortestFirst(lists)
+	anchors, others := ordered[0], ordered[1:]
+	cursors := make([]int, len(others))
+	cands := make([]dewey.ID, 0, anchors.Len())
+	for i := 0; i < anchors.Len(); i++ {
+		x := anchors.At(i).ID
+		for j, s := range others {
+			// Position the cursor so that postings[cursor-1] <= x <
+			// postings[cursor]: the two sides are exactly lm(x) and
+			// rm(x). Anchors increase monotonically, but the folded x
+			// can jump back toward the root (an ancestor sorts before
+			// its descendants), so the cursor may also need to step
+			// back; the forward scan dominates the cost in practice.
+			for cursors[j] < s.Len() && dewey.Compare(s.At(cursors[j]).ID, x) <= 0 {
+				cursors[j]++
+			}
+			for cursors[j] > 0 && dewey.Compare(s.At(cursors[j]-1).ID, x) > 0 {
+				cursors[j]--
+			}
+			var best dewey.ID
+			if cursors[j] > 0 {
+				best = dewey.LCA(x, s.At(cursors[j]-1).ID)
+			}
+			if cursors[j] < s.Len() {
+				cand := dewey.LCA(x, s.At(cursors[j]).ID)
+				if best == nil || len(cand) > len(best) {
+					best = cand
+				}
+			}
+			x = best
+		}
+		cands = append(cands, x)
+	}
+	return filterSLCA(cands)
+}
+
+// Stack implements the stack-based merge algorithm: all lists merge into
+// one document-ordered stream; a stack mirrors the current root-to-node
+// path, each entry accumulating which keywords its subtree has produced.
+// An entry popped with every keyword present and no SLCA already reported
+// below it is an SLCA.
+func Stack(lists []*index.List) []dewey.ID {
+	if !nonEmpty(lists) {
+		return nil
+	}
+	full := uint64(1)<<len(lists) - 1
+	merge := newMergeScan(lists)
+
+	type entry struct {
+		component uint32
+		mask      uint64
+		below     bool // an SLCA was reported in a strict descendant
+	}
+	var stack []entry
+	var path dewey.ID // dewey of the node the whole stack denotes
+	var out []dewey.ID
+
+	// pop removes the deepest entry, reporting it when it qualifies, and
+	// propagates mask and below-flag to its parent.
+	pop := func() {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		reported := false
+		if e.mask == full && !e.below {
+			out = append(out, path.Clone())
+			reported = true
+		}
+		path = path[:len(path)-1]
+		if len(stack) > 0 {
+			stack[len(stack)-1].mask |= e.mask
+			stack[len(stack)-1].below = stack[len(stack)-1].below || e.below || reported
+		}
+	}
+
+	for {
+		id, mask, ok := merge.next()
+		if !ok {
+			break
+		}
+		keep := dewey.LCALen(path, id)
+		for len(stack) > keep {
+			pop()
+		}
+		for len(path) < len(id) {
+			c := id[len(path)]
+			path = append(path, c)
+			stack = append(stack, entry{component: c})
+		}
+		stack[len(stack)-1].mask |= mask
+	}
+	for len(stack) > 0 {
+		pop()
+	}
+	// The stream is document-ordered but pops emit an ancestor after all
+	// its descendants yet possibly between siblings, so order the output.
+	sort.Slice(out, func(i, j int) bool { return dewey.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// mergeScan yields (dewey, keywordMask) pairs in document order, combining
+// the masks of lists that contain the same node.
+type mergeScan struct {
+	lists []*index.List
+	pos   []int
+}
+
+func newMergeScan(lists []*index.List) *mergeScan {
+	return &mergeScan{lists: lists, pos: make([]int, len(lists))}
+}
+
+func (m *mergeScan) next() (dewey.ID, uint64, bool) {
+	var min dewey.ID
+	for i, l := range m.lists {
+		if m.pos[i] >= l.Len() {
+			continue
+		}
+		id := l.At(m.pos[i]).ID
+		if min == nil || dewey.Compare(id, min) < 0 {
+			min = id
+		}
+	}
+	if min == nil {
+		return nil, 0, false
+	}
+	var mask uint64
+	for i, l := range m.lists {
+		if m.pos[i] < l.Len() && dewey.Equal(l.At(m.pos[i]).ID, min) {
+			mask |= 1 << i
+			m.pos[i]++
+		}
+	}
+	return min, mask, true
+}
+
+// Naive is the brute-force reference: materialize every node that contains
+// all keywords (the union of posting ancestors), then keep the minimal
+// ones. Quadratic-ish and only for tests and tiny inputs.
+func Naive(lists []*index.List) []dewey.ID {
+	if !nonEmpty(lists) {
+		return nil
+	}
+	// count, for every ancestor node, which keywords its subtree has
+	contains := make(map[string]uint64)
+	keyOf := func(d dewey.ID) string { return string(d.Bytes()) }
+	ids := make(map[string]dewey.ID)
+	for i, l := range lists {
+		for _, p := range l.Postings() {
+			for n := 1; n <= len(p.ID); n++ {
+				anc := p.ID[:n]
+				k := keyOf(anc)
+				contains[k] |= 1 << i
+				if _, ok := ids[k]; !ok {
+					ids[k] = anc.Clone()
+				}
+			}
+		}
+	}
+	full := uint64(1)<<len(lists) - 1
+	var cands []dewey.ID
+	for k, mask := range contains {
+		if mask == full {
+			cands = append(cands, ids[k])
+		}
+	}
+	return filterSLCA(cands)
+}

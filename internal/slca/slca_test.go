@@ -1,0 +1,359 @@
+package slca
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/index"
+	"xrefine/internal/xmltree"
+)
+
+const fig1 = `
+<bib>
+  <author>
+    <name>John Ben</name>
+    <publications>
+      <inproceedings>
+        <title>online DBLP in XML</title>
+        <year>2001</year>
+      </inproceedings>
+      <inproceedings>
+        <title>online database systems</title>
+        <year>2003</year>
+      </inproceedings>
+      <article>
+        <title>XML data mining</title>
+        <year>2003</year>
+      </article>
+    </publications>
+  </author>
+  <author>
+    <name>Mary Lee</name>
+    <publications>
+      <inproceedings>
+        <title>XML keyword search</title>
+        <year>2005</year>
+      </inproceedings>
+    </publications>
+    <hobby>swimming</hobby>
+  </author>
+</bib>`
+
+func lists(t testing.TB, ix *index.Index, terms ...string) []*index.List {
+	t.Helper()
+	out := make([]*index.List, len(terms))
+	for i, term := range terms {
+		l, err := ix.List(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func buildIx(t testing.TB, src string) *index.Index {
+	t.Helper()
+	doc, err := xmltree.ParseString(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return index.Build(doc)
+}
+
+func idsToStrings(ids []dewey.ID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
+	}
+	return out
+}
+
+var allAlgos = []Algorithm{AlgoScanEager, AlgoIndexedLookupEager, AlgoStack, AlgoMultiway}
+
+func runAll(t *testing.T, ls []*index.List, want []string) {
+	t.Helper()
+	for _, algo := range allAlgos {
+		got := idsToStrings(Compute(algo, ls))
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("%s = %v, want %v", algo, got, want)
+		}
+	}
+	// and the reference agrees
+	if got := idsToStrings(Naive(ls)); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("naive = %v, want %v", got, want)
+	}
+}
+
+func TestKnownQueries(t *testing.T) {
+	ix := buildIx(t, fig1)
+	// {xml, 2003}: author 0.0's subtree has both, smallest are the two
+	// publication entries that each contain... inproceedings 0.0.1.1 has
+	// "2003" but not xml? it has title "online database systems" — no
+	// xml. article 0.0.1.2 has both xml and 2003.
+	runAll(t, lists(t, ix, "xml", "2003"), []string{"0.0.1.2"})
+	// {online, database}: one inproceedings title contains both terms.
+	runAll(t, lists(t, ix, "online", "database"), []string{"0.0.1.1.0"})
+	// {john, swimming}: different authors -> only the root covers both.
+	runAll(t, lists(t, ix, "john", "swimming"), []string{"0"})
+	// {xml}: single keyword -> every matching node, none is ancestor of
+	// another here.
+	runAll(t, lists(t, ix, "xml"), []string{"0.0.1.0.0", "0.0.1.2.0", "0.1.1.0.0"})
+	// missing keyword -> empty
+	runAll(t, lists(t, ix, "xml", "nosuch"), nil)
+}
+
+func TestSingleKeywordAncestorFiltering(t *testing.T) {
+	// "a" matches both a node and its descendant: only the descendant is
+	// an SLCA.
+	ix := buildIx(t, `<r><a>deep a here</a><b>other</b></r>`)
+	// "a" appears as tag of 0.0 and inside its text ("a" term from text
+	// "deep a here" belongs to node 0.0 itself) — same node. Build a
+	// sharper case:
+	ix2 := buildIx(t, `<r><x><y>target</y></x></r>`)
+	_ = ix
+	// "x" tag at 0.0, "target" at 0.0.0: query {x} -> 0.0 alone.
+	runAll(t, lists(t, ix2, "x"), []string{"0.0"})
+	// query {x, target} -> 0.0 (contains both; no smaller node does).
+	runAll(t, lists(t, ix2, "x", "target"), []string{"0.0"})
+}
+
+func TestDuplicateListsAndSharedNodes(t *testing.T) {
+	ix := buildIx(t, fig1)
+	// The same list twice: SLCA = single-keyword semantics.
+	l, _ := ix.List("swimming")
+	runAll(t, []*index.List{l, l}, []string{"0.1.2"})
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Compute(AlgoScanEager, nil); got != nil {
+		t.Errorf("no lists = %v", got)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		AlgoScanEager:          "scan-eager",
+		AlgoIndexedLookupEager: "indexed-lookup-eager",
+		AlgoStack:              "stack",
+		AlgoMultiway:           "multiway",
+		Algorithm(99):          "unknown",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+// randomDoc builds a random tree with terms drawn from a tiny vocabulary so
+// keyword co-occurrence is frequent.
+func randomDoc(r *rand.Rand) string {
+	vocab := []string{"t0", "t1", "t2", "t3"}
+	var b strings.Builder
+	var rec func(depth int)
+	rec = func(depth int) {
+		kids := r.Intn(4)
+		if depth >= 4 {
+			kids = 0
+		}
+		b.WriteString("<n>")
+		if r.Intn(2) == 0 {
+			b.WriteString(vocab[r.Intn(len(vocab))])
+		}
+		for i := 0; i < kids; i++ {
+			rec(depth + 1)
+		}
+		b.WriteString("</n>")
+	}
+	b.WriteString("<root>")
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		rec(0)
+	}
+	b.WriteString("</root>")
+	return b.String()
+}
+
+// referenceSLCA computes SLCAs straight from the tree definition: nodes
+// whose subtree contains all terms and none of whose children's subtrees
+// do.
+func referenceSLCA(doc *xmltree.Document, terms []string) []string {
+	var out []string
+	var containsAll func(n *xmltree.Node) map[string]bool
+	memo := map[*xmltree.Node]map[string]bool{}
+	containsAll = func(n *xmltree.Node) map[string]bool {
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m := map[string]bool{}
+		for _, w := range n.Terms() {
+			m[w] = true
+		}
+		for _, c := range n.Children {
+			for w := range containsAll(c) {
+				m[w] = true
+			}
+		}
+		memo[n] = m
+		return m
+	}
+	hasAll := func(n *xmltree.Node) bool {
+		m := containsAll(n)
+		for _, t := range terms {
+			if !m[t] {
+				return false
+			}
+		}
+		return true
+	}
+	doc.Walk(func(n *xmltree.Node) bool {
+		if !hasAll(n) {
+			return false // no descendant can have all either
+		}
+		childHas := false
+		for _, c := range n.Children {
+			if hasAll(c) {
+				childHas = true
+				break
+			}
+		}
+		if !childHas {
+			out = append(out, n.ID.String())
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// Property: all four algorithms agree with the tree-definition reference on
+// random documents and random queries.
+func TestPropertyAllAlgorithmsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		src := randomDoc(r)
+		doc, err := xmltree.ParseString(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := index.Build(doc)
+		nTerms := 1 + r.Intn(3)
+		terms := make([]string, nTerms)
+		for i := range terms {
+			terms[i] = fmt.Sprintf("t%d", r.Intn(4))
+		}
+		ls := lists(t, ix, terms...)
+		want := referenceSLCA(doc, terms)
+		allEmpty := false
+		for _, l := range ls {
+			if l.Len() == 0 {
+				allEmpty = true
+			}
+		}
+		if allEmpty {
+			want = nil
+		}
+		for _, algo := range allAlgos {
+			got := idsToStrings(Compute(algo, ls))
+			if strings.Join(got, " ") != strings.Join(want, " ") {
+				t.Fatalf("trial %d: %s(%v) = %v, want %v\ndoc: %s", trial, algo, terms, got, want, src)
+			}
+		}
+		if got := idsToStrings(Naive(ls)); strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Fatalf("trial %d: naive(%v) = %v, want %v\ndoc: %s", trial, terms, got, want, src)
+		}
+	}
+}
+
+// Property: SLCA results never contain one another and each subtree really
+// contains every keyword.
+func TestPropertySLCAInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		src := randomDoc(r)
+		ix := buildIx(t, src)
+		terms := []string{"t0", "t1"}
+		ls := lists(t, ix, terms...)
+		res := ScanEager(ls)
+		for i := range res {
+			for j := range res {
+				if i != j && dewey.IsAncestorOrSelf(res[i], res[j]) {
+					t.Fatalf("results overlap: %s contains %s", res[i], res[j])
+				}
+			}
+			for k, l := range ls {
+				if !l.HasInSubtree(res[i]) {
+					t.Fatalf("result %s misses keyword %s", res[i], terms[k])
+				}
+			}
+		}
+	}
+}
+
+func benchmarkDoc(n int) string {
+	r := rand.New(rand.NewSource(9))
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<paper><title>alpha w%d</title><year>%d</year></paper>", r.Intn(50), 2000+r.Intn(8))
+	}
+	b.WriteString("</root>")
+	return b.String()
+}
+
+func benchLists(b *testing.B) []*index.List {
+	doc, err := xmltree.ParseString(benchmarkDoc(5000), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.Build(doc)
+	out := make([]*index.List, 0, 2)
+	for _, term := range []string{"alpha", "2003"} {
+		l, err := ix.List(term)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func BenchmarkScanEager(b *testing.B) {
+	ls := benchLists(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScanEager(ls)
+	}
+}
+
+func BenchmarkIndexedLookupEager(b *testing.B) {
+	ls := benchLists(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IndexedLookupEager(ls)
+	}
+}
+
+func BenchmarkStack(b *testing.B) {
+	ls := benchLists(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stack(ls)
+	}
+}
+
+func BenchmarkMultiway(b *testing.B) {
+	ls := benchLists(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Multiway(ls)
+	}
+}

@@ -1,0 +1,381 @@
+// Package stem implements the Porter stemming algorithm (M.F. Porter, "An
+// algorithm for suffix stripping", 1980). XRefine uses stem equivalence to
+// derive word-stemming substitution rules (Section III-B of the paper, rule
+// class "word stemming", e.g. match ↔ matching), so the stemmer must agree
+// with itself between index construction and query refinement — which it
+// does trivially, since both call this one function.
+package stem
+
+// Stem returns the Porter stem of word. The input is expected to be a
+// lowercase term (see tokenize.Normalize); words shorter than 3 letters or
+// containing non-ASCII-letter runes are returned unchanged.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word
+		}
+	}
+	w := &stemmer{b: []byte(word)}
+	w.step1ab()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5()
+	return string(w.b)
+}
+
+// stemmer holds the working buffer. All methods operate on b[0:len(b)].
+type stemmer struct {
+	b []byte
+	j int // general offset used by the condition helpers
+}
+
+// cons reports whether b[i] is a consonant per Porter's definition: not a
+// vowel, with 'y' a consonant when preceded by a vowel position.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	}
+	return true
+}
+
+// m measures the number of consonant-vowel sequences in b[0:j+1]:
+// [C](VC)^m[V] has measure m.
+func (s *stemmer) m() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0:j+1] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleC reports whether b[i-1:i+1] is a double consonant.
+func (s *stemmer) doubleC(i int) bool {
+	if i < 1 {
+		return false
+	}
+	return s.b[i] == s.b[i-1] && s.cons(i)
+}
+
+// cvc reports whether b[i-2:i+1] is consonant-vowel-consonant with the
+// final consonant not w, x or y; used to restore a trailing 'e'.
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the buffer ends with suffix and, if so, sets j to
+// the position just before it.
+func (s *stemmer) ends(suffix string) bool {
+	n := len(s.b)
+	l := len(suffix)
+	if l > n {
+		return false
+	}
+	if string(s.b[n-l:]) != suffix {
+		return false
+	}
+	s.j = n - l - 1
+	return true
+}
+
+// setTo replaces the suffix located by a previous ends() with rep when the
+// measure condition already checked by the caller holds.
+func (s *stemmer) setTo(rep string) {
+	s.b = append(s.b[:s.j+1], rep...)
+}
+
+// r replaces the matched suffix with rep when m() > 0.
+func (s *stemmer) r(rep string) {
+	if s.m() > 0 {
+		s.setTo(rep)
+	}
+}
+
+// step1ab removes plurals and -ed or -ing.
+func (s *stemmer) step1ab() {
+	if s.b[len(s.b)-1] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.b = s.b[:len(s.b)-2]
+		case s.ends("ies"):
+			s.setTo("i")
+		case len(s.b) >= 2 && s.b[len(s.b)-2] != 's':
+			s.b = s.b[:len(s.b)-1]
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	}
+	if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.b = s.b[:s.j+1]
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleC(len(s.b) - 1):
+			switch s.b[len(s.b)-1] {
+			case 'l', 's', 'z':
+			default:
+				s.b = s.b[:len(s.b)-1]
+			}
+		default:
+			s.j = len(s.b) - 1
+			if s.m() == 1 && s.cvc(len(s.b)-1) {
+				s.b = append(s.b, 'e')
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is another vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones, e.g. -ization to -ize.
+func (s *stemmer) step2() {
+	if len(s.b) < 3 {
+		return
+	}
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		if s.ends("ational") {
+			s.r("ate")
+		} else if s.ends("tional") {
+			s.r("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.r("ence")
+		} else if s.ends("anci") {
+			s.r("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.r("ize")
+		}
+	case 'l':
+		if s.ends("bli") {
+			s.r("ble")
+		} else if s.ends("alli") {
+			s.r("al")
+		} else if s.ends("entli") {
+			s.r("ent")
+		} else if s.ends("eli") {
+			s.r("e")
+		} else if s.ends("ousli") {
+			s.r("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.r("ize")
+		} else if s.ends("ation") {
+			s.r("ate")
+		} else if s.ends("ator") {
+			s.r("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.r("al")
+		} else if s.ends("iveness") {
+			s.r("ive")
+		} else if s.ends("fulness") {
+			s.r("ful")
+		} else if s.ends("ousness") {
+			s.r("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.r("al")
+		} else if s.ends("iviti") {
+			s.r("ive")
+		} else if s.ends("biliti") {
+			s.r("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.r("log")
+		}
+	}
+}
+
+// step3 deals with -ic-, -full, -ness etc.
+func (s *stemmer) step3() {
+	switch s.b[len(s.b)-1] {
+	case 'e':
+		if s.ends("icate") {
+			s.r("ic")
+		} else if s.ends("ative") {
+			s.r("")
+		} else if s.ends("alize") {
+			s.r("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.r("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.r("ic")
+		} else if s.ends("ful") {
+			s.r("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.r("")
+		}
+	}
+}
+
+// step4 takes off -ant, -ence etc. in context <c>vcvc<v>.
+func (s *stemmer) step4() {
+	if len(s.b) < 2 {
+		return
+	}
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") {
+			if s.j < 0 || (s.b[s.j] != 's' && s.b[s.j] != 't') {
+				return
+			}
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.m() > 1 {
+		s.b = s.b[:s.j+1]
+	}
+}
+
+// step5 removes a final -e and reduces -ll in long words.
+func (s *stemmer) step5() {
+	s.j = len(s.b) - 1
+	if s.b[len(s.b)-1] == 'e' {
+		s.j = len(s.b) - 2
+		a := s.m()
+		if a > 1 || (a == 1 && !s.cvc(len(s.b)-2)) {
+			s.b = s.b[:len(s.b)-1]
+		}
+	}
+	s.j = len(s.b) - 1
+	if s.b[len(s.b)-1] == 'l' && s.doubleC(len(s.b)-1) && s.m() > 1 {
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+// Equivalent reports whether two words share a Porter stem — the predicate
+// behind stemming substitution rules.
+func Equivalent(a, b string) bool {
+	return a == b || Stem(a) == Stem(b)
+}

@@ -1,0 +1,161 @@
+package stem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Known outputs of the reference Porter (1980) implementation.
+func TestStemKnown(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		// domain words used throughout this repository
+		"matching":    "match",
+		"learning":    "learn",
+		"databases":   "databas",
+		"computation": "comput",
+		"queries":     "queri",
+		"keywords":    "keyword",
+		"proceedings": "proceed",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"", "a", "it", "号号号", "naïve", "c3po!"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+	if got := Stem("2003"); got != "2003" {
+		t.Errorf("digits must pass through, got %q", got)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	pairs := [][2]string{
+		{"match", "matching"},
+		{"learn", "learning"},
+		{"query", "queries"},
+		{"compute", "computing"},
+	}
+	for _, p := range pairs {
+		if !Equivalent(p[0], p[1]) {
+			t.Errorf("Equivalent(%q,%q) = false", p[0], p[1])
+		}
+	}
+	if Equivalent("database", "keyword") {
+		t.Error("unrelated words reported equivalent")
+	}
+	if !Equivalent("x", "x") {
+		t.Error("identity should be equivalent")
+	}
+}
+
+// Property: stemming is idempotent on its own output for plain ASCII words,
+// never lengthens a word, and never panics.
+func TestPropertyStem(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		word := string(w)
+		s := Stem(word)
+		if len(s) > len(word) {
+			return false
+		}
+		// Applying the stemmer twice may differ from once in rare Porter
+		// edge cases, but must still terminate and not lengthen.
+		return len(Stem(s)) <= len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "matching", "computation", "proceedings", "effectiveness"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,55 @@
+package xmltree
+
+import (
+	"errors"
+
+	"xrefine/internal/dewey"
+)
+
+// Collection grafts several documents under one virtual root, producing a
+// single Document the whole engine stack operates on unchanged. Each
+// member document's root becomes a child of the collection root — i.e. a
+// document partition (Definition 6.1) — which is exactly the granularity
+// the partition-based refinement algorithm scans, so a collection of many
+// small feeds (the sponsored-search scenario) behaves identically to one
+// large document.
+//
+// Member trees are rebuilt (not aliased): Dewey labels and interned types
+// must be re-rooted under the collection, and the inputs stay usable on
+// their own.
+func Collection(rootTag string, docs ...*Document) (*Document, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("xmltree: empty collection")
+	}
+	if rootTag == "" {
+		rootTag = "collection"
+	}
+	reg := NewRegistry()
+	rootType := reg.Intern(nil, rootTag)
+	root := &Node{Tag: rootTag, Type: rootType, ID: dewey.Root()}
+	out := &Document{Root: root, Types: reg, NodeCount: 1}
+
+	var graft func(src *Node, parent *Node) *Node
+	graft = func(src *Node, parent *Node) *Node {
+		n := &Node{
+			Tag:    src.Tag,
+			Type:   reg.Intern(parent.Type, src.Tag),
+			ID:     parent.ID.Child(uint32(len(parent.Children))),
+			Parent: parent,
+			Text:   src.Text,
+		}
+		parent.Children = append(parent.Children, n)
+		out.NodeCount++
+		for _, c := range src.Children {
+			graft(c, n)
+		}
+		return n
+	}
+	for _, d := range docs {
+		if d == nil || d.Root == nil {
+			return nil, errors.New("xmltree: nil document in collection")
+		}
+		graft(d.Root, root)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package xmltree
+
+import (
+	"testing"
+
+	"xrefine/internal/dewey"
+)
+
+func TestCollectionShape(t *testing.T) {
+	a, err := ParseString(`<feed><ad>shoes</ad></feed>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseString(`<feed><ad>bikes</ad><ad>tents</ad></feed>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Collection("catalog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Root.Tag != "catalog" || len(col.Root.Children) != 2 {
+		t.Fatalf("root = %s with %d children", col.Root.Tag, len(col.Root.Children))
+	}
+	if col.NodeCount != 1+a.NodeCount+b.NodeCount {
+		t.Errorf("NodeCount = %d", col.NodeCount)
+	}
+	// Members become partitions.
+	parts := col.Partitions()
+	if len(parts) != 2 || parts[0].Tag != "feed" {
+		t.Fatalf("partitions = %v", parts)
+	}
+	// Dewey labels re-rooted and resolvable.
+	n, ok := col.NodeByID(dewey.MustParse("0.1.1"))
+	if !ok || n.Text != "tents" {
+		t.Fatalf("0.1.1 = %+v, %v", n, ok)
+	}
+	// Types re-interned under the collection root.
+	ty, ok := col.Types.ByPath("catalog/feed/ad")
+	if !ok || ty.Depth != 2 {
+		t.Fatalf("type = %+v, %v", ty, ok)
+	}
+	// Source documents untouched.
+	if a.Root.Parent != nil || a.Root.ID.String() != "0" {
+		t.Error("source document mutated")
+	}
+	// Walk stays in document order.
+	var prev dewey.ID
+	col.Walk(func(n *Node) bool {
+		if prev != nil && dewey.Compare(prev, n.ID) >= 0 {
+			t.Fatalf("order broken at %s", n.ID)
+		}
+		prev = n.ID
+		return true
+	})
+}
+
+func TestCollectionErrors(t *testing.T) {
+	if _, err := Collection("c"); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := Collection("c", nil); err == nil {
+		t.Error("nil document accepted")
+	}
+	a, _ := ParseString(`<x>1</x>`, nil)
+	if col, err := Collection("", a); err != nil || col.Root.Tag != "collection" {
+		t.Errorf("default root tag: %v %v", col, err)
+	}
+}
+
+func TestCollectionParentChain(t *testing.T) {
+	a, _ := ParseString(`<x><y>deep</y></x>`, nil)
+	col, err := Collection("c", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := col.NodeByID(dewey.MustParse("0.0.0"))
+	if n.Parent == nil || n.Parent.Parent != col.Root {
+		t.Error("parent chain broken")
+	}
+	if n.Type.Parent != n.Parent.Type {
+		t.Error("type chain broken")
+	}
+}

@@ -1,0 +1,52 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"xrefine/internal/dewey"
+)
+
+// FuzzParse throws arbitrary input at the XML parser: no panics, and every
+// successfully parsed document must satisfy the structural invariants the
+// rest of the system depends on (document-ordered Dewey labels, consistent
+// types, resolvable node IDs).
+func FuzzParse(f *testing.F) {
+	f.Add("<a><b>text</b></a>")
+	f.Add("<a x=\"1\"><b/><b/></a>")
+	f.Add("")
+	f.Add("<a>")
+	f.Add("<<<")
+	f.Add("<a>&lt;&amp;</a>")
+	f.Add("<r><x></x><y><z>deep</z></y></r>")
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src, nil)
+		if err != nil {
+			return
+		}
+		var prev dewey.ID
+		count := 0
+		doc.Walk(func(n *Node) bool {
+			count++
+			if prev != nil && dewey.Compare(prev, n.ID) >= 0 {
+				t.Fatalf("walk out of order: %s then %s", prev, n.ID)
+			}
+			prev = n.ID
+			if got, ok := doc.NodeByID(n.ID); !ok || got != n {
+				t.Fatalf("NodeByID(%s) failed", n.ID)
+			}
+			if n.Parent != nil && n.Type.Parent != n.Parent.Type {
+				t.Fatalf("type chain broken at %s", n.ID)
+			}
+			for _, term := range n.Terms() {
+				if term == "" || strings.ContainsAny(term, " \t\n") {
+					t.Fatalf("bad term %q at %s", term, n.ID)
+				}
+			}
+			return true
+		})
+		if count != doc.NodeCount {
+			t.Fatalf("NodeCount %d != walked %d", doc.NodeCount, count)
+		}
+	})
+}

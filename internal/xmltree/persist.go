@@ -1,0 +1,151 @@
+package xmltree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xrefine/internal/kvstore"
+)
+
+// Document persistence: the tree serializes into the same kvstore an index
+// lives in, so an engine reopened from disk can still render snippets and
+// mine narrowing candidates — the two features that need the source
+// document rather than the inverted lists.
+//
+// Layout: one pre-order byte stream (per node: varint tag length, tag,
+// varint child count, varint text length, text), chunked under sequential
+// keys to respect the store's cell bound:
+//
+//	D\x00c\x00<seq BE32>  chunk of the serialized tree
+//
+// Chunk keys sort by sequence number, so a Range reads the stream back in
+// order. Reconstruction is a single recursive decode.
+const docChunkPrefix = "D\x00c\x00"
+
+// SaveDocument writes the document into the store (without committing; the
+// caller batches it with the index save).
+func SaveDocument(d *Document, s *kvstore.Store) error {
+	if d == nil || d.Root == nil {
+		return fmt.Errorf("xmltree: nil document")
+	}
+	var buf []byte
+	var encode func(n *Node)
+	encode = func(n *Node) {
+		buf = binary.AppendUvarint(buf, uint64(len(n.Tag)))
+		buf = append(buf, n.Tag...)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+		buf = binary.AppendUvarint(buf, uint64(len(n.Text)))
+		buf = append(buf, n.Text...)
+		for _, c := range n.Children {
+			encode(c)
+		}
+	}
+	encode(d.Root)
+
+	budget := s.MaxKV() - 16
+	seq := uint32(0)
+	for off := 0; off < len(buf); {
+		end := off + budget
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if err := s.Put(docChunkKey(seq), buf[off:end]); err != nil {
+			return err
+		}
+		off = end
+		seq++
+	}
+	if len(buf) == 0 { // cannot happen (root has a tag) but stay total
+		return s.Put(docChunkKey(0), []byte{})
+	}
+	return nil
+}
+
+func docChunkKey(seq uint32) []byte {
+	k := []byte(docChunkPrefix)
+	var be [4]byte
+	binary.BigEndian.PutUint32(be[:], seq)
+	return append(k, be[:]...)
+}
+
+// LoadDocument reconstructs a document previously written with
+// SaveDocument; it returns (nil, false, nil) when the store holds no
+// document (an index-only store).
+func LoadDocument(s *kvstore.Store) (*Document, bool, error) {
+	var buf []byte
+	prefix := []byte(docChunkPrefix)
+	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if err := s.Range(prefix, end, func(k, v []byte) bool {
+		buf = append(buf, v...)
+		return true
+	}); err != nil {
+		return nil, false, err
+	}
+	if len(buf) == 0 {
+		return nil, false, nil
+	}
+	reg := NewRegistry()
+	doc := &Document{Types: reg}
+	r := bytes.NewReader(buf)
+	pos := func() int { return len(buf) - r.Len() }
+	var decode func(parent *Node, ord uint32) (*Node, error)
+	decode = func(parent *Node, ord uint32) (*Node, error) {
+		tagLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: doc stream at %d: %w", pos(), err)
+		}
+		if uint64(r.Len()) < tagLen {
+			return nil, fmt.Errorf("xmltree: doc stream truncated tag at %d", pos())
+		}
+		tagBytes := make([]byte, tagLen)
+		if _, err := io.ReadFull(r, tagBytes); err != nil {
+			return nil, err
+		}
+		childCount, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		textLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(r.Len()) < textLen {
+			return nil, fmt.Errorf("xmltree: doc stream truncated text at %d", pos())
+		}
+		textBytes := make([]byte, textLen)
+		if _, err := io.ReadFull(r, textBytes); err != nil {
+			return nil, err
+		}
+		n := &Node{Tag: string(tagBytes), Text: string(textBytes), Parent: parent}
+		if parent == nil {
+			n.Type = reg.Intern(nil, n.Tag)
+			n.ID = []uint32{0}
+		} else {
+			n.Type = reg.Intern(parent.Type, n.Tag)
+			n.ID = parent.ID.Child(ord)
+		}
+		doc.NodeCount++
+		if childCount > uint64(r.Len()) {
+			return nil, fmt.Errorf("xmltree: implausible child count %d at %d", childCount, pos())
+		}
+		for i := uint64(0); i < childCount; i++ {
+			c, err := decode(n, uint32(i))
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	}
+	root, err := decode(nil, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if r.Len() != 0 {
+		return nil, false, fmt.Errorf("xmltree: %d trailing bytes in doc stream", r.Len())
+	}
+	doc.Root = root
+	return doc, true, nil
+}

@@ -1,0 +1,290 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/tokenize"
+)
+
+// Node is one element (or attribute, when attributes are materialized) of
+// the document tree.
+type Node struct {
+	// Tag is the normalized tag name.
+	Tag string
+	// Type is the interned prefix-path type of the node.
+	Type *Type
+	// ID is the node's Dewey label.
+	ID dewey.ID
+	// Parent is nil for the root.
+	Parent *Node
+	// Children holds child nodes in document order; the i-th child has
+	// Dewey label ID.Child(i).
+	Children []*Node
+	// Text is the concatenated character data directly under the element
+	// (not including descendant text), whitespace-trimmed.
+	Text string
+}
+
+// Terms returns the normalized keyword terms of the node: its tag name plus
+// every term of its direct text value. The tag comes first.
+func (n *Node) Terms() []string {
+	terms := make([]string, 0, 4)
+	if t := tokenize.Tag(n.Tag); t != "" {
+		terms = append(terms, t)
+	}
+	return append(terms, tokenize.Text(n.Text)...)
+}
+
+// Subtext concatenates all text in the node's subtree in document order,
+// separated by single spaces. Used for snippets.
+func (n *Node) Subtext() string {
+	var b strings.Builder
+	n.appendSubtext(&b)
+	return b.String()
+}
+
+func (n *Node) appendSubtext(b *strings.Builder) {
+	if n.Text != "" {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n.Text)
+	}
+	for _, c := range n.Children {
+		c.appendSubtext(b)
+	}
+}
+
+// Snippet renders a short human-readable preview of the subtree: the tag,
+// the Dewey label and up to max runes of subtree text.
+func (n *Node) Snippet(max int) string {
+	txt := n.Subtext()
+	if r := []rune(txt); len(r) > max {
+		txt = string(r[:max]) + "…"
+	}
+	return fmt.Sprintf("%s:%s %q", n.Tag, n.ID, txt)
+}
+
+// SnippetHighlight is Snippet with query terms wrapped in [brackets], so a
+// terminal UI can show why the node matched. Terms are compared after
+// normalization, the way the index matched them.
+func (n *Node) SnippetHighlight(max int, terms []string) string {
+	match := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		match[t] = true
+	}
+	words := strings.Fields(n.Subtext())
+	var b strings.Builder
+	runes := 0
+	truncated := false
+	for i, w := range words {
+		render := w
+		if match[tokenize.Normalize(w)] {
+			render = "[" + w + "]"
+		}
+		if i > 0 {
+			runes++
+		}
+		runes += len([]rune(render))
+		if runes > max {
+			truncated = true
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(render)
+	}
+	txt := b.String()
+	if truncated {
+		txt += "…"
+	}
+	return fmt.Sprintf("%s:%s %q", n.Tag, n.ID, txt)
+}
+
+// Document is a parsed XML document.
+type Document struct {
+	Root *Node
+	// Types is the registry of node types observed in the document.
+	Types *Registry
+	// NodeCount is the total number of nodes including the root.
+	NodeCount int
+}
+
+// Options configure parsing.
+type Options struct {
+	// AttributesAsNodes materializes each attribute as a child node whose
+	// tag is the attribute name and whose text is the attribute value.
+	// This matches how the paper's datasets (DBLP) expose keyworded data
+	// like year="2003". Default true.
+	AttributesAsNodes bool
+	// MaxDepth aborts parsing of pathologically deep documents. Zero
+	// means the default of 512.
+	MaxDepth int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{AttributesAsNodes: true, MaxDepth: 512}
+	if o != nil {
+		out = *o
+		if out.MaxDepth == 0 {
+			out.MaxDepth = 512
+		}
+	}
+	return out
+}
+
+// Parse reads an XML document from r and builds the tree. A nil opts uses
+// defaults.
+func Parse(r io.Reader, opts *Options) (*Document, error) {
+	o := opts.withDefaults()
+	dec := xml.NewDecoder(r)
+	reg := NewRegistry()
+	doc := &Document{Types: reg}
+
+	var stack []*Node
+	var text strings.Builder
+
+	flushText := func() {
+		if len(stack) == 0 {
+			text.Reset()
+			return
+		}
+		cur := stack[len(stack)-1]
+		t := strings.TrimSpace(text.String())
+		text.Reset()
+		if t == "" {
+			return
+		}
+		if cur.Text == "" {
+			cur.Text = t
+		} else {
+			cur.Text += " " + t
+		}
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			flushText()
+			if len(stack) >= o.MaxDepth {
+				return nil, fmt.Errorf("xmltree: document deeper than %d", o.MaxDepth)
+			}
+			tag := tokenize.Tag(t.Name.Local)
+			if tag == "" {
+				tag = "x"
+			}
+			var n *Node
+			if len(stack) == 0 {
+				if doc.Root != nil {
+					return nil, errors.New("xmltree: multiple root elements")
+				}
+				n = &Node{Tag: tag, Type: reg.Intern(nil, tag), ID: dewey.Root()}
+				doc.Root = n
+			} else {
+				p := stack[len(stack)-1]
+				n = &Node{
+					Tag:    tag,
+					Type:   reg.Intern(p.Type, tag),
+					ID:     p.ID.Child(uint32(len(p.Children))),
+					Parent: p,
+				}
+				p.Children = append(p.Children, n)
+			}
+			doc.NodeCount++
+			stack = append(stack, n)
+			if o.AttributesAsNodes {
+				for _, a := range t.Attr {
+					atag := tokenize.Tag(a.Name.Local)
+					if atag == "" || a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+						continue
+					}
+					an := &Node{
+						Tag:    atag,
+						Type:   reg.Intern(n.Type, atag),
+						ID:     n.ID.Child(uint32(len(n.Children))),
+						Parent: n,
+						Text:   strings.TrimSpace(a.Value),
+					}
+					n.Children = append(n.Children, an)
+					doc.NodeCount++
+				}
+			}
+		case xml.EndElement:
+			flushText()
+			if len(stack) == 0 {
+				return nil, errors.New("xmltree: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text.Write(t)
+		}
+	}
+	if doc.Root == nil {
+		return nil, errors.New("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmltree: unclosed elements at EOF")
+	}
+	return doc, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string, opts *Options) (*Document, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// NodeByID resolves a Dewey label to its node. It fails when the label does
+// not name a node of this document.
+func (d *Document) NodeByID(id dewey.ID) (*Node, bool) {
+	if len(id) == 0 || id[0] != 0 || d.Root == nil {
+		return nil, false
+	}
+	n := d.Root
+	for _, c := range id[1:] {
+		if int(c) >= len(n.Children) {
+			return nil, false
+		}
+		n = n.Children[c]
+	}
+	return n, true
+}
+
+// Walk visits every node in document order (pre-order). The walk descends
+// into a node's children only when fn returns true for it.
+func (d *Document) Walk(fn func(*Node) bool) {
+	if d.Root == nil {
+		return
+	}
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(d.Root)
+}
+
+// Partitions returns the roots of the document partitions (Definition 6.1):
+// the children of the document root, in document order.
+func (d *Document) Partitions() []*Node {
+	if d.Root == nil {
+		return nil
+	}
+	return d.Root.Children
+}

@@ -1,0 +1,188 @@
+// Package xrefine is an automatic XML keyword query refinement engine — a
+// from-scratch Go reproduction of "Automatic XML Keyword Query Refinement"
+// (Bao, Lu, Ling, Meng; 2009), the XRefine system.
+//
+// XML keyword search is conjunctive: a result must contain every query
+// keyword (the SLCA semantics). Real queries contain typos, mis-split or
+// mis-merged terms, vocabulary mismatches and over-restrictive terms, so
+// they frequently match nothing meaningful. XRefine detects this *during*
+// query processing — without a wasted first retrieval — and returns a
+// ranked list of refined queries, each guaranteed to have meaningful
+// results, together with those results, in a single scan of the keyword
+// inverted lists.
+//
+// # Quick start
+//
+//	eng, err := xrefine.NewFromXML(file, nil)
+//	if err != nil { ... }
+//	resp, err := eng.Query("online databse") // note the typo
+//	if resp.NeedRefine {
+//	    for _, rq := range resp.Queries {
+//	        fmt.Println(rq.Keywords, rq.DSim, len(rq.Results))
+//	    }
+//	}
+//
+// The engine decides adaptively: a query with meaningful results comes
+// back unrefined with its matches; a broken query comes back with top-K
+// refinement suggestions and their matches.
+//
+// See the runnable programs under examples/ and the experiment harness in
+// cmd/xbench for larger scenarios.
+package xrefine
+
+import (
+	"io"
+
+	"xrefine/internal/core"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/lexicon"
+	"xrefine/internal/narrow"
+	"xrefine/internal/rank"
+	"xrefine/internal/refine"
+	"xrefine/internal/rules"
+	"xrefine/internal/searchfor"
+	"xrefine/internal/slca"
+	"xrefine/internal/tokenize"
+	"xrefine/internal/xmltree"
+)
+
+// Engine answers keyword queries over one indexed XML document.
+type Engine = core.Engine
+
+// Config tunes an Engine; the zero value uses sensible defaults.
+type Config = core.Config
+
+// Response is the engine's answer to one query.
+type Response = core.Response
+
+// RankedQuery is one (possibly refined) query with its results.
+type RankedQuery = core.RankedQuery
+
+// Match is one meaningful SLCA result node.
+type Match = refine.Match
+
+// Step is one refinement operation in a suggestion's provenance.
+type Step = refine.Step
+
+// Strategy selects a refinement algorithm.
+type Strategy = core.Strategy
+
+// Refinement algorithm strategies (Section VI of the paper).
+const (
+	StrategyPartition = core.StrategyPartition
+	StrategySLE       = core.StrategySLE
+	StrategyStack     = core.StrategyStack
+)
+
+// SLCAAlgorithm selects the delegated SLCA computation.
+type SLCAAlgorithm = slca.Algorithm
+
+// SLCA algorithm choices.
+const (
+	ScanEager          = slca.AlgoScanEager
+	IndexedLookupEager = slca.AlgoIndexedLookupEager
+	StackSLCA          = slca.AlgoStack
+	MultiwaySLCA       = slca.AlgoMultiway
+)
+
+// Document is a parsed XML document tree.
+type Document = xmltree.Document
+
+// Lexicon supplies synonym and acronym knowledge for substitution rules.
+type Lexicon = lexicon.Lexicon
+
+// RuleGenerator configures automatic refinement-rule derivation.
+type RuleGenerator = rules.Generator
+
+// RankModel holds the ranking-model weights (Formula 10).
+type RankModel = rank.Model
+
+// SearchForOptions tunes search-for node inference (Formula 1).
+type SearchForOptions = searchfor.Options
+
+// Store is the embedded key-value store indexes persist into.
+type Store = kvstore.Store
+
+// NewFromXML parses and indexes an XML document from r.
+func NewFromXML(r io.Reader, cfg *Config) (*Engine, error) {
+	return core.NewFromXML(r, cfg)
+}
+
+// NewFromDocument indexes an already-parsed document.
+func NewFromDocument(doc *Document, cfg *Config) *Engine {
+	return core.NewFromDocument(doc, cfg)
+}
+
+// NewFromXMLStream indexes XML without materializing the document tree;
+// memory stays proportional to the index. Snippets and narrowing are
+// unavailable on the resulting engine.
+func NewFromXMLStream(r io.Reader, cfg *Config) (*Engine, error) {
+	return core.NewFromXMLStream(r, cfg)
+}
+
+// ParseXML parses an XML document into a tree.
+func ParseXML(r io.Reader) (*Document, error) {
+	return xmltree.Parse(r, nil)
+}
+
+// Collection grafts several parsed documents under one virtual root; each
+// member becomes a document partition, so the refinement algorithms treat
+// a set of feeds exactly like one large document.
+func Collection(rootTag string, docs ...*Document) (*Document, error) {
+	return xmltree.Collection(rootTag, docs...)
+}
+
+// OpenStore opens (or creates) an index store file.
+func OpenStore(path string, readOnly bool) (*Store, error) {
+	return kvstore.Open(path, &kvstore.Options{ReadOnly: readOnly})
+}
+
+// OpenIndex loads an engine from a previously saved index store. Stores
+// written with Engine.SaveIndexWithDocument restore the source document,
+// keeping snippets and narrowing available.
+func OpenIndex(store *Store, cfg *Config) (*Engine, error) {
+	return core.Open(store, cfg)
+}
+
+// Tokenize normalizes a raw keyword query string into query terms, exactly
+// as Engine.Query does internally.
+func Tokenize(q string) []string { return tokenize.Query(q) }
+
+// EngineStats is a snapshot of the engine's serving counters.
+type EngineStats = core.EngineStats
+
+// NarrowOptions tune Engine.Narrow, the too-many-results extension.
+type NarrowOptions = narrow.Options
+
+// NarrowOutcome reports a narrowing run.
+type NarrowOutcome = narrow.Outcome
+
+// NarrowSuggestion is one narrowing proposal.
+type NarrowSuggestion = narrow.Suggestion
+
+// ErrNeedsDocument is returned by Engine.Narrow on engines loaded from an
+// index store (narrowing mines candidate terms from the source document).
+var ErrNeedsDocument = narrow.ErrNeedsDocument
+
+// BuiltinLexicon returns the embedded synonym/acronym dictionary.
+func BuiltinLexicon() *Lexicon { return lexicon.Builtin() }
+
+// DefaultRankModel returns the paper's default ranking weights
+// (α = β = 1, decay 0.8).
+func DefaultRankModel() RankModel { return rank.Default() }
+
+// Snippet renders a short preview of a match against its document.
+func Snippet(doc *Document, m Match, maxRunes int) string {
+	return core.Snippet(doc, m, maxRunes)
+}
+
+// SnippetHighlight renders a preview with the given query terms wrapped in
+// [brackets]. Falls back to the bare label when the document is nil.
+func SnippetHighlight(doc *Document, m Match, maxRunes int, terms []string) string {
+	if doc != nil {
+		if n, ok := doc.NodeByID(m.ID); ok {
+			return n.SnippetHighlight(maxRunes, terms)
+		}
+	}
+	return core.Snippet(doc, m, maxRunes)
+}
