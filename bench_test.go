@@ -16,6 +16,7 @@ import (
 	"xrefine/internal/experiments"
 	"xrefine/internal/index"
 	"xrefine/internal/rank"
+	"xrefine/internal/refine"
 	"xrefine/internal/slca"
 )
 
@@ -311,6 +312,38 @@ func BenchmarkParallelQueries(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPartitionTopKParallel measures the parallel partition pipeline
+// against the sequential baseline (workers=1) on the batch Top-K workload.
+// Inputs are prepared outside the timed loop so the measurement isolates
+// the partition walk itself.
+func BenchmarkPartitionTopKParallel(b *testing.B) {
+	c := benchCorpus(b)
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 555, Queries: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]refine.Input, 0, len(batch))
+	for _, cs := range batch {
+		in, _, err := c.Engine.Prepare(cs.Corrupted)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins = append(ins, in)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in := ins[i%len(ins)]
+				in.Parallelism = workers
+				if _, err := refine.PartitionTopK(in, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkIndexBuild measures corpus indexing (Section VII construction).

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -24,15 +26,17 @@ import (
 )
 
 var (
-	scale   = flag.Float64("scale", 1.0, "DBLP corpus scale in (0,1]")
-	reps    = flag.Int("reps", 3, "timed repetitions per measurement")
-	queries = flag.Int("queries", 50, "effectiveness pool size")
+	scale    = flag.Float64("scale", 1.0, "DBLP corpus scale in (0,1]")
+	reps     = flag.Int("reps", 3, "timed repetitions per measurement")
+	queries  = flag.Int("queries", 50, "effectiveness pool size")
+	jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (parallel experiment)")
+	maxprocs = flag.Int("workers", 8, "largest worker count for the parallel experiment")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -49,13 +53,14 @@ func main() {
 		"ablation-slca":      ablationSLCA,
 		"ablation-beam":      ablationBeam,
 		"elca":               elcaCompare,
+		"parallel":           parallelCompare,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, n := range []string{
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
-			"ablation-slca", "ablation-beam", "elca",
+			"ablation-slca", "ablation-beam", "elca", "parallel",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -329,6 +334,42 @@ func elcaCompare() error {
 	fmt.Fprintln(w, "query\t|SLCA|\t|ELCA|")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%d\t%d\n", experiments.JoinTerms(r.Query), r.SLCA, r.ELCA)
+	}
+	return w.Flush()
+}
+
+func parallelCompare() error {
+	c, err := corpus()
+	if err != nil {
+		return err
+	}
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 555, Queries: 20})
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for w := 2; w <= *maxprocs; w *= 2 {
+		counts = append(counts, w)
+	}
+	if len(counts) == 0 {
+		counts = []int{2}
+	}
+	rows, err := experiments.ParallelCompare(c, batch, counts, 3, *reps)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(struct {
+			GOMAXPROCS int                       `json:"gomaxprocs"`
+			Scale      float64                   `json:"scale"`
+			K          int                       `json:"k"`
+			Rows       []experiments.ParallelRow `json:"rows"`
+		}{runtime.GOMAXPROCS(0), *scale, 3, rows})
+	}
+	w := header(fmt.Sprintf("Parallel partition pipeline: batch Top-3 walk time vs workers (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	fmt.Fprintln(w, "workers\tbatch avg (ms)\tspeedup\tidentical output\tengaged queries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.3f\t%.2fx\t%v\t%d\n", r.Workers, r.AvgMS, r.Speedup, r.Identical, r.Engaged)
 	}
 	return w.Flush()
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"xrefine"
@@ -45,8 +46,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xrefine index  -xml <file> -index <file>      build a persistent index
-  xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] <query>
-  xrefine batch  [-xml <file> | -index <file>] [-k N] -queries <file>   one query per line, TSV out
+  xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] [-parallel N] <query>
+  xrefine batch  [-xml <file> | -index <file>] [-k N] [-parallel N] -queries <file>   one query per line, TSV out
   xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
   xrefine narrow [-xml <file>] [-max N] [-k N] <query>    too-many-results suggestions
   xrefine repl   [-xml <file> | -index <file>]  interactive session`)
@@ -93,6 +94,7 @@ func cmdIndex(args []string) {
 func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
 	xmlPath := fs.Lookup("xml").Value.String()
 	indexPath := fs.Lookup("index").Value.String()
+	cfg := engineConfig(fs)
 	switch {
 	case xmlPath != "":
 		f, err := os.Open(xmlPath)
@@ -104,13 +106,13 @@ func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
 		if err != nil {
 			fatal(err)
 		}
-		return xrefine.NewFromDocument(doc, nil), doc, func() {}
+		return xrefine.NewFromDocument(doc, cfg), doc, func() {}
 	case indexPath != "":
 		store, err := xrefine.OpenStore(indexPath, true)
 		if err != nil {
 			fatal(err)
 		}
-		eng, err := xrefine.OpenIndex(store, nil)
+		eng, err := xrefine.OpenIndex(store, cfg)
 		if err != nil {
 			store.Close()
 			fatal(err)
@@ -119,6 +121,21 @@ func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
 	}
 	fatal(fmt.Errorf("need -xml or -index"))
 	return nil, nil, nil
+}
+
+// engineConfig translates the optional -parallel flag into an engine
+// config: unset or 0 keeps the default (all cores), 1 forces the
+// sequential partition walk. Output is identical at any setting.
+func engineConfig(fs *flag.FlagSet) *xrefine.Config {
+	f := fs.Lookup("parallel")
+	if f == nil {
+		return nil
+	}
+	n, err := strconv.Atoi(f.Value.String())
+	if err != nil || n <= 0 {
+		return nil
+	}
+	return &xrefine.Config{Parallelism: n}
 }
 
 func parseStrategy(s string) xrefine.Strategy {
@@ -140,6 +157,7 @@ func cmdSearch(args []string) {
 	fs.String("index", "", "index file")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
+	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("search needs a query"))
@@ -156,6 +174,7 @@ func cmdBatch(args []string) {
 	fs.String("index", "", "index file")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
+	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
 	queriesPath := fs.String("queries", "", "file with one keyword query per line")
 	fs.Parse(args)
 	if *queriesPath == "" {
@@ -297,6 +316,7 @@ func cmdREPL(args []string) {
 	fs.String("index", "", "index file")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
+	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
 	fs.Parse(args)
 	eng, doc, closeFn := load(fs)
 	defer closeFn()

@@ -4,11 +4,11 @@
 // Usage:
 //
 //	xserve -xml dblp.xml -addr :8080
-//	xserve -index dblp.kv -addr :8080
+//	xserve -index dblp.kv -addr :8080 -parallel 4
 //
 // Endpoints:
 //
-//	GET /search?q=online+databse&k=3&strategy=partition|sle|stack
+//	GET /search?q=online+databse&k=3&strategy=partition|sle|stack&parallel=N
 //	GET /narrow?q=database&max=50&k=3    (requires -xml)
 //	GET /healthz
 package main
@@ -31,9 +31,14 @@ func main() {
 		xmlPath   = flag.String("xml", "", "XML document to index and serve")
 		indexPath = flag.String("index", "", "prebuilt index file to serve")
 		addr      = flag.String("addr", ":8080", "listen address")
+		parallel  = flag.Int("parallel", 0, "partition-walk workers per query (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
+	var cfg *core.Config
+	if *parallel > 0 {
+		cfg = &core.Config{Parallelism: *parallel}
+	}
 	var eng *core.Engine
 	switch {
 	case *xmlPath != "":
@@ -46,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng = core.NewFromDocument(doc, nil)
+		eng = core.NewFromDocument(doc, cfg)
 		log.Printf("indexed %s: %d nodes", *xmlPath, doc.NodeCount)
 	case *indexPath != "":
 		store, err := xrefine.OpenStore(*indexPath, true)
@@ -54,7 +59,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer store.Close()
-		eng, err = core.Open(store, nil)
+		eng, err = core.Open(store, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync/atomic"
 
@@ -82,6 +83,12 @@ type Config struct {
 	// ancestor (the entity), merging duplicates — XSeek-style display
 	// granularity instead of raw SLCA nodes.
 	ExpandResults bool
+	// Parallelism bounds the worker goroutines the partition strategy
+	// fans the document walk out to. 0 means runtime.GOMAXPROCS(0); 1
+	// forces the exact sequential path. The parallel path returns
+	// responses identical to the sequential one, so the value is a pure
+	// performance knob.
+	Parallelism int
 }
 
 func (c *Config) withDefaults() Config {
@@ -99,6 +106,9 @@ func (c *Config) withDefaults() Config {
 	if out.TopK <= 0 {
 		out.TopK = 3
 	}
+	if out.Parallelism <= 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return out
 }
 
@@ -109,9 +119,11 @@ type Engine struct {
 	cfg   Config
 	cache *queryCache // nil when caching is disabled
 
-	statQueries   atomic.Uint64
-	statRefined   atomic.Uint64
-	statCacheHits atomic.Uint64
+	statQueries    atomic.Uint64
+	statRefined    atomic.Uint64
+	statCacheHits  atomic.Uint64
+	statParallel   atomic.Uint64
+	statWorkerRuns atomic.Uint64
 }
 
 // EngineStats is a snapshot of the engine's serving counters.
@@ -122,14 +134,33 @@ type EngineStats struct {
 	Refined uint64
 	// CacheHits counts responses served from the LRU cache.
 	CacheHits uint64
+	// ParallelQueries counts queries whose partition walk actually ran on
+	// the parallel pipeline (more than one worker goroutine).
+	ParallelQueries uint64
+	// WorkerRuns accumulates worker goroutines across parallel queries;
+	// WorkerRuns/ParallelQueries is the average fan-out achieved.
+	WorkerRuns uint64
+	// Parallelism is the engine's configured worker bound.
+	Parallelism int
 }
 
 // Stats returns the current counter snapshot.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Queries:   e.statQueries.Load(),
-		Refined:   e.statRefined.Load(),
-		CacheHits: e.statCacheHits.Load(),
+		Queries:         e.statQueries.Load(),
+		Refined:         e.statRefined.Load(),
+		CacheHits:       e.statCacheHits.Load(),
+		ParallelQueries: e.statParallel.Load(),
+		WorkerRuns:      e.statWorkerRuns.Load(),
+		Parallelism:     e.cfg.Parallelism,
+	}
+}
+
+// noteOutcome updates the parallelism counters from one exploration.
+func (e *Engine) noteOutcome(out *refine.TopKOutcome) {
+	if out.Workers > 1 {
+		e.statParallel.Add(1)
+		e.statWorkerRuns.Add(uint64(out.Workers))
 	}
 }
 
@@ -306,11 +337,12 @@ func (e *Engine) Prepare(terms []string) (refine.Input, []searchfor.Candidate, e
 	inferTerms := append(append([]string(nil), terms...), rs.NewKeywords(terms)...)
 	cands := searchfor.Infer(e.ix, inferTerms, &e.cfg.SearchFor)
 	in := refine.Input{
-		Index: e.ix,
-		Query: terms,
-		Rules: rs,
-		Judge: searchfor.NewJudge(cands),
-		SLCA:  e.cfg.SLCA,
+		Index:       e.ix,
+		Query:       terms,
+		Rules:       rs,
+		Judge:       searchfor.NewJudge(cands),
+		SLCA:        e.cfg.SLCA,
+		Parallelism: e.cfg.Parallelism,
 	}
 	return in, cands, nil
 }
@@ -331,12 +363,22 @@ func (e *Engine) Explore(terms []string, k int) (*refine.TopKOutcome, []searchfo
 	if err != nil {
 		return nil, nil, err
 	}
+	e.noteOutcome(out)
 	return out, cands, nil
 }
 
 // QueryTerms answers a pre-tokenized query with an explicit strategy and K
 // — the entry point the experiment harness uses.
 func (e *Engine) QueryTerms(terms []string, strategy Strategy, k int) (*Response, error) {
+	return e.QueryTermsParallel(terms, strategy, k, 0)
+}
+
+// QueryTermsParallel is QueryTerms with a per-query parallelism override
+// for the partition strategy: 0 uses the engine's configured value, 1
+// forces the sequential path, N fans the walk out to at most N workers.
+// Responses are identical at every parallelism, so cached responses are
+// shared across overrides.
+func (e *Engine) QueryTermsParallel(terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
 	if len(terms) == 0 {
 		return nil, errors.New("core: query has no keywords")
 	}
@@ -352,7 +394,7 @@ func (e *Engine) QueryTerms(terms []string, strategy Strategy, k int) (*Response
 		}
 		return resp, nil
 	}
-	resp, err := e.queryUncached(terms, strategy, k)
+	resp, err := e.queryUncached(terms, strategy, k, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -366,11 +408,15 @@ func (e *Engine) QueryTerms(terms []string, strategy Strategy, k int) (*Response
 	return resp, nil
 }
 
-// queryUncached runs the full pipeline.
-func (e *Engine) queryUncached(terms []string, strategy Strategy, k int) (*Response, error) {
+// queryUncached runs the full pipeline. parallelism > 0 overrides the
+// engine's configured partition-walk fan-out for this query.
+func (e *Engine) queryUncached(terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
 	in, cands, err := e.Prepare(terms)
 	if err != nil {
 		return nil, err
+	}
+	if parallelism > 0 {
+		in.Parallelism = parallelism
 	}
 	rs := in.Rules
 	resp := &Response{Terms: terms, SearchFor: cands, Rules: rs.Rules()}
@@ -418,6 +464,9 @@ func (e *Engine) queryUncached(terms []string, strategy Strategy, k int) (*Respo
 			out, err = refine.ShortListEager(in, k)
 		} else {
 			out, err = refine.PartitionTopK(in, k)
+			if out != nil {
+				e.noteOutcome(out)
+			}
 		}
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xrefine/internal/dewey"
 	"xrefine/internal/xmltree"
@@ -16,17 +17,23 @@ type typeStat struct {
 	tf uint32 // tf(k,T): occurrences of k within T-typed subtrees
 }
 
-// kwEntry is everything the index knows about one keyword.
+// kwEntry is everything the index knows about one keyword. The list pointer
+// is atomic so readers never block on the map while another goroutine is
+// paging a different term in from the kvstore; loadMu makes the lazy load
+// itself a per-term singleflight (concurrent requests for the same term do
+// one disk read, requests for different terms do not serialize).
 type kwEntry struct {
-	list    *List
+	list    atomic.Pointer[List]
 	listLen uint32           // posting count, known without loading the list
 	stats   map[int]typeStat // keyed by type ID
+	loadMu  sync.Mutex       // serializes the lazy load of this term only
 }
 
 // Index is the complete access structure for one document: inverted lists
-// plus the statistics tables of Section VII. It is immutable after Build or
-// Load and safe for concurrent readers (the co-occurrence cache has its own
-// lock).
+// plus the statistics tables of Section VII. The terms map and every
+// statistic are immutable after Build or Load; posting lists of disk-backed
+// indexes materialize lazily behind per-term locks. The whole structure is
+// safe for concurrent readers.
 type Index struct {
 	// Types is the node-type registry of the indexed document.
 	Types *xmltree.Registry
@@ -35,7 +42,7 @@ type Index struct {
 	// NodeCount is the total number of indexed nodes.
 	NodeCount int
 
-	mu       sync.Mutex // guards terms map when lists load lazily, and coCache
+	mu       sync.Mutex // guards coCache only
 	terms    map[string]*kwEntry
 	loader   func(term string) (*List, error) // nil for fully-resident indexes
 	nt       []uint32                         // N_T per type ID
@@ -112,7 +119,7 @@ func Build(doc *xmltree.Document) *Index {
 		return true
 	})
 	for term, st := range states {
-		st.kwEntry.list = NewList(term, st.postings)
+		st.kwEntry.list.Store(NewList(term, st.postings))
 		st.kwEntry.listLen = uint32(len(st.postings))
 		ix.terms[term] = st.kwEntry
 	}
@@ -130,53 +137,53 @@ func Build(doc *xmltree.Document) *Index {
 
 // HasTerm reports whether the keyword occurs anywhere in the document.
 func (ix *Index) HasTerm(term string) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	_, ok := ix.terms[term]
 	return ok
 }
 
 // List returns the inverted list of term, or an empty list when the term
-// does not occur. Lists load lazily on disk-backed indexes.
+// does not occur. Lists load lazily on disk-backed indexes; concurrent
+// callers of the same term share one load, callers of different terms load
+// independently (no global lock is held across kvstore I/O).
 func (ix *Index) List(term string) (*List, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	e, ok := ix.terms[term]
 	if !ok {
 		return &List{Term: term}, nil
 	}
-	if e.list == nil {
-		if ix.loader == nil {
-			return nil, fmt.Errorf("index: list for %q missing and no loader", term)
-		}
-		l, err := ix.loader(term)
-		if err != nil {
-			return nil, fmt.Errorf("index: load list %q: %w", term, err)
-		}
-		e.list = l
+	if l := e.list.Load(); l != nil {
+		return l, nil
 	}
-	return e.list, nil
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	if l := e.list.Load(); l != nil {
+		return l, nil
+	}
+	if ix.loader == nil {
+		return nil, fmt.Errorf("index: list for %q missing and no loader", term)
+	}
+	l, err := ix.loader(term)
+	if err != nil {
+		return nil, fmt.Errorf("index: load list %q: %w", term, err)
+	}
+	e.list.Store(l)
+	return l, nil
 }
 
 // ListLen returns the posting count of term without forcing a lazy list
 // load (the frequent table carries the length).
 func (ix *Index) ListLen(term string) int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	e, ok := ix.terms[term]
 	if !ok {
 		return 0
 	}
-	if e.list != nil {
-		return e.list.Len()
+	if l := e.list.Load(); l != nil {
+		return l.Len()
 	}
 	return int(e.listLen)
 }
 
 // Vocabulary returns every indexed term in lexicographic order.
 func (ix *Index) Vocabulary() []string {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	out := make([]string, 0, len(ix.terms))
 	for t := range ix.terms {
 		out = append(out, t)
@@ -187,8 +194,6 @@ func (ix *Index) Vocabulary() []string {
 
 // DF returns the XML document frequency f_k^T (Definition 3.2).
 func (ix *Index) DF(term string, t *xmltree.Type) int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if e, ok := ix.terms[term]; ok {
 		return int(e.stats[t.ID].df)
 	}
@@ -198,8 +203,6 @@ func (ix *Index) DF(term string, t *xmltree.Type) int {
 // TF returns tf(k,T): the number of occurrences of term within subtrees
 // rooted at T-typed nodes.
 func (ix *Index) TF(term string, t *xmltree.Type) int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if e, ok := ix.terms[term]; ok {
 		return int(e.stats[t.ID].tf)
 	}

@@ -41,6 +41,21 @@ func NewList(term string, postings []Posting) *List {
 	return &List{Term: term, postings: postings}
 }
 
+// NewListUnchecked builds a list without the document-order validation of
+// NewList. It exists for callers that slice postings out of an
+// already-validated list — re-proving order there is an O(n) scan per call
+// on the query hot path. Index build keeps the checked constructor.
+func NewListUnchecked(term string, postings []Posting) *List {
+	return &List{Term: term, postings: postings}
+}
+
+// Sub returns the sublist covering postings [start, end) as a view sharing
+// l's backing array. Order needs no re-validation: a contiguous slice of a
+// document-ordered list is document-ordered.
+func (l *List) Sub(start, end int) *List {
+	return &List{Term: l.Term, postings: l.postings[start:end]}
+}
+
 // Len returns the number of postings.
 func (l *List) Len() int {
 	if l == nil {

@@ -46,10 +46,8 @@ func (ix *Index) Save(s *kvstore.Store) error {
 		if err != nil {
 			return err
 		}
-		ix.mu.Lock()
 		e := ix.terms[term]
 		row := encodeFreqRow(uint32(l.Len()), e.stats)
-		ix.mu.Unlock()
 		if err := s.Put(freqKey(term), row); err != nil {
 			return fmt.Errorf("index: save freq %q: %w", term, err)
 		}

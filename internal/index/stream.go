@@ -197,7 +197,7 @@ func BuildStream(r io.Reader, opts *xmltree.Options) (*Index, error) {
 			}
 			last = p.ID
 		}
-		st.kwEntry.list = NewList(term, uniq)
+		st.kwEntry.list.Store(NewList(term, uniq))
 		st.kwEntry.listLen = uint32(len(uniq))
 		ix.terms[term] = st.kwEntry
 	}

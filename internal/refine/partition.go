@@ -18,8 +18,17 @@ type TopKOutcome struct {
 	// Partitions counts document partitions actually visited, an
 	// efficiency observable for the experiments.
 	Partitions int
-	// SLCACalls counts delegated SLCA computations.
+	// SLCACalls counts delegated SLCA computations. The parallel
+	// execution path may count more calls than the sequential one: each
+	// worker prunes against a bound that converges on the sequential
+	// bound but can transiently admit extra candidates.
 	SLCACalls int
+	// Workers is the number of goroutines that executed the partition
+	// walk: 1 for the sequential path.
+	Workers int
+	// Ranges is the number of contiguous partition ranges the document
+	// was pre-split into (0 for the sequential path).
+	Ranges int
 }
 
 // PartitionTopK runs Algorithm 2: walk the keyword lists partition by
@@ -29,15 +38,30 @@ type TopKOutcome struct {
 // optimization), and compute results with any SLCA algorithm, restricted to
 // the partition's sublists. Each list is traversed exactly once
 // (Theorem 2).
+//
+// When in.Parallelism > 1 the walk executes on the parallel
+// partition-pipeline (see PartitionTopKParallel); the output is identical
+// either way.
 func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
+	if in.Parallelism > 1 {
+		return PartitionTopKParallel(in, k, in.Parallelism)
+	}
 	if k < 1 {
 		k = 1
 	}
-	out := &TopKOutcome{}
 	ks := in.scanKeywords()
 	if len(ks) == 0 {
-		return out, nil
+		return &TopKOutcome{Workers: 1}, nil
 	}
+	lists, err := scanLists(in, ks)
+	if err != nil {
+		return nil, err
+	}
+	return partitionTopKSeq(in, k, ks, lists)
+}
+
+// scanLists fetches the inverted list of every scan keyword.
+func scanLists(in Input, ks []string) ([]*index.List, error) {
 	lists := make([]*index.List, len(ks))
 	for i, kw := range ks {
 		l, err := in.Index.List(kw)
@@ -46,52 +70,22 @@ func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
 		}
 		lists[i] = l
 	}
-	cursors := make([]int, len(ks))
-	sorted := NewSortedList(2 * k)
+	return lists, nil
+}
 
+// partitionTopKSeq is the sequential partition walk over the full lists.
+func partitionTopKSeq(in Input, k int, ks []string, lists []*index.List) (*TopKOutcome, error) {
+	out := &TopKOutcome{Workers: 1}
+	sorted := NewSortedList(2 * k)
+	w := newPartitionWalker(ks, lists, nil, nil)
 	for {
-		// Smallest unconsumed node across lists (paper line 5).
-		var v dewey.ID
-		for i, l := range lists {
-			if cursors[i] >= l.Len() {
-				continue
-			}
-			if id := l.At(cursors[i]).ID; v == nil || dewey.Compare(id, v) < 0 {
-				v = id
-			}
-		}
-		if v == nil {
+		pid, ok := w.next()
+		if !ok {
 			break
 		}
-		pid, ok := v.Partition()
-		if !ok {
-			// A posting at the document root: no partition contains
-			// it; skip it (the root is never a meaningful result).
-			for i, l := range lists {
-				if cursors[i] < l.Len() && dewey.Equal(l.At(cursors[i]).ID, v) {
-					cursors[i]++
-				}
-			}
-			continue
-		}
 		out.Partitions++
-		pidEnd := pid.Next()
-		// Sublists within the partition (getKLPartition, lines 6-8).
-		spans := make([]span, len(ks))
-		avail := make(map[string]bool, len(ks))
-		for i, l := range lists {
-			end := l.SeekGE(pidEnd)
-			if end < cursors[i] {
-				end = cursors[i]
-			}
-			spans[i] = span{start: cursors[i], end: end}
-			if end > cursors[i] {
-				avail[ks[i]] = true
-			}
-			cursors[i] = end
-		}
 		// Top-2K refined queries expressible in this partition (line 10).
-		for _, rq := range TopRQs(in.Query, avail, in.Rules, 2*k) {
+		for _, rq := range TopRQs(in.Query, w.avail, in.Rules, 2*k) {
 			item := sorted.Has(rq)
 			if item == nil && !sorted.Qualifies(rq.DSim) {
 				// Worse than the current 2K-th candidate: skip the
@@ -99,7 +93,7 @@ func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
 				// (2)).
 				continue
 			}
-			res, err := partitionSLCA(in, rq, ks, lists, spans, pid)
+			res, err := partitionSLCA(in, rq, ks, lists, w.spans, pid)
 			if err != nil {
 				return nil, err
 			}
@@ -123,6 +117,98 @@ func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
 // span is a half-open index interval into a keyword list.
 type span struct{ start, end int }
 
+// partitionWalker advances a cursor set over the keyword lists one document
+// partition at a time (the getKLPartition loop of Algorithm 2, lines 5-8),
+// restricted to the Dewey interval [lo, hi) when bounds are given. Its
+// spans slice and avail map are reused across partitions so the hot loop
+// does not allocate per partition visited.
+type partitionWalker struct {
+	ks      []string
+	lists   []*index.List
+	cursors []int
+	limits  []int
+	spans   []span
+	avail   map[string]bool
+}
+
+// newPartitionWalker positions cursors at the first posting >= lo (or the
+// list start when lo is nil) and bounds the walk at the first posting >= hi
+// (or the list end when hi is nil). lo and hi must be partition roots so no
+// partition straddles two walkers.
+func newPartitionWalker(ks []string, lists []*index.List, lo, hi dewey.ID) *partitionWalker {
+	w := &partitionWalker{
+		ks:      ks,
+		lists:   lists,
+		cursors: make([]int, len(lists)),
+		limits:  make([]int, len(lists)),
+		spans:   make([]span, len(lists)),
+		avail:   make(map[string]bool, len(lists)),
+	}
+	for i, l := range lists {
+		if lo != nil {
+			w.cursors[i] = l.SeekGE(lo)
+		}
+		if hi != nil {
+			w.limits[i] = l.SeekGE(hi)
+		} else {
+			w.limits[i] = l.Len()
+		}
+		if w.limits[i] < w.cursors[i] {
+			w.limits[i] = w.cursors[i]
+		}
+	}
+	return w
+}
+
+// next advances to the next non-empty partition, filling w.spans and
+// w.avail with the partition's sublists, and returns its root label. It
+// returns false when every cursor reached its limit. Postings at the
+// document root belong to no partition and are skipped (the root is never a
+// meaningful result).
+func (w *partitionWalker) next() (dewey.ID, bool) {
+	for {
+		// Smallest unconsumed node across lists (paper line 5).
+		var v dewey.ID
+		for i, l := range w.lists {
+			if w.cursors[i] >= w.limits[i] {
+				continue
+			}
+			if id := l.At(w.cursors[i]).ID; v == nil || dewey.Compare(id, v) < 0 {
+				v = id
+			}
+		}
+		if v == nil {
+			return nil, false
+		}
+		pid, ok := v.Partition()
+		if !ok {
+			for i, l := range w.lists {
+				if w.cursors[i] < w.limits[i] && dewey.Equal(l.At(w.cursors[i]).ID, v) {
+					w.cursors[i]++
+				}
+			}
+			continue
+		}
+		pidEnd := pid.Next()
+		clear(w.avail)
+		for i, l := range w.lists {
+			end := l.SeekGE(pidEnd)
+			if end > w.limits[i] {
+				end = w.limits[i]
+			}
+			if end < w.cursors[i] {
+				end = w.cursors[i]
+			}
+			w.spans[i] = span{start: w.cursors[i], end: end}
+			if end > w.cursors[i] {
+				w.avail[w.ks[i]] = true
+			}
+			w.cursors[i] = end
+		}
+		return pid, true
+	}
+}
+
 // partitionSLCA computes the meaningful SLCAs of rq inside one document
 // partition by delegating to the configured SLCA algorithm over the
 // partition-restricted sublists.
@@ -139,7 +225,7 @@ func partitionSLCA(in Input, rq RQ, ks []string, lists []*index.List, spans []sp
 			if s.end <= s.start {
 				return nil, nil // keyword absent from partition
 			}
-			l := index.NewList(kw, lists[i].Slice(s.start, s.end))
+			l := lists[i].Sub(s.start, s.end)
 			sub = append(sub, l)
 			witness = l
 			found = true

@@ -1,0 +1,327 @@
+package refine
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/index"
+)
+
+// This file is the parallel execution layer for Algorithm 2. The document
+// is pre-split into contiguous partition ranges (by posting mass, using
+// List.SeekGE so splitting costs a handful of binary searches); the ranges
+// fan out to a bounded worker pool. Each worker owns its cursor set
+// (partitionWalker) and a local SortedList, and shares the current global
+// 2K-th dissimilarity bound through an atomic so the paper's SLCA-skipping
+// prune keeps working across goroutines.
+//
+// Workers record, per partition in their range, the top-2K refined queries
+// and the SLCA results they computed. A deterministic merge phase then
+// replays those records partition-by-partition in document order through a
+// fresh SortedList — the exact sequential admission logic — so the outcome
+// (candidate set, dissimilarities, and Results concatenated in document
+// order) is identical to the sequential run. The shared bound is only a
+// work-avoidance hint: when a worker skipped an SLCA computation the replay
+// turns out to need (a rare race near the bound), the merge recomputes it
+// from the same partition sublists, which preserves the equivalence
+// unconditionally.
+
+// minPostingsPerRange keeps tiny documents on the sequential path: below
+// this much posting mass per would-be range, goroutine and merge overhead
+// dominates any overlap win.
+const minPostingsPerRange = 256
+
+// rangeOversplit is how many ranges each worker gets on average; splitting
+// finer than the worker count lets the pool balance skewed partitions.
+const rangeOversplit = 4
+
+// PartitionTopKParallel runs Algorithm 2 on `workers` goroutines and
+// returns output identical to the sequential PartitionTopK. workers <= 1,
+// queries with no scan keywords, and documents too small to split all fall
+// back to the sequential path.
+func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
+	if k < 1 {
+		k = 1
+	}
+	ks := in.scanKeywords()
+	if len(ks) == 0 {
+		return &TopKOutcome{Workers: 1}, nil
+	}
+	lists, err := scanLists(in, ks)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, l := range lists {
+		total += l.Len()
+	}
+	if workers > total/minPostingsPerRange {
+		workers = total / minPostingsPerRange
+	}
+	pivots := splitPivots(lists, workers*rangeOversplit)
+	if workers <= 1 || len(pivots) == 0 {
+		return partitionTopKSeq(in, k, ks, lists)
+	}
+	ranges := len(pivots) + 1
+	if workers > ranges {
+		workers = ranges
+	}
+
+	var (
+		bound      = newSharedBound()
+		perRange   = make([]*rangeOutcome, ranges)
+		jobs       = make(chan int)
+		wg         sync.WaitGroup
+		firstErr   error
+		firstErrMu sync.Mutex
+	)
+	fail := func(err error) {
+		firstErrMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		firstErrMu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := NewSortedList(2 * k)
+			for r := range jobs {
+				lo, hi := rangeBounds(pivots, r)
+				res, err := walkRange(in, k, ks, lists, lo, hi, local, bound)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				perRange[r] = res
+			}
+		}()
+	}
+	for r := 0; r < ranges; r++ {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out, err := mergeRanges(in, k, ks, lists, perRange)
+	if err != nil {
+		return nil, err
+	}
+	out.Workers = workers
+	out.Ranges = ranges
+	return out, nil
+}
+
+// rangeBounds returns the Dewey interval [lo, hi) of range r; nil means
+// unbounded on that side.
+func rangeBounds(pivots []dewey.ID, r int) (lo, hi dewey.ID) {
+	if r > 0 {
+		lo = pivots[r-1]
+	}
+	if r < len(pivots) {
+		hi = pivots[r]
+	}
+	return lo, hi
+}
+
+// splitPivots picks up to n-1 partition-root labels splitting the combined
+// posting mass of the lists into roughly equal contiguous ranges. Pivot
+// candidates are the partition roots of the postings at fractional
+// positions of each list, so each costs O(1) and ranges align with
+// partition boundaries by construction. It returns nil when the lists
+// cannot support more than one range (e.g. all mass in one partition).
+func splitPivots(lists []*index.List, n int) []dewey.ID {
+	if n <= 1 {
+		return nil
+	}
+	var cands []dewey.ID
+	for j := 1; j < n; j++ {
+		for _, l := range lists {
+			if l.Len() == 0 {
+				continue
+			}
+			idx := l.Len() * j / n
+			if p, ok := l.At(idx).ID.Partition(); ok {
+				cands = append(cands, p)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return dewey.Compare(cands[i], cands[j]) < 0 })
+	uniq := cands[:0]
+	for i, p := range cands {
+		if i == 0 || !dewey.Equal(cands[i-1], p) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) <= n-1 {
+		return uniq
+	}
+	// More distinct boundaries than ranges: sample evenly.
+	out := make([]dewey.ID, 0, n-1)
+	for i := 1; i < n; i++ {
+		p := uniq[len(uniq)*i/n]
+		if len(out) == 0 || !dewey.Equal(out[len(out)-1], p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sharedBound publishes the smallest full-local-list worst dissimilarity
+// any worker has seen — a lower envelope of the sequential 2K-th-candidate
+// bound. Candidates at or above the bound cannot enter the final top-2K, so
+// workers skip their SLCA computations.
+type sharedBound struct {
+	bits atomic.Uint64 // math.Float64bits of the current bound
+}
+
+func newSharedBound() *sharedBound {
+	b := &sharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *sharedBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// lower tightens the bound to v if v is smaller.
+func (b *sharedBound) lower(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// rqRecord is one refined query surfaced in one partition: the RQ itself
+// and, when the worker computed it, the partition's meaningful SLCA
+// results. computed distinguishes "computed, empty" (no recompute needed)
+// from "skipped by the bound" (the merge recomputes on demand).
+type rqRecord struct {
+	rq       RQ
+	computed bool
+	results  []Match
+}
+
+// partitionRecord is everything the merge needs to replay one partition.
+type partitionRecord struct {
+	pid dewey.ID
+	rqs []rqRecord
+}
+
+// rangeOutcome is one worker's record of one contiguous partition range.
+type rangeOutcome struct {
+	partitions []partitionRecord
+	slcaCalls  int
+}
+
+// walkRange processes the partitions inside [lo, hi): for each partition it
+// runs the top-2K dynamic program and computes SLCA results for every
+// refined query that might still enter the global top-2K, judged against
+// the worker-local list and the shared bound. local persists across the
+// ranges a worker processes — it only ever tightens the bound, and ranges
+// are replayed in document order later, so staleness is harmless.
+func walkRange(in Input, k int, ks []string, lists []*index.List, lo, hi dewey.ID, local *SortedList, bound *sharedBound) (*rangeOutcome, error) {
+	res := &rangeOutcome{}
+	w := newPartitionWalker(ks, lists, lo, hi)
+	for {
+		pid, ok := w.next()
+		if !ok {
+			return res, nil
+		}
+		rqs := TopRQs(in.Query, w.avail, in.Rules, 2*k)
+		rec := partitionRecord{pid: pid, rqs: make([]rqRecord, 0, len(rqs))}
+		for _, rq := range rqs {
+			item := local.Has(rq)
+			if item == nil && !(rq.DSim < bound.get() && local.Qualifies(rq.DSim)) {
+				rec.rqs = append(rec.rqs, rqRecord{rq: rq})
+				continue
+			}
+			matches, err := partitionSLCA(in, rq, ks, lists, w.spans, pid)
+			if err != nil {
+				return nil, err
+			}
+			res.slcaCalls++
+			rec.rqs = append(rec.rqs, rqRecord{rq: rq, computed: true, results: matches})
+			if len(matches) == 0 || item != nil {
+				continue
+			}
+			if local.Insert(rq, nil) != nil && local.Full() {
+				bound.lower(local.Worst())
+			}
+		}
+		res.partitions = append(res.partitions, rec)
+	}
+}
+
+// mergeRanges replays the per-range partition records in document order
+// through a fresh SortedList, applying exactly the sequential admission
+// logic, so the merged outcome is identical to the sequential run. SLCA
+// results a worker skipped but the replay needs are recomputed here from
+// the same partition sublists.
+func mergeRanges(in Input, k int, ks []string, lists []*index.List, perRange []*rangeOutcome) (*TopKOutcome, error) {
+	out := &TopKOutcome{}
+	sorted := NewSortedList(2 * k)
+	spans := make([]span, len(lists))
+	for _, rng := range perRange {
+		if rng == nil {
+			continue
+		}
+		out.SLCACalls += rng.slcaCalls
+		for _, rec := range rng.partitions {
+			out.Partitions++
+			spansReady := false
+			for _, rr := range rec.rqs {
+				item := sorted.Has(rr.rq)
+				if item == nil && !sorted.Qualifies(rr.rq.DSim) {
+					continue
+				}
+				res := rr.results
+				if !rr.computed {
+					if !spansReady {
+						partitionSpans(lists, rec.pid, spans)
+						spansReady = true
+					}
+					var err error
+					res, err = partitionSLCA(in, rr.rq, ks, lists, spans, rec.pid)
+					if err != nil {
+						return nil, err
+					}
+					out.SLCACalls++
+				}
+				if len(res) == 0 {
+					continue
+				}
+				if item != nil {
+					item.Results = append(item.Results, res...)
+				} else {
+					sorted.Insert(rr.rq, res)
+				}
+			}
+		}
+	}
+	for _, it := range sorted.Items() {
+		out.Candidates = append(out.Candidates, it)
+	}
+	return out, nil
+}
+
+// partitionSpans reconstructs the sublist spans of a partition. Inside the
+// walk the span start is the cursor position, but by the time a partition
+// is visited every posting before its root has been consumed, so the
+// cursor equals SeekGE(pid) — two binary searches recover the same spans.
+func partitionSpans(lists []*index.List, pid dewey.ID, spans []span) {
+	pidEnd := pid.Next()
+	for i, l := range lists {
+		spans[i] = span{start: l.SeekGE(pid), end: l.SeekGE(pidEnd)}
+	}
+}

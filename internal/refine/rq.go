@@ -159,6 +159,10 @@ type Input struct {
 	// SLCA selects the SLCA computation the partition-based and
 	// short-list eager algorithms delegate to (Lemma 3 orthogonality).
 	SLCA slca.Algorithm
+	// Parallelism bounds the worker goroutines PartitionTopK fans the
+	// partition walk out to. 0 and 1 run the exact sequential path; the
+	// parallel path returns identical output (see partition_parallel.go).
+	Parallelism int
 }
 
 // scanKeywords returns Q's keywords plus the rule-generated new keywords,

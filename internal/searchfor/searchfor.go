@@ -9,6 +9,7 @@ package searchfor
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"xrefine/internal/index"
 	"xrefine/internal/xmltree"
@@ -111,17 +112,21 @@ func Infer(ix *index.Index, terms []string, opts *Options) []Candidate {
 }
 
 // Judge answers meaningfulness questions for one inferred candidate list.
+// A Judge is safe for concurrent use: the parallel partition walk shares
+// one judge across its workers.
 type Judge struct {
 	cands []Candidate
 	// byID memoizes the per-type verdict: type IDs are dense and
-	// queries probe the same few types over and over.
-	byID map[int]bool
+	// queries probe the same few types over and over. The verdict for a
+	// type never changes, so concurrent duplicate stores agree —
+	// sync.Map's write-once read-many case.
+	byID sync.Map
 }
 
 // NewJudge wraps a candidate list; an empty list yields a judge that calls
 // nothing meaningful, which by Definition 3.4 forces refinement.
 func NewJudge(cands []Candidate) *Judge {
-	return &Judge{cands: cands, byID: make(map[int]bool)}
+	return &Judge{cands: cands}
 }
 
 // Candidates returns the wrapped candidate list, best first.
@@ -131,8 +136,8 @@ func (j *Judge) Candidates() []Candidate { return j.cands }
 // node of some candidate type — the type-level half of Definition 3.3. The
 // caller pairs it with SLCA membership, which it already has.
 func (j *Judge) Meaningful(t *xmltree.Type) bool {
-	if v, ok := j.byID[t.ID]; ok {
-		return v
+	if v, ok := j.byID.Load(t.ID); ok {
+		return v.(bool)
 	}
 	v := false
 	for _, c := range j.cands {
@@ -141,7 +146,7 @@ func (j *Judge) Meaningful(t *xmltree.Type) bool {
 			break
 		}
 	}
-	j.byID[t.ID] = v
+	j.byID.Store(t.ID, v)
 	return v
 }
 

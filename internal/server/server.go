@@ -2,7 +2,7 @@
 // the deployment surface a sponsored-search or digital-library integration
 // would talk to. Handlers are plain net/http so the server embeds anywhere.
 //
-//	GET /search?q=online+databse&k=3&strategy=partition
+//	GET /search?q=online+databse&k=3&strategy=partition&parallel=4
 //	GET /narrow?q=database&max=50&k=3
 //	GET /healthz
 package server
@@ -88,7 +88,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.eng.QueryTerms(terms, strategy, k)
+	// parallel overrides the engine's worker count for this query only;
+	// 0 (the default) keeps the engine configuration, 1 forces the
+	// sequential walk. Responses are identical either way.
+	parallel, err := intParam(r, "parallel", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.QueryTermsParallel(terms, strategy, k, parallel)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -189,12 +197,15 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, map[string]any{
-		"status":     "ok",
-		"nodes":      s.eng.Index().NodeCount,
-		"terms":      len(s.eng.Index().Vocabulary()),
-		"queries":    st.Queries,
-		"refined":    st.Refined,
-		"cache_hits": st.CacheHits,
+		"status":           "ok",
+		"nodes":            s.eng.Index().NodeCount,
+		"terms":            len(s.eng.Index().Vocabulary()),
+		"queries":          st.Queries,
+		"refined":          st.Refined,
+		"cache_hits":       st.CacheHits,
+		"parallelism":      st.Parallelism,
+		"parallel_queries": st.ParallelQueries,
+		"worker_runs":      st.WorkerRuns,
 	})
 }
 

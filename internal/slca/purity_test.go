@@ -1,0 +1,54 @@
+package slca
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xrefine/internal/dewey"
+)
+
+// TestAlgorithmsPureOverSharedLists runs every algorithm from many
+// goroutines over the same shared lists and checks each result against the
+// single-threaded answer. Under -race this asserts the package-doc purity
+// contract: no algorithm writes to its input lists or to hidden shared
+// state.
+func TestAlgorithmsPureOverSharedLists(t *testing.T) {
+	ix := buildIx(t, fig1)
+	shared := lists(t, ix, "xml", "online")
+	algos := []Algorithm{AlgoScanEager, AlgoIndexedLookupEager, AlgoStack, AlgoMultiway}
+	want := make(map[Algorithm]string)
+	for _, a := range algos {
+		want[a] = idsString(Compute(a, shared))
+	}
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				a := algos[(g+r)%len(algos)]
+				if got := idsString(Compute(a, shared)); got != want[a] {
+					errs <- a.String() + ": got " + got + " want " + want[a]
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func idsString(ids []dewey.ID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return strings.Join(parts, " ")
+}

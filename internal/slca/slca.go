@@ -18,6 +18,13 @@
 // All functions take keyword inverted lists in document order and return
 // SLCAs in document order. Every algorithm returns identical results; they
 // differ only in cost model, which is the point of the paper's Figure 4.
+//
+// Every algorithm is pure over its input lists: it reads postings through
+// the immutable List API, keeps all intermediate state in locals, and
+// returns freshly allocated IDs. Callers may therefore run any number of
+// computations concurrently over shared lists — the property the parallel
+// partition pipeline in internal/refine relies on. purity_test.go asserts
+// it under the race detector.
 package slca
 
 import (
