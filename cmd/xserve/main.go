@@ -5,20 +5,30 @@
 //
 //	xserve -xml dblp.xml -addr :8080
 //	xserve -index dblp.kv -addr :8080 -parallel 4
+//	xserve -index dblp.kv -timeout 2s -budget 5000000 -max-inflight 64
 //
 // Endpoints:
 //
 //	GET /search?q=online+databse&k=3&strategy=partition|sle|stack&parallel=N
 //	GET /narrow?q=database&max=50&k=3    (requires -xml)
 //	GET /healthz
+//
+// With -timeout or -budget set, a query that overruns returns the partial
+// results found so far with "degraded": true instead of an error. With
+// -max-inflight set, excess concurrent requests are shed with 503 and a
+// Retry-After header. SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"xrefine"
@@ -28,16 +38,21 @@ import (
 
 func main() {
 	var (
-		xmlPath   = flag.String("xml", "", "XML document to index and serve")
-		indexPath = flag.String("index", "", "prebuilt index file to serve")
-		addr      = flag.String("addr", ":8080", "listen address")
-		parallel  = flag.Int("parallel", 0, "partition-walk workers per query (0 = all cores, 1 = sequential)")
+		xmlPath     = flag.String("xml", "", "XML document to index and serve")
+		indexPath   = flag.String("index", "", "prebuilt index file to serve")
+		addr        = flag.String("addr", ":8080", "listen address")
+		parallel    = flag.Int("parallel", 0, "partition-walk workers per query (0 = all cores, 1 = sequential)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline; overruns return partial results flagged degraded (0 = none)")
+		budget      = flag.Int("budget", 0, "per-query posting budget; exhaustion degrades the response (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently-handled query requests; excess is shed with 503 (0 = unbounded)")
+		drain       = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	var cfg *core.Config
-	if *parallel > 0 {
-		cfg = &core.Config{Parallelism: *parallel}
+	cfg := &core.Config{
+		Parallelism:   *parallel,
+		Timeout:       *timeout,
+		PostingBudget: *budget,
 	}
 	var eng *core.Engine
 	switch {
@@ -69,12 +84,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      server.New(eng),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
+	h := server.NewWithConfig(eng, server.Config{
+		Timeout:     *timeout,
+		MaxInFlight: *maxInflight,
+	})
+	// WriteTimeout leaves headroom over the query deadline so degraded
+	// responses still get written rather than cut off mid-body.
+	writeTimeout := 30 * time.Second
+	if *timeout > 0 && *timeout+5*time.Second > writeTimeout {
+		writeTimeout = *timeout + 5*time.Second
 	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v: draining for up to %v", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	}
+	// ListenAndServe returns ErrServerClosed after Shutdown; anything else
+	// would have been fatal above.
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xrefine/internal/datagen"
+	"xrefine/internal/kvstore"
+)
+
+// TestCancelPromptAtEveryStage cancels a slow query mid-flight and
+// requires a prompt return at every pipeline stage: the lazy index loads
+// (made slow by injected read latency), the sequential partition walk, the
+// parallel worker pool, the SLE exploration, the stack merge, and the
+// SLCA computations they delegate to. Run under -race this also proves the
+// cooperative aborts do not race with the worker pool or the index
+// singleflight.
+//
+// Each "load-*" stage opens a fresh engine whose first query pays the
+// lazily-loaded posting lists through a pager with injected latency, so
+// the cancel lands during index IO; each "walk-*" stage warms the lists
+// first, so the cancel lands in pure compute. A stage passes when the
+// query returns within the grace window with either a complete response
+// (the race was lost — fine) or context.Canceled; anything else — a hang,
+// a different error, a panic — fails.
+func TestCancelPromptAtEveryStage(t *testing.T) {
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := NewFromDocument(doc, nil)
+	faults := &kvstore.Faults{}
+	store := kvstore.NewMemWithFaults(faults)
+	defer store.Close()
+	if err := builder.SaveIndex(store); err != nil {
+		t.Fatal(err)
+	}
+	// Every page read now costs 0.5ms, so list loads dominate the cold
+	// queries and the 3ms cancel below lands mid-load.
+	faults.ReadLatency = 500 * time.Microsecond
+
+	terms := []string{"database", "query", "xml"}
+	stages := []struct {
+		name     string
+		cfg      *Config
+		strategy Strategy
+		k        int
+		warm     bool
+	}{
+		{"load-partition-seq", &Config{Parallelism: 1}, StrategyPartition, 3, false},
+		{"load-partition-parallel", &Config{Parallelism: 4}, StrategyPartition, 3, false},
+		{"load-sle", &Config{Parallelism: 1}, StrategySLE, 3, false},
+		{"load-stack", &Config{Parallelism: 1}, StrategyStack, 1, false},
+		{"walk-partition-seq", &Config{Parallelism: 1}, StrategyPartition, 3, true},
+		{"walk-partition-parallel", &Config{Parallelism: 4}, StrategyPartition, 3, true},
+		{"walk-sle", &Config{Parallelism: 1}, StrategySLE, 3, true},
+		{"walk-stack", &Config{Parallelism: 1}, StrategyStack, 1, true},
+		{"walk-stack-topk", &Config{Parallelism: 1}, StrategyStack, 3, true},
+	}
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			store.DropCaches()
+			eng, err := Open(store, st.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.warm {
+				if _, err := eng.QueryTerms(terms, st.strategy, st.k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := eng.QueryTermsCtx(ctx, terms, st.strategy, st.k, 0)
+				done <- err
+			}()
+			time.Sleep(3 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("err = %v, want nil or context.Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("query did not return within 5s of cancellation")
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xrefine/internal/refine"
+)
+
+// TestPostingBudgetDegrades: a posting budget too small for the full walk
+// must yield a partial response flagged Degraded with the posting-budget
+// reason — not an error, not a silently-complete answer.
+func TestPostingBudgetDegrades(t *testing.T) {
+	e, _ := newEngine(t, &Config{PostingBudget: 1})
+	resp, err := e.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("budget of 1 posting did not degrade the response")
+	}
+	if resp.DegradedReason != refine.DegradedPostings {
+		t.Errorf("DegradedReason = %q, want %q", resp.DegradedReason, refine.DegradedPostings)
+	}
+	st := e.Stats()
+	if st.Degraded != 1 {
+		t.Errorf("stats Degraded = %d, want 1", st.Degraded)
+	}
+}
+
+// TestExpiredDeadlineDegrades: a context whose deadline already passed
+// degrades the response (reason "deadline") rather than erroring — the
+// deadline is a best-effort bound, not a failure.
+func TestExpiredDeadlineDegrades(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	resp, err := e.QueryTermsCtx(ctx, []string{"databse"}, StrategyPartition, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("expired deadline did not degrade the response")
+	}
+	if resp.DegradedReason != refine.DegradedDeadline {
+		t.Errorf("DegradedReason = %q, want %q", resp.DegradedReason, refine.DegradedDeadline)
+	}
+}
+
+// TestCanceledContextErrors: outright cancellation is the caller leaving —
+// the query must fail with context.Canceled, never fabricate a response.
+func TestCanceledContextErrors(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, strat := range []Strategy{StrategyPartition, StrategySLE} {
+		if _, err := e.QueryTermsCtx(ctx, []string{"databse"}, strat, 3, 0); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", strat, err)
+		}
+	}
+}
+
+// TestDegradedResponseNeverCached is the regression test for the cache
+// poisoning hazard: a degraded partial response must not be stored, so a
+// repeat of the same query is recomputed (and an unconstrained engine
+// sharing the cache key space could never be served the truncated answer).
+func TestDegradedResponseNeverCached(t *testing.T) {
+	e, _ := newEngine(t, &Config{PostingBudget: 1, CacheSize: 8})
+	r1, err := e.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Degraded {
+		t.Fatal("setup: response not degraded")
+	}
+	r2, err := e.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Error("degraded response was served from the cache")
+	}
+	if !r2.Degraded {
+		t.Error("second run not degraded — a complete answer leaked from somewhere")
+	}
+	if st := e.Stats(); st.CacheHits != 0 {
+		t.Errorf("CacheHits = %d, want 0 (degraded responses are uncacheable)", st.CacheHits)
+	}
+	// A complete response on the same engine type still caches normally.
+	ef, _ := newEngine(t, &Config{CacheSize: 8})
+	c1, err := ef.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Degraded {
+		t.Fatal("unbudgeted engine degraded")
+	}
+	c2, err := ef.Query("databse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("complete response not cached")
+	}
+}
+
+// TestZeroConfigNotDegraded: with no deadline and no budget the pipeline
+// must behave exactly as before — complete responses, no degraded flag.
+func TestZeroConfigNotDegraded(t *testing.T) {
+	e, _ := newEngine(t, nil)
+	for _, strat := range []Strategy{StrategyPartition, StrategySLE, StrategyStack} {
+		resp, err := e.QueryTermsCtx(context.Background(), []string{"databse"}, strat, 3, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if resp.Degraded || resp.DegradedReason != "" {
+			t.Errorf("%v: unconstrained query flagged degraded", strat)
+		}
+	}
+}

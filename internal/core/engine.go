@@ -9,12 +9,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"xrefine/internal/index"
 	"xrefine/internal/kvstore"
@@ -89,6 +91,16 @@ type Config struct {
 	// responses identical to the sequential one, so the value is a pure
 	// performance knob.
 	Parallelism int
+	// Timeout bounds each query's wall-clock execution when positive.
+	// Expiry does not fail the query: the exploration stops at the next
+	// cooperative checkpoint and the response carries whatever was found,
+	// flagged Degraded with reason "deadline". Zero means no deadline.
+	Timeout time.Duration
+	// PostingBudget caps the postings one query's exploration may consume
+	// when positive — a deterministic work bound, unlike Timeout. Expiry
+	// degrades the response the same way with reason "posting-budget".
+	// Zero means unlimited.
+	PostingBudget int
 }
 
 func (c *Config) withDefaults() Config {
@@ -124,6 +136,7 @@ type Engine struct {
 	statCacheHits  atomic.Uint64
 	statParallel   atomic.Uint64
 	statWorkerRuns atomic.Uint64
+	statDegraded   atomic.Uint64
 }
 
 // EngineStats is a snapshot of the engine's serving counters.
@@ -140,6 +153,9 @@ type EngineStats struct {
 	// WorkerRuns accumulates worker goroutines across parallel queries;
 	// WorkerRuns/ParallelQueries is the average fan-out achieved.
 	WorkerRuns uint64
+	// Degraded counts responses returned partial because a deadline or
+	// posting budget expired mid-query.
+	Degraded uint64
 	// Parallelism is the engine's configured worker bound.
 	Parallelism int
 }
@@ -152,6 +168,7 @@ func (e *Engine) Stats() EngineStats {
 		CacheHits:       e.statCacheHits.Load(),
 		ParallelQueries: e.statParallel.Load(),
 		WorkerRuns:      e.statWorkerRuns.Load(),
+		Degraded:        e.statDegraded.Load(),
 		Parallelism:     e.cfg.Parallelism,
 	}
 }
@@ -311,16 +328,32 @@ type Response struct {
 	// Queries holds the original query (when satisfiable) or the ranked
 	// refined queries, best first.
 	Queries []RankedQuery
+	// Degraded reports that a deadline or posting budget expired before
+	// the exploration finished: every result present is genuine, but the
+	// walk covered only part of the document, so candidates (or better
+	// refinements) may be missing. Degraded responses are never cached.
+	Degraded bool
+	// DegradedReason names the cause when Degraded: "deadline" or
+	// "posting-budget" (the refine.Degraded* constants).
+	DegradedReason string
 }
 
 // Query tokenizes and answers a raw keyword query with the configured
 // strategy and K.
 func (e *Engine) Query(q string) (*Response, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query under a caller context: cancellation aborts the
+// pipeline at its next cooperative checkpoint and returns the context
+// error, while a deadline (from ctx or Config.Timeout, whichever fires
+// first) degrades the response to the partial results found so far.
+func (e *Engine) QueryCtx(ctx context.Context, q string) (*Response, error) {
 	terms := tokenize.Query(q)
 	if len(terms) == 0 {
 		return nil, errors.New("core: query has no keywords")
 	}
-	return e.QueryTerms(terms, e.cfg.Strategy, e.cfg.TopK)
+	return e.QueryTermsCtx(ctx, terms, e.cfg.Strategy, e.cfg.TopK, 0)
 }
 
 // Prepare derives the per-query machinery — rule set, search-for
@@ -379,8 +412,23 @@ func (e *Engine) QueryTerms(terms []string, strategy Strategy, k int) (*Response
 // Responses are identical at every parallelism, so cached responses are
 // shared across overrides.
 func (e *Engine) QueryTermsParallel(terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
+	return e.QueryTermsCtx(context.Background(), terms, strategy, k, parallelism)
+}
+
+// QueryTermsCtx is the fully-general entry point: pre-tokenized query,
+// explicit strategy, K and parallelism override, under a caller context.
+// Config.Timeout (when set) is layered onto ctx here, so the effective
+// deadline is the earlier of the two. An expired deadline or exhausted
+// posting budget returns a partial response with Degraded set; an outright
+// cancellation returns ctx.Err(). Degraded responses never enter the
+// cache, so a later unconstrained query cannot be served a truncated
+// answer as if it were complete.
+func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
 	if len(terms) == 0 {
 		return nil, errors.New("core: query has no keywords")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if k <= 0 {
 		k = e.cfg.TopK
@@ -394,7 +442,12 @@ func (e *Engine) QueryTermsParallel(terms []string, strategy Strategy, k, parall
 		}
 		return resp, nil
 	}
-	resp, err := e.queryUncached(terms, strategy, k, parallelism)
+	if e.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+		defer cancel()
+	}
+	resp, err := e.queryUncached(ctx, terms, strategy, k, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -404,17 +457,24 @@ func (e *Engine) QueryTermsParallel(terms []string, strategy Strategy, k, parall
 	if resp.NeedRefine {
 		e.statRefined.Add(1)
 	}
-	e.cache.put(key, resp)
+	if resp.Degraded {
+		e.statDegraded.Add(1)
+	} else {
+		// Only complete responses are cacheable: a degraded partial
+		// answer must never satisfy a later query as if it were full.
+		e.cache.put(key, resp)
+	}
 	return resp, nil
 }
 
 // queryUncached runs the full pipeline. parallelism > 0 overrides the
 // engine's configured partition-walk fan-out for this query.
-func (e *Engine) queryUncached(terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
+func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
 	in, cands, err := e.Prepare(terms)
 	if err != nil {
 		return nil, err
 	}
+	in.Budget = refine.NewBudget(ctx, e.cfg.PostingBudget)
 	if parallelism > 0 {
 		in.Parallelism = parallelism
 	}
@@ -436,6 +496,8 @@ func (e *Engine) queryUncached(terms []string, strategy Strategy, k, parallelism
 			return nil, err
 		}
 		resp.NeedRefine = out.NeedRefine
+		resp.Degraded = out.Degraded
+		resp.DegradedReason = out.DegradedReason
 		if !out.NeedRefine {
 			resp.Queries = []RankedQuery{{
 				Keywords:   refine.NewRQ(terms, 0).Keywords,
@@ -480,6 +542,8 @@ func (e *Engine) queryUncached(terms []string, strategy Strategy, k, parallelism
 // surfaced with results it needs no refinement; otherwise the candidates
 // are ranked with Formula 10 and cut to K (the paper's line 19).
 func (e *Engine) finishTopK(resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
+	resp.Degraded = out.Degraded
+	resp.DegradedReason = out.DegradedReason
 	for _, it := range out.Candidates {
 		if it.RQ.DSim == 0 && it.RQ.SameKeywords(terms) {
 			resp.NeedRefine = false

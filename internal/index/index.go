@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -145,7 +146,13 @@ func (ix *Index) HasTerm(term string) bool {
 // does not occur. Lists load lazily on disk-backed indexes; concurrent
 // callers of the same term share one load, callers of different terms load
 // independently (no global lock is held across kvstore I/O).
-func (ix *Index) List(term string) (*List, error) {
+func (ix *Index) List(term string) (*List, error) { return ix.ListCtx(nil, term) }
+
+// ListCtx is List with cancellation: a canceled context stops before the
+// lazy kvstore load (the expensive part) and, for loads already queued
+// behind another caller's singleflight, before returning the shared
+// result. Resident lists return regardless — there is nothing to save.
+func (ix *Index) ListCtx(ctx context.Context, term string) (*List, error) {
 	e, ok := ix.terms[term]
 	if !ok {
 		return &List{Term: term}, nil
@@ -153,10 +160,20 @@ func (ix *Index) List(term string) (*List, error) {
 	if l := e.list.Load(); l != nil {
 		return l, nil
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
 	if l := e.list.Load(); l != nil {
 		return l, nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	if ix.loader == nil {
 		return nil, fmt.Errorf("index: list for %q missing and no loader", term)

@@ -1,0 +1,124 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the root of every error produced by an armed failpoint.
+// Callers asserting on fault-injection outcomes test with errors.Is.
+var ErrInjected = errors.New("kvstore: injected fault")
+
+// Faults is a fault-injection harness for the pager layer: it interposes
+// between a Store and its real pager (file or memory) and makes page IO
+// fail, slow down, or tear on command. One Faults value drives one store;
+// all counters and triggers are safe for concurrent use, matching the
+// store's concurrent-reader contract.
+//
+// Failpoints count down: FailReads(3) lets two reads through and fails the
+// third and every read after it, until Clear. Torn writes are different —
+// the nth write persists only the first half of the page and then reports
+// success, exactly the silent half-write a crash mid-commit leaves behind;
+// the corruption must be caught later by the page CRC, not by the writer.
+type Faults struct {
+	// ReadLatency and WriteLatency are added to every read/write — the
+	// "slow disk" failpoint. Set before use; not synchronized.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	failRead  atomic.Int64 // countdown; 0 = disarmed
+	failWrite atomic.Int64
+	tornWrite atomic.Int64
+
+	reads    atomic.Int64
+	writes   atomic.Int64
+	injected atomic.Int64
+}
+
+// FailReads arms the read failpoint: the nth read from now (1 = the very
+// next) and every read after it fail with ErrInjected.
+func (f *Faults) FailReads(n int64) { f.failRead.Store(n) }
+
+// FailWrites arms the write failpoint symmetrically to FailReads.
+func (f *Faults) FailWrites(n int64) { f.failWrite.Store(n) }
+
+// TornWrite arms the torn-write failpoint: the nth write from now persists
+// only the first half of its page and reports success.
+func (f *Faults) TornWrite(n int64) { f.tornWrite.Store(n) }
+
+// Clear disarms every failpoint; latency fields are left as set.
+func (f *Faults) Clear() {
+	f.failRead.Store(0)
+	f.failWrite.Store(0)
+	f.tornWrite.Store(0)
+}
+
+// Reads returns the number of page reads that reached the pager.
+func (f *Faults) Reads() int64 { return f.reads.Load() }
+
+// Writes returns the number of page writes that reached the pager.
+func (f *Faults) Writes() int64 { return f.writes.Load() }
+
+// Injected returns the number of operations a failpoint disrupted
+// (failed reads/writes and torn writes).
+func (f *Faults) Injected() int64 { return f.injected.Load() }
+
+// fire decrements a countdown and reports whether the failpoint triggers
+// for this operation. A countdown at 1 trips and stays tripped (sticky);
+// 0 means disarmed.
+func fire(c *atomic.Int64) bool {
+	for {
+		v := c.Load()
+		switch {
+		case v == 0:
+			return false
+		case v == 1:
+			return true // sticky: keep failing until Clear
+		case c.CompareAndSwap(v, v-1):
+			return false
+		}
+	}
+}
+
+// faultPager applies an armed Faults to every operation of the wrapped
+// pager.
+type faultPager struct {
+	inner pager
+	f     *Faults
+}
+
+func (p *faultPager) read(id uint32) ([]byte, error) {
+	if p.f.ReadLatency > 0 {
+		time.Sleep(p.f.ReadLatency)
+	}
+	p.f.reads.Add(1)
+	if fire(&p.f.failRead) {
+		p.f.injected.Add(1)
+		return nil, fmt.Errorf("kvstore: read page %d: %w", id, ErrInjected)
+	}
+	return p.inner.read(id)
+}
+
+func (p *faultPager) write(id uint32, data []byte) error {
+	if p.f.WriteLatency > 0 {
+		time.Sleep(p.f.WriteLatency)
+	}
+	p.f.writes.Add(1)
+	if fire(&p.f.failWrite) {
+		p.f.injected.Add(1)
+		return fmt.Errorf("kvstore: write page %d: %w", id, ErrInjected)
+	}
+	if fire(&p.f.tornWrite) {
+		p.f.injected.Add(1)
+		p.f.tornWrite.Store(0) // tearing is one-shot; later writes heal
+		torn := make([]byte, len(data))
+		copy(torn, data[:len(data)/2])
+		return p.inner.write(id, torn) // reports success: silent corruption
+	}
+	return p.inner.write(id, data)
+}
+
+func (p *faultPager) sync() error  { return p.inner.sync() }
+func (p *faultPager) close() error { return p.inner.close() }

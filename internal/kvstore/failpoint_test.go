@@ -1,0 +1,213 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fillStore populates a store with a deterministic key set.
+func fillStore(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		v := []byte(fmt.Sprintf("value-%05d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultsReadError(t *testing.T) {
+	f := &Faults{}
+	s := NewMemWithFaults(f)
+	defer s.Close()
+	fillStore(t, s, 500)
+
+	s.DropCaches() // force lookups back to the (faulty) pager
+	f.FailReads(1)
+	var sawErr bool
+	for i := 0; i < 500; i++ {
+		_, _, err := s.Get([]byte(fmt.Sprintf("key-%05d", i)))
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("want ErrInjected, got %v", err)
+			}
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("no read ever reached the faulty pager")
+	}
+	f.Clear()
+	if _, ok, err := s.Get([]byte("key-00042")); err != nil || !ok {
+		t.Fatalf("store did not heal after Clear: ok=%v err=%v", ok, err)
+	}
+	if f.Injected() == 0 {
+		t.Error("injected counter not incremented")
+	}
+}
+
+func TestFaultsWriteErrorKeepsCommittedState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.kv")
+	f := &Faults{}
+	s, err := Open(path, &Options{Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 200)
+
+	// Arm a write failure, mutate, and try to commit: Commit must fail
+	// with the injected error and the on-disk committed tree must stay
+	// the previous one.
+	f.FailWrites(1)
+	if err := s.Put([]byte("key-00007"), []byte("overwritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Commit = %v, want ErrInjected", err)
+	}
+	// The failpoint stays armed through Close so its implicit Commit
+	// retry cannot publish the mutation either.
+	s.Close()
+
+	re, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen after failed commit: %v", err)
+	}
+	defer re.Close()
+	v, ok, err := re.Get([]byte("key-00007"))
+	if err != nil || !ok {
+		t.Fatalf("Get after reopen: ok=%v err=%v", ok, err)
+	}
+	// The failed commit never published a new meta page, so the old
+	// committed value must still be visible.
+	if want := "value-00007-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"; string(v) != want {
+		t.Fatalf("after failed commit Get = %q, want the committed %q", v, want)
+	}
+}
+
+func TestFaultsTornWriteSurfacesAsChecksum(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.kv")
+	f := &Faults{}
+	s, err := Open(path, &Options{Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 200)
+
+	// Tear the first page write of the next commit. The write reports
+	// success, the commit publishes, and the corruption is silent until
+	// a read hits the page — where the CRC must catch it.
+	f.TornWrite(1)
+	if err := s.Put([]byte("key-00100"), []byte("new-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("torn-write commit should report success, got %v", err)
+	}
+	s.Close()
+
+	// Reopen walks every reachable page (the free-list rebuild), so the
+	// torn page must surface as a checksum error, never as wrong data.
+	_, err = Open(path, nil)
+	if err == nil {
+		t.Fatal("Open accepted a store with a torn page")
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Open = %v, want ErrChecksum", err)
+	}
+}
+
+func TestFaultsLatencyAndCounters(t *testing.T) {
+	f := &Faults{ReadLatency: 2 * time.Millisecond}
+	s := NewMemWithFaults(f)
+	defer s.Close()
+	fillStore(t, s, 50)
+	s.DropCaches()
+	before := f.Reads()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if _, _, err := s.Get([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := f.Reads() - before
+	if delta == 0 {
+		t.Fatal("no reads reached the pager")
+	}
+	if min := time.Duration(delta) * 2 * time.Millisecond; time.Since(start) < min {
+		t.Errorf("latency not applied: %v elapsed for %d reads", time.Since(start), delta)
+	}
+	if f.Writes() == 0 {
+		t.Error("write counter not incremented during fill")
+	}
+}
+
+// TestCorruptionFlips persists a store, flips random bytes across the
+// file, and asserts that reopening and reading either fails with a typed
+// error or returns only correct data — never panics, never garbage.
+func TestCorruptionFlips(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.kv")
+	s, err := Open(clean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 300)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		corrupt := append([]byte(nil), pristine...)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			pos := rng.Intn(len(corrupt))
+			corrupt[pos] ^= byte(1 + rng.Intn(255))
+		}
+		path := filepath.Join(dir, fmt.Sprintf("corrupt-%d.kv", trial))
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on corrupt store: %v", trial, r)
+				}
+			}()
+			cs, err := Open(path, nil)
+			if err != nil {
+				return // typed rejection at Open is a pass
+			}
+			defer cs.Close()
+			for i := 0; i < 300; i += 17 {
+				k := fmt.Sprintf("key-%05d", i)
+				v, ok, err := cs.Get([]byte(k))
+				if err != nil {
+					return // typed rejection at read is a pass
+				}
+				if ok {
+					want := fmt.Sprintf("value-%05d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+					if string(v) != want {
+						t.Fatalf("trial %d: silent wrong data for %s: %q", trial, k, v)
+					}
+				}
+			}
+		}()
+	}
+}

@@ -36,9 +36,16 @@ const (
 	pageLeaf   = byte(1)
 	pageBranch = byte(2)
 
-	metaMagic   = uint32(0x58524b56) // "XRKV"
-	metaVersion = uint32(1)
+	metaMagic = uint32(0x58524b56) // "XRKV"
+	// metaVersion 2 added a CRC32 trailer to every node page (v1 only
+	// checksummed the meta page), so torn writes and bit rot in data
+	// pages surface as ErrChecksum instead of silently-wrong postings.
+	metaVersion = uint32(2)
 	metaPageID  = uint32(0)
+
+	// pageCRCSize is the per-page checksum trailer: the last 4 bytes of
+	// every node page hold the CRC32 of the rest of the page.
+	pageCRCSize = 4
 )
 
 // node is the decoded in-memory form of a tree page.
@@ -72,10 +79,12 @@ func (n *node) size() int {
 // cellSize returns the encoded size of a single leaf cell.
 func cellSize(key, value []byte) int { return 4 + len(key) + len(value) }
 
-// encode serializes the node into a page buffer of length pageSize.
+// encode serializes the node into a page buffer of length pageSize. The
+// last pageCRCSize bytes carry the CRC32 of the rest of the page, so
+// decodeNode can detect torn writes and corruption.
 func (n *node) encode(pageSize int) ([]byte, error) {
-	if n.size() > pageSize {
-		return nil, fmt.Errorf("kvstore: node %d overflows page: %d > %d", n.id, n.size(), pageSize)
+	if n.size() > pageSize-pageCRCSize {
+		return nil, fmt.Errorf("kvstore: node %d overflows page: %d > %d", n.id, n.size(), pageSize-pageCRCSize)
 	}
 	buf := make([]byte, pageSize)
 	if n.isLeaf {
@@ -104,14 +113,22 @@ func (n *node) encode(pageSize int) ([]byte, error) {
 			off += copy(buf[off:], k)
 		}
 	}
+	body := buf[:pageSize-pageCRCSize]
+	binary.LittleEndian.PutUint32(buf[pageSize-pageCRCSize:], crc32.ChecksumIEEE(body))
 	return buf, nil
 }
 
-// decodeNode parses a page buffer into a node.
+// decodeNode parses a page buffer into a node, verifying the CRC trailer
+// first so a corrupt page yields ErrChecksum rather than garbage data.
 func decodeNode(id uint32, buf []byte) (*node, error) {
-	if len(buf) < 3 {
+	if len(buf) < 3+pageCRCSize {
 		return nil, fmt.Errorf("kvstore: page %d truncated", id)
 	}
+	body := buf[:len(buf)-pageCRCSize]
+	if sum := binary.LittleEndian.Uint32(buf[len(buf)-pageCRCSize:]); sum != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("kvstore: page %d: %w", id, ErrChecksum)
+	}
+	buf = body
 	n := &node{id: id}
 	switch buf[0] {
 	case pageLeaf:

@@ -85,6 +85,8 @@ func (p *memPager) close() error { return nil }
 // pager reports the sum of page sizes.
 func pagerSize(p pager) int64 {
 	switch pp := p.(type) {
+	case *faultPager:
+		return pagerSize(pp.inner)
 	case *filePager:
 		st, err := pp.f.Stat()
 		if err != nil {

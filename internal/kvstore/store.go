@@ -19,6 +19,12 @@ type Options struct {
 	// CacheSize bounds the number of clean decoded pages kept in memory;
 	// 0 means 8192 pages. Dirty pages are always retained until commit.
 	CacheSize int
+	// Faults, when non-nil, interposes the fault-injection wrapper
+	// between the store and its pager — reads and writes then fail, slow
+	// down, or tear according to the armed failpoints. Production code
+	// leaves it nil; robustness tests arm it to prove every storage
+	// fault surfaces as a typed error.
+	Faults *Faults
 }
 
 // ErrReadOnly is returned by mutating operations on a read-only store.
@@ -30,6 +36,11 @@ var ErrTooLarge = errors.New("kvstore: key/value too large for page size")
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kvstore: store is closed")
+
+// ErrChecksum is returned when a page's CRC32 trailer does not match its
+// contents — a torn write or bit rot. It is always wrapped with the page
+// ID; test with errors.Is.
+var ErrChecksum = errors.New("kvstore: page checksum mismatch")
 
 // Store is an ordered key-value store backed by a copy-on-write B+tree.
 // It is safe for concurrent readers; writes are serialized internally.
@@ -58,15 +69,30 @@ type Store struct {
 // MaxKV returns the largest key+value payload the store accepts.
 func (s *Store) MaxKV() int { return s.pageSize/4 - 4 }
 
+// maxNodeSize is the usable payload of a node page: the CRC trailer is
+// reserved out of every page.
+func (s *Store) maxNodeSize() int { return s.pageSize - pageCRCSize }
+
 // NewMem returns a store backed by anonymous memory. Commit is a no-op
 // flush; Close discards everything.
-func NewMem() *Store {
+func NewMem() *Store { return NewMemWithFaults(nil) }
+
+// NewMemWithFaults is NewMem with a fault-injection wrapper armed between
+// the store and its in-memory pager. The decoded-page cache is kept small
+// so repeated reads actually hit the (faulty) pager instead of memory.
+func NewMemWithFaults(f *Faults) *Store {
+	var p pager = newMemPager(DefaultPageSize)
+	cacheMax := 1 << 30 // memory store keeps everything decoded
+	if f != nil {
+		p = &faultPager{inner: p, f: f}
+		cacheMax = 8
+	}
 	return &Store{
-		pager:     newMemPager(DefaultPageSize),
+		pager:     p,
 		pageSize:  DefaultPageSize,
 		pageCount: 1, // meta
 		cache:     make(map[uint32]*node),
-		cacheMax:  1 << 30, // memory store keeps everything decoded
+		cacheMax:  cacheMax,
 		committed: true,
 	}
 }
@@ -90,8 +116,12 @@ func Open(path string, opts *Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pg pager = fp
+	if o.Faults != nil {
+		pg = &faultPager{inner: fp, f: o.Faults}
+	}
 	s := &Store{
-		pager:     fp,
+		pager:     pg,
 		pageSize:  o.PageSize,
 		readOnly:  o.ReadOnly,
 		cache:     make(map[uint32]*node),
@@ -113,13 +143,13 @@ func Open(path string, opts *Options) (*Store, error) {
 			fp.close()
 			return nil, err
 		}
-		if err := fp.sync(); err != nil {
+		if err := s.pager.sync(); err != nil {
 			fp.close()
 			return nil, err
 		}
 		return s, nil
 	}
-	raw, err := fp.read(metaPageID)
+	raw, err := s.pager.read(metaPageID)
 	if err != nil {
 		fp.close()
 		return nil, err
@@ -368,7 +398,7 @@ func (s *Store) insert(id uint32, key, value []byte) (uint32, []byte, uint32, er
 			n.children = insertUint32(n.children, ci+1, right)
 		}
 	}
-	if n.size() <= s.pageSize {
+	if n.size() <= s.maxNodeSize() {
 		return n.id, nil, 0, nil
 	}
 	sep, rightID := s.split(n)
@@ -584,6 +614,22 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	return s.pager.close()
+}
+
+// DropCaches evicts every clean decoded page, forcing subsequent reads
+// back to the pager. Dirty (uncommitted) pages are retained. It exists for
+// memory-pressure relief and for fault-injection tests that need reads to
+// actually reach the (faulty) pager.
+func (s *Store) DropCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	for id, n := range s.cache {
+		if !n.dirty {
+			delete(s.cache, id)
+		}
+	}
 }
 
 // Len returns the number of stored keys.

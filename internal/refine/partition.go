@@ -29,6 +29,20 @@ type TopKOutcome struct {
 	// Ranges is the number of contiguous partition ranges the document
 	// was pre-split into (0 for the sequential path).
 	Ranges int
+	// Degraded reports that the exploration stopped early — deadline or
+	// posting budget — and Candidates holds the best refined queries
+	// found up to that point rather than the complete answer.
+	Degraded bool
+	// DegradedReason is one of the Degraded* constants when Degraded.
+	DegradedReason string
+}
+
+// markDegraded records a budget-induced early stop on the outcome.
+func (o *TopKOutcome) markDegraded(b *Budget) {
+	if r := b.Reason(); r != "" {
+		o.Degraded = true
+		o.DegradedReason = r
+	}
 }
 
 // PartitionTopK runs Algorithm 2: walk the keyword lists partition by
@@ -60,11 +74,14 @@ func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
 	return partitionTopKSeq(in, k, ks, lists)
 }
 
-// scanLists fetches the inverted list of every scan keyword.
+// scanLists fetches the inverted list of every scan keyword. Loads go
+// through the context-aware index path so a canceled query stops between
+// (possibly disk-backed) list loads.
 func scanLists(in Input, ks []string) ([]*index.List, error) {
+	ctx := in.Budget.Context()
 	lists := make([]*index.List, len(ks))
 	for i, kw := range ks {
-		l, err := in.Index.List(kw)
+		l, err := in.Index.ListCtx(ctx, kw)
 		if err != nil {
 			return nil, err
 		}
@@ -74,6 +91,9 @@ func scanLists(in Input, ks []string) ([]*index.List, error) {
 }
 
 // partitionTopKSeq is the sequential partition walk over the full lists.
+// The budget is checked at partition granularity: a partition is either
+// fully processed or not visited at all, so a degraded outcome is a clean
+// prefix-in-document-order of the complete one.
 func partitionTopKSeq(in Input, k int, ks []string, lists []*index.List) (*TopKOutcome, error) {
 	out := &TopKOutcome{Workers: 1}
 	sorted := NewSortedList(2 * k)
@@ -81,6 +101,13 @@ func partitionTopKSeq(in Input, k int, ks []string, lists []*index.List) (*TopKO
 	for {
 		pid, ok := w.next()
 		if !ok {
+			break
+		}
+		if !in.Budget.Charge(w.spanPostings()) {
+			if err := in.Budget.Err(); err != nil {
+				return nil, err
+			}
+			out.markDegraded(in.Budget)
 			break
 		}
 		out.Partitions++
@@ -158,6 +185,16 @@ func newPartitionWalker(ks []string, lists []*index.List, lo, hi dewey.ID) *part
 		}
 	}
 	return w
+}
+
+// spanPostings returns the posting mass of the current partition — what
+// the budget charges per partition visited.
+func (w *partitionWalker) spanPostings() int {
+	n := 0
+	for _, s := range w.spans {
+		n += s.end - s.start
+	}
+	return n
 }
 
 // next advances to the next non-empty partition, filling w.spans and

@@ -115,6 +115,7 @@ func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
 	}
 	out.Workers = workers
 	out.Ranges = ranges
+	out.markDegraded(in.Budget)
 	return out, nil
 }
 
@@ -238,6 +239,16 @@ func walkRange(in Input, k int, ks []string, lists []*index.List, lo, hi dewey.I
 		if !ok {
 			return res, nil
 		}
+		// The budget is shared across every worker, so one tripped check
+		// stops the whole pool cooperatively. A hard cancellation aborts
+		// with the context error; a degradable stop truncates this
+		// range's record — only fully-processed partitions contribute.
+		if !in.Budget.Charge(w.spanPostings()) {
+			if err := in.Budget.Err(); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
 		rqs := TopRQs(in.Query, w.avail, in.Rules, 2*k)
 		rec := partitionRecord{pid: pid, rqs: make([]rqRecord, 0, len(rqs))}
 		for _, rq := range rqs {
@@ -275,6 +286,11 @@ func mergeRanges(in Input, k int, ks []string, lists []*index.List, perRange []*
 	for _, rng := range perRange {
 		if rng == nil {
 			continue
+		}
+		// The merge only replays already-recorded work, so it ignores the
+		// degradable budget — but a hard cancellation still aborts it.
+		if err := in.Budget.Err(); err != nil {
+			return nil, err
 		}
 		out.SLCACalls += rng.slcaCalls
 		for _, rec := range rng.partitions {

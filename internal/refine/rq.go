@@ -163,6 +163,12 @@ type Input struct {
 	// partition walk out to. 0 and 1 run the exact sequential path; the
 	// parallel path returns identical output (see partition_parallel.go).
 	Parallelism int
+	// Budget, when non-nil, bounds the execution: cancellation aborts
+	// with the context error, while deadline expiry or posting-budget
+	// exhaustion stops the exploration early and marks the outcome
+	// Degraded — partial but valid results. A nil Budget never stops
+	// anything and the output is byte-identical to pre-budget behavior.
+	Budget *Budget
 }
 
 // scanKeywords returns Q's keywords plus the rule-generated new keywords,

@@ -57,7 +57,8 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 		}
 	}
 
-	for len(remaining) > 0 {
+	budgetStopped := false
+	for len(remaining) > 0 && !budgetStopped {
 		// Stop condition (line 4): the cheapest refinement expressible
 		// with only unprocessed keywords cannot displace the current
 		// K-th candidate.
@@ -90,6 +91,16 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 				pos++ // root posting: no partition
 				continue
 			}
+			// Charge the anchor keyword's share of the partition; the
+			// exploration stops at partition granularity like the
+			// partition walk does.
+			if !in.Budget.Charge(li.SeekGE(pid.Next()) - pos) {
+				if err := in.Budget.Err(); err != nil {
+					return nil, err
+				}
+				budgetStopped = true
+				break
+			}
 			out.Partitions++
 			avail := make(map[string]bool, len(ks))
 			for _, kw := range ks {
@@ -108,13 +119,31 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 	}
 
 	// Step 2 (lines 17-18): SLCAs of every surviving candidate over the
-	// full lists; candidates without a meaningful result drop out.
+	// full lists; candidates without a meaningful result drop out. The
+	// budget is re-checked before each candidate — full-list SLCA is the
+	// expensive stage here — and a degradable stop keeps the candidates
+	// whose results were already computed.
 	for _, it := range sorted.Items() {
+		if !in.Budget.Ok() {
+			if err := in.Budget.Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
 		sub := make([]*index.List, len(it.RQ.Keywords))
 		for i, kw := range it.RQ.Keywords {
 			sub[i] = lists[kw]
 		}
-		ids := slca.Compute(in.SLCA, sub)
+		ids, err := slca.ComputeCtx(in.Budget.Context(), in.SLCA, sub)
+		if err != nil {
+			if berr := in.Budget.Err(); berr != nil {
+				return nil, berr
+			}
+			// Deadline expired mid-computation: trip the budget so the
+			// outcome is marked degraded, and keep what we have.
+			in.Budget.Ok()
+			break
+		}
 		out.SLCACalls++
 		res := meaningfulMatches(ids, sub[0], in.Judge)
 		if len(res) == 0 {
@@ -123,6 +152,7 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 		it.Results = res
 		out.Candidates = append(out.Candidates, it)
 	}
+	out.markDegraded(in.Budget)
 	return out, nil
 }
 
@@ -130,9 +160,10 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 // the baseline the experiments compare against (stack-slca / scan-slca on
 // Q) and the quick path for engines that know no refinement is wanted.
 func Original(in Input) ([]Match, error) {
+	ctx := in.Budget.Context()
 	sub := make([]*index.List, len(in.Query))
 	for i, kw := range in.Query {
-		l, err := in.Index.List(kw)
+		l, err := in.Index.ListCtx(ctx, kw)
 		if err != nil {
 			return nil, err
 		}
@@ -144,6 +175,9 @@ func Original(in Input) ([]Match, error) {
 	if len(sub) == 0 {
 		return nil, nil
 	}
-	ids := slca.Compute(in.SLCA, sub)
+	ids, err := slca.ComputeCtx(ctx, in.SLCA, sub)
+	if err != nil {
+		return nil, err
+	}
 	return meaningfulMatches(ids, sub[0], in.Judge), nil
 }

@@ -22,6 +22,11 @@ type StackOutcome struct {
 	Best RQ
 	// BestResults holds the meaningful SLCAs of Best.
 	BestResults []Match
+	// Degraded reports a budget-induced early stop: the walk covered only
+	// a document prefix, so Best/Original reflect that prefix.
+	Degraded bool
+	// DegradedReason is one of the Degraded* constants when Degraded.
+	DegradedReason string
 }
 
 // Stack runs Algorithm 1: a single stack-based merge over the inverted
@@ -133,9 +138,22 @@ func Stack(in Input) (*StackOutcome, error) {
 	}
 
 	merge := newMergeScan(lists)
+	steps := 0
 	for {
 		id, mask, typ, ok := merge.next()
 		if !ok {
+			break
+		}
+		// Charge the budget in batches of merge steps (each step consumes
+		// at least one posting). A degradable stop finalizes the partial
+		// stack below; a hard cancellation aborts.
+		steps++
+		if steps%budgetStride == 0 && !in.Budget.Charge(budgetStride) {
+			if err := in.Budget.Err(); err != nil {
+				return nil, err
+			}
+			out.Degraded = true
+			out.DegradedReason = in.Budget.Reason()
 			break
 		}
 		keep := dewey.LCALen(path, id)

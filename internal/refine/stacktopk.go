@@ -70,10 +70,18 @@ func StackTopK(in Input, k int) (*TopKOutcome, error) {
 		}
 	}
 	merge := newMergeScan(ordered)
+	steps := 0
 	for {
 		id, mask, typ, ok := merge.next()
 		if !ok {
 			break
+		}
+		steps++
+		if steps%budgetStride == 0 && !in.Budget.Charge(budgetStride) {
+			if err := in.Budget.Err(); err != nil {
+				return nil, err
+			}
+			break // degradable stop: finalize the partial stack below
 		}
 		keep := dewey.LCALen(path, id)
 		for len(stack) > keep {
@@ -95,8 +103,15 @@ func StackTopK(in Input, k int) (*TopKOutcome, error) {
 	}
 
 	// Result generation for the surviving candidates (Algorithm 3's
-	// step 2 reused in spirit).
+	// step 2 reused in spirit). Budget-checked per candidate like SLE's
+	// step 2: a degradable stop keeps the results already computed.
 	for _, it := range sorted.Items() {
+		if !in.Budget.Ok() {
+			if err := in.Budget.Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
 		sub := make([]*index.List, len(it.RQ.Keywords))
 		ok := true
 		for i, kw := range it.RQ.Keywords {
@@ -110,7 +125,14 @@ func StackTopK(in Input, k int) (*TopKOutcome, error) {
 		if !ok {
 			continue
 		}
-		ids := slca.Compute(in.SLCA, sub)
+		ids, err := slca.ComputeCtx(in.Budget.Context(), in.SLCA, sub)
+		if err != nil {
+			if berr := in.Budget.Err(); berr != nil {
+				return nil, berr
+			}
+			in.Budget.Ok() // trip the budget so the outcome is degraded
+			break
+		}
 		out.SLCACalls++
 		res := meaningfulMatches(ids, sub[0], in.Judge)
 		if len(res) == 0 {
@@ -119,5 +141,6 @@ func StackTopK(in Input, k int) (*TopKOutcome, error) {
 		it.Results = res
 		out.Candidates = append(out.Candidates, it)
 	}
+	out.markDegraded(in.Budget)
 	return out, nil
 }

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/datagen"
+)
+
+// TestSearchByteIdenticalAcrossConfigs is the differential guarantee of
+// the hardening work: with no deadline, budget, or fault configured, the
+// /search body must be byte-for-byte what the unhardened server returns —
+// for every strategy, at every parallelism, and on a server whose limits
+// exist but are too generous to fire. The degraded fields, the context
+// plumbing, and the admission gate must be invisible until they trigger.
+func TestSearchByteIdenticalAcrossConfigs(t *testing.T) {
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Separate engines per server so caches and counters cannot leak
+	// state across the comparison.
+	bare := New(core.NewFromDocument(doc, nil))
+	hardened := NewWithConfig(
+		core.NewFromDocument(doc, &core.Config{
+			Timeout:       time.Hour,
+			PostingBudget: 1 << 40,
+		}),
+		Config{Timeout: time.Hour, MaxInFlight: 128},
+	)
+
+	queries := []string{
+		"database query",
+		"databse quary",     // misspellings force refinement
+		"keyword serch xml", // partial mismatch
+		"twig matching pattern",
+	}
+	fetch := func(t *testing.T, s *Server, q, strategy string, parallel int) string {
+		t.Helper()
+		v := url.Values{"q": {q}, "strategy": {strategy}}
+		if parallel > 0 {
+			v.Set("parallel", fmt.Sprint(parallel))
+		}
+		req := httptest.NewRequest(http.MethodGet, "/search?"+v.Encode(), nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s strategy=%s parallel=%d: %d %s", q, strategy, parallel, rec.Code, rec.Body.String())
+		}
+		return rec.Body.String()
+	}
+	for _, strategy := range []string{"partition", "sle", "stack"} {
+		for _, q := range queries {
+			ref := fetch(t, bare, q, strategy, 1)
+			for _, parallel := range []int{0, 2, 4} {
+				if got := fetch(t, bare, q, strategy, parallel); got != ref {
+					t.Errorf("bare server: %q strategy=%s parallel=%d diverged from sequential", q, strategy, parallel)
+				}
+				if got := fetch(t, hardened, q, strategy, parallel); got != ref {
+					t.Errorf("hardened server: %q strategy=%s parallel=%d diverged from bare sequential", q, strategy, parallel)
+				}
+			}
+		}
+	}
+}

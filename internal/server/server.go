@@ -8,12 +8,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"xrefine/internal/core"
 	"xrefine/internal/narrow"
@@ -21,26 +25,107 @@ import (
 	"xrefine/internal/tokenize"
 )
 
-// Server wraps an engine with HTTP handlers. The engine is read-only and
-// safe for concurrent queries, so the zero-configuration http.Server
-// concurrency model just works.
-type Server struct {
-	eng *core.Engine
-	mux *http.ServeMux
+// Config tunes the server's protective edges. The zero value disables all
+// of them, which matches the pre-hardening behavior.
+type Config struct {
+	// Timeout bounds each request's handling when positive: the request
+	// context gets this deadline, so a query that overruns returns its
+	// partial results flagged degraded (the engine's deadline semantics)
+	// instead of holding the connection.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently-handled query requests when positive.
+	// Requests beyond the cap are shed immediately with 503 and a
+	// Retry-After hint rather than queueing without bound. /healthz is
+	// exempt so load probes keep working under saturation.
+	MaxInFlight int
 }
 
-// New builds a server around an engine.
-func New(eng *core.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/narrow", s.handleNarrow)
-	s.mux.HandleFunc("/complete", s.handleComplete)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+// statusClientClosedRequest is the de-facto code (nginx's 499) for
+// "client went away before we could answer"; the response is unseen, the
+// code only keeps access logs honest.
+const statusClientClosedRequest = 499
+
+// Server wraps an engine with HTTP handlers. The engine is read-only and
+// safe for concurrent queries; the server adds the protective edges — a
+// per-request deadline, a bounded-concurrency admission gate, and panic
+// containment — so one bad query cannot take the process down.
+type Server struct {
+	eng  *core.Engine
+	mux  *http.ServeMux
+	cfg  Config
+	gate chan struct{} // admission semaphore; nil when unbounded
+
+	statShed   atomic.Uint64 // requests rejected by the gate
+	statPanics atomic.Uint64 // handler panics contained
+}
+
+// New builds a server around an engine with no edge protection.
+func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig builds a server with the given edge configuration.
+func NewWithConfig(eng *core.Engine, cfg Config) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.mux.HandleFunc("/search", s.guard(s.handleSearch))
+	s.mux.HandleFunc("/narrow", s.guard(s.handleNarrow))
+	s.mux.HandleFunc("/complete", s.guard(s.handleComplete))
+	s.mux.HandleFunc("/healthz", s.recovered(s.handleHealth))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shed returns the number of requests rejected by the admission gate.
+func (s *Server) Shed() uint64 { return s.statShed.Load() }
+
+// Panics returns the number of handler panics contained so far.
+func (s *Server) Panics() uint64 { return s.statPanics.Load() }
+
+// recovered wraps a handler with panic containment: a panicking request
+// becomes a 500 for that request alone instead of killing the process.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.statPanics.Add(1)
+				log.Printf("server: panic in %s %s: %v", r.Method, r.URL.Path, v)
+				// Headers may already be out; WriteHeader then is a
+				// no-op warning, which is the best we can do.
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// guard layers the full edge protection onto a query handler: panic
+// containment, load shedding, and the per-request deadline.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return s.recovered(func(w http.ResponseWriter, r *http.Request) {
+		if s.gate != nil {
+			select {
+			case s.gate <- struct{}{}:
+				defer func() { <-s.gate }()
+			default:
+				// Shed immediately: under overload a bounded, fast "no"
+				// beats an unbounded queue of slow yeses.
+				s.statShed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, errors.New("server at capacity"))
+				return
+			}
+		}
+		if s.cfg.Timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	})
+}
 
 // resultJSON is one match in API form.
 type resultJSON struct {
@@ -59,12 +144,19 @@ type queryJSON struct {
 	Results    []resultJSON `json:"results"`
 }
 
-// searchJSON is the /search response body.
+// searchJSON is the /search response body. The degraded pair is omitted
+// when empty, so responses of unconstrained servers stay byte-identical to
+// the pre-hardening format.
 type searchJSON struct {
 	Terms      []string    `json:"terms"`
 	NeedRefine bool        `json:"need_refine"`
 	SearchFor  []string    `json:"search_for,omitempty"`
 	Queries    []queryJSON `json:"queries"`
+	// Degraded marks a partial answer: a deadline or posting budget
+	// expired mid-query. Every result listed is genuine, but more may
+	// exist.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -96,12 +188,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.eng.QueryTermsParallel(terms, strategy, k, parallel)
+	resp, err := s.eng.QueryTermsCtx(r.Context(), terms, strategy, k, parallel)
+	if errors.Is(err, context.Canceled) {
+		httpError(w, statusClientClosedRequest, err)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	out := searchJSON{Terms: resp.Terms, NeedRefine: resp.NeedRefine}
+	out := searchJSON{
+		Terms:          resp.Terms,
+		NeedRefine:     resp.NeedRefine,
+		Degraded:       resp.Degraded,
+		DegradedReason: resp.DegradedReason,
+	}
 	for _, c := range resp.SearchFor {
 		out.SearchFor = append(out.SearchFor, c.Type.Path())
 	}
@@ -206,6 +307,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"parallelism":      st.Parallelism,
 		"parallel_queries": st.ParallelQueries,
 		"worker_runs":      st.WorkerRuns,
+		"degraded":         st.Degraded,
+		"shed":             s.statShed.Load(),
+		"panics":           s.statPanics.Load(),
+		"max_inflight":     s.cfg.MaxInFlight,
+		"timeout_ms":       s.cfg.Timeout.Milliseconds(),
 	})
 }
 

@@ -28,6 +28,7 @@
 package slca
 
 import (
+	"context"
 	"sort"
 
 	"xrefine/internal/dewey"
@@ -67,16 +68,73 @@ func (a Algorithm) String() string {
 
 // Compute runs the selected algorithm.
 func Compute(algo Algorithm, lists []*index.List) []dewey.ID {
+	ids, _ := ComputeCtx(context.Background(), algo, lists)
+	return ids
+}
+
+// ComputeCtx runs the selected algorithm under a context: every algorithm
+// checks for cancellation periodically inside its main loop and returns
+// the context error the moment it observes one, so a canceled query never
+// has to wait out a full-list computation. With an un-canceled context the
+// output is identical to Compute.
+func ComputeCtx(ctx context.Context, algo Algorithm, lists []*index.List) ([]dewey.ID, error) {
+	c := newCanceler(ctx)
+	var ids []dewey.ID
 	switch algo {
 	case AlgoIndexedLookupEager:
-		return IndexedLookupEager(lists)
+		ids = indexedLookupEager(c, lists)
 	case AlgoStack:
-		return Stack(lists)
+		ids = stack(c, lists)
 	case AlgoMultiway:
-		return Multiway(lists)
+		ids = multiway(c, lists)
 	default:
-		return ScanEager(lists)
+		ids = scanEager(c, lists)
 	}
+	if err := c.err(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// canceler samples a context's cancellation state once every checkStride
+// loop iterations — frequent enough for promptness, cheap enough for the
+// per-posting hot loops. A nil canceler (background context) never stops.
+type canceler struct {
+	ctx     context.Context
+	n       int
+	stopped bool
+}
+
+const checkStride = 256
+
+func newCanceler(ctx context.Context) *canceler {
+	if ctx == nil || ctx == context.Background() {
+		return nil
+	}
+	return &canceler{ctx: ctx}
+}
+
+// stop reports whether the computation should abandon its loop.
+func (c *canceler) stop() bool {
+	if c == nil {
+		return false
+	}
+	if c.stopped {
+		return true
+	}
+	c.n++
+	if c.n%checkStride != 0 {
+		return false
+	}
+	c.stopped = c.ctx.Err() != nil
+	return c.stopped
+}
+
+func (c *canceler) err() error {
+	if c == nil || !c.stopped {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // nonEmpty reports whether every list has at least one posting; SLCA of a
@@ -153,6 +211,10 @@ func anchorCandidate(v dewey.ID, others []*index.List) dewey.ID {
 // anchors from the shortest list and probe the other lists with binary
 // searches. Cost O(|S1| * m * d * log|S|max).
 func IndexedLookupEager(lists []*index.List) []dewey.ID {
+	return indexedLookupEager(nil, lists)
+}
+
+func indexedLookupEager(c *canceler, lists []*index.List) []dewey.ID {
 	if !nonEmpty(lists) {
 		return nil
 	}
@@ -160,6 +222,9 @@ func IndexedLookupEager(lists []*index.List) []dewey.ID {
 	anchors, others := ordered[0], ordered[1:]
 	cands := make([]dewey.ID, 0, anchors.Len())
 	for i := 0; i < anchors.Len(); i++ {
+		if c.stop() {
+			return nil
+		}
 		cands = append(cands, anchorCandidate(anchors.At(i).ID, others))
 	}
 	return filterSLCA(cands)
@@ -171,12 +236,19 @@ func IndexedLookupEager(lists []*index.List) []dewey.ID {
 // every cursor past the anchor. One candidate LCA computation can thereby
 // consume many postings from each list.
 func Multiway(lists []*index.List) []dewey.ID {
+	return multiway(nil, lists)
+}
+
+func multiway(c *canceler, lists []*index.List) []dewey.ID {
 	if !nonEmpty(lists) {
 		return nil
 	}
 	cursors := make([]int, len(lists))
 	var cands []dewey.ID
 	for {
+		if c.stop() {
+			return nil
+		}
 		// Anchor u: the max of the current heads. Any list exhausted
 		// ends the computation — no further node can cover it beyond
 		// matches already considered via LM probes.
@@ -220,6 +292,10 @@ func Multiway(lists []*index.List) []dewey.ID {
 // so each cursor only ever moves forward — the whole computation is a
 // single coordinated scan.
 func ScanEager(lists []*index.List) []dewey.ID {
+	return scanEager(nil, lists)
+}
+
+func scanEager(c *canceler, lists []*index.List) []dewey.ID {
 	if !nonEmpty(lists) {
 		return nil
 	}
@@ -228,6 +304,9 @@ func ScanEager(lists []*index.List) []dewey.ID {
 	cursors := make([]int, len(others))
 	cands := make([]dewey.ID, 0, anchors.Len())
 	for i := 0; i < anchors.Len(); i++ {
+		if c.stop() {
+			return nil
+		}
 		x := anchors.At(i).ID
 		for j, s := range others {
 			// Position the cursor so that postings[cursor-1] <= x <
@@ -265,6 +344,10 @@ func ScanEager(lists []*index.List) []dewey.ID {
 // An entry popped with every keyword present and no SLCA already reported
 // below it is an SLCA.
 func Stack(lists []*index.List) []dewey.ID {
+	return stack(nil, lists)
+}
+
+func stack(c *canceler, lists []*index.List) []dewey.ID {
 	if !nonEmpty(lists) {
 		return nil
 	}
@@ -298,6 +381,9 @@ func Stack(lists []*index.List) []dewey.ID {
 	}
 
 	for {
+		if c.stop() {
+			return nil
+		}
 		id, mask, ok := merge.next()
 		if !ok {
 			break
