@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments examples clean
+.PHONY: all build vet test race bench fuzz experiments examples obs clean
 
 all: build vet test
 
@@ -34,6 +34,12 @@ fuzz:
 # Regenerate every table and figure of the paper (takes minutes at scale 1).
 experiments:
 	$(GO) run ./cmd/xbench -scale 1.0 -reps 3 -queries 50 all
+
+# End-to-end observability smoke test: boots xserve on a generated
+# corpus, validates the /metrics exposition with the in-tree parser
+# (cmd/obscheck), runs an explain=1 query, and checks /debug/slowlog.
+obs:
+	./scripts/obs_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,100 @@
+// Command obscheck validates a Prometheus text exposition — the gate the
+// CI observability job and `make obs` run against a live /metrics scrape.
+//
+// Usage:
+//
+//	obscheck -url http://localhost:8080/metrics
+//	obscheck -file metrics.txt
+//	xserve ... & curl -s localhost:8080/metrics | obscheck
+//
+// It parses the payload with the engine's in-tree exposition parser
+// (strict line grammar: names, label quoting, TYPE declarations), then
+// checks that at least -min-families distinct metric families are present
+// and that every -want family (comma-separated) appears. Any violation
+// prints a diagnostic and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"xrefine/internal/obs"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "", "scrape this /metrics URL (default: read stdin)")
+		file        = flag.String("file", "", "read exposition from this file instead")
+		minFamilies = flag.Int("min-families", 12, "fail unless at least this many distinct metric families are present")
+		want        = flag.String("want", "", "comma-separated family names that must be present")
+		timeout     = flag.Duration("timeout", 10*time.Second, "HTTP scrape timeout")
+	)
+	flag.Parse()
+
+	src, err := open(*url, *file, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
+
+	exp, err := obs.ParsePrometheus(src)
+	if err != nil {
+		fatal(fmt.Errorf("malformed exposition: %w", err))
+	}
+	fams := exp.Families()
+	if len(fams) < *minFamilies {
+		sort.Strings(fams)
+		fatal(fmt.Errorf("only %d metric families (need >= %d): %s",
+			len(fams), *minFamilies, strings.Join(fams, " ")))
+	}
+	if *want != "" {
+		have := make(map[string]bool, len(fams))
+		for _, f := range fams {
+			have[f] = true
+		}
+		var missing []string
+		for _, w := range strings.Split(*want, ",") {
+			if w = strings.TrimSpace(w); w != "" && !have[w] {
+				missing = append(missing, w)
+			}
+		}
+		if len(missing) > 0 {
+			fatal(fmt.Errorf("missing required families: %s", strings.Join(missing, " ")))
+		}
+	}
+	fmt.Printf("ok: %d samples, %d families\n", len(exp.Samples), len(fams))
+}
+
+// open resolves the input source: URL scrape, file, or stdin.
+func open(url, file string, timeout time.Duration) (io.ReadCloser, error) {
+	switch {
+	case url != "" && file != "":
+		return nil, fmt.Errorf("-url and -file are mutually exclusive")
+	case url != "":
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		return resp.Body, nil
+	case file != "":
+		return os.Open(file)
+	default:
+		return io.NopCloser(os.Stdin), nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}

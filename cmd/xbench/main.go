@@ -8,7 +8,7 @@
 //	xbench [-scale 1.0] [-reps 3] [-queries 50] <experiment>
 //	paper experiments: tables3-6 fig4 fig5 fig6 table7 table8 table9 table10
 //	extensions:        ablation-decay ablation-searchfor ablation-slca
-//	                   ablation-beam elca
+//	                   ablation-beam elca parallel obs
 //	or: all
 package main
 
@@ -36,7 +36,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -54,13 +54,14 @@ func main() {
 		"ablation-beam":      ablationBeam,
 		"elca":               elcaCompare,
 		"parallel":           parallelCompare,
+		"obs":                obsOverhead,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, n := range []string{
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
-			"ablation-slca", "ablation-beam", "elca", "parallel",
+			"ablation-slca", "ablation-beam", "elca", "parallel", "obs",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -370,6 +371,34 @@ func parallelCompare() error {
 	fmt.Fprintln(w, "workers\tbatch avg (ms)\tspeedup\tidentical output\tengaged queries")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%.3f\t%.2fx\t%v\t%d\n", r.Workers, r.AvgMS, r.Speedup, r.Identical, r.Engaged)
+	}
+	return w.Flush()
+}
+
+func obsOverhead() error {
+	c, err := corpus()
+	if err != nil {
+		return err
+	}
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 777, Queries: 20})
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.ObsOverhead(c, batch, 3, *reps)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(struct {
+			Scale float64              `json:"scale"`
+			K     int                  `json:"k"`
+			Rows  []experiments.ObsRow `json:"rows"`
+		}{*scale, 3, rows})
+	}
+	w := header("Tracing overhead: batch Top-3 partition walk, spans disarmed vs armed")
+	fmt.Fprintln(w, "mode\tbatch avg (ms)\toverhead\tspans/batch")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f%%\t%d\n", r.Mode, r.AvgMS, r.OverheadPct, r.Spans)
 	}
 	return w.Flush()
 }

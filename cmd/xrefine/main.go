@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,7 +47,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xrefine index  -xml <file> -index <file>      build a persistent index
-  xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] [-parallel N] <query>
+  xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
   xrefine batch  [-xml <file> | -index <file>] [-k N] [-parallel N] -queries <file>   one query per line, TSV out
   xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
   xrefine narrow [-xml <file>] [-max N] [-k N] <query>    too-many-results suggestions
@@ -158,6 +159,7 @@ func cmdSearch(args []string) {
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
 	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
+	explainTrace := fs.Bool("explain", false, "print the query's stage trace (spans with durations) after the answer")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("search needs a query"))
@@ -165,7 +167,7 @@ func cmdSearch(args []string) {
 	eng, doc, closeFn := load(fs)
 	defer closeFn()
 	query := strings.Join(fs.Args(), " ")
-	answer(os.Stdout, eng, doc, query, parseStrategy(*strategy), *k)
+	answer(os.Stdout, eng, doc, query, parseStrategy(*strategy), *k, *explainTrace)
 }
 
 func cmdBatch(args []string) {
@@ -327,16 +329,32 @@ func cmdREPL(args []string) {
 		if q == "" || q == "quit" || q == "exit" {
 			break
 		}
-		answer(os.Stdout, eng, doc, q, parseStrategy(*strategy), *k)
+		answer(os.Stdout, eng, doc, q, parseStrategy(*strategy), *k, false)
 		fmt.Print("xrefine> ")
 	}
 }
 
-func answer(w io.Writer, eng *xrefine.Engine, doc *xrefine.Document, query string, strategy xrefine.Strategy, k int) {
-	resp, err := eng.QueryTerms(tokenizeArg(query), strategy, k)
+func answer(w io.Writer, eng *xrefine.Engine, doc *xrefine.Document, query string, strategy xrefine.Strategy, k int, explainTrace bool) {
+	ctx := context.Background()
+	var root *xrefine.Span
+	if explainTrace {
+		ctx, root = xrefine.NewTrace(ctx, "query")
+	}
+	tsp := root.StartChild("tokenize")
+	terms := tokenizeArg(query)
+	tsp.End()
+	resp, err := eng.QueryTermsCtx(ctx, terms, strategy, k, 0)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
 		return
+	}
+	if root != nil {
+		defer func() {
+			root.End()
+			fmt.Fprintln(w, "\ntrace:")
+			xrefine.WriteTrace(w, root.Data())
+			root.Release()
+		}()
 	}
 	if len(resp.SearchFor) > 0 {
 		var names []string

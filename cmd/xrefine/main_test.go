@@ -28,7 +28,7 @@ func testEngine(t *testing.T) (*xrefine.Engine, *xrefine.Document) {
 func TestAnswerDirectMatch(t *testing.T) {
 	eng, doc := testEngine(t)
 	var b strings.Builder
-	answer(&b, eng, doc, "online database", xrefine.StrategyPartition, 3)
+	answer(&b, eng, doc, "online database", xrefine.StrategyPartition, 3, false)
 	out := b.String()
 	if !strings.Contains(out, "matches directly") {
 		t.Errorf("output = %q", out)
@@ -41,7 +41,7 @@ func TestAnswerDirectMatch(t *testing.T) {
 func TestAnswerRefinement(t *testing.T) {
 	eng, doc := testEngine(t)
 	var b strings.Builder
-	answer(&b, eng, doc, "online databse", xrefine.StrategyPartition, 3)
+	answer(&b, eng, doc, "online databse", xrefine.StrategyPartition, 3, false)
 	out := b.String()
 	if !strings.Contains(out, "no meaningful result") {
 		t.Errorf("output = %q", out)
@@ -57,7 +57,7 @@ func TestAnswerRefinement(t *testing.T) {
 func TestAnswerHopeless(t *testing.T) {
 	eng, doc := testEngine(t)
 	var b strings.Builder
-	answer(&b, eng, doc, "zzz qqq", xrefine.StrategyPartition, 3)
+	answer(&b, eng, doc, "zzz qqq", xrefine.StrategyPartition, 3, false)
 	if !strings.Contains(b.String(), "(none found)") {
 		t.Errorf("output = %q", b.String())
 	}
@@ -66,9 +66,24 @@ func TestAnswerHopeless(t *testing.T) {
 func TestAnswerError(t *testing.T) {
 	eng, doc := testEngine(t)
 	var b strings.Builder
-	answer(&b, eng, doc, "   ", xrefine.StrategyPartition, 3)
+	answer(&b, eng, doc, "   ", xrefine.StrategyPartition, 3, false)
 	if !strings.Contains(b.String(), "error:") {
 		t.Errorf("output = %q", b.String())
+	}
+}
+
+func TestAnswerExplainTrace(t *testing.T) {
+	eng, doc := testEngine(t)
+	var b strings.Builder
+	answer(&b, eng, doc, "online databse", xrefine.StrategyPartition, 3, true)
+	out := b.String()
+	if !strings.Contains(out, "trace:") {
+		t.Errorf("-explain output missing trace header: %q", out)
+	}
+	for _, span := range []string{"query", "tokenize", "refine:"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("trace missing %q span:\n%s", span, out)
+		}
 	}
 }
 

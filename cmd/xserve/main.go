@@ -9,14 +9,23 @@
 //
 // Endpoints:
 //
-//	GET /search?q=online+databse&k=3&strategy=partition|sle|stack&parallel=N
+//	GET /search?q=online+databse&k=3&strategy=partition|sle|stack&parallel=N&explain=1
 //	GET /narrow?q=database&max=50&k=3    (requires -xml)
 //	GET /healthz
+//	GET /metrics                          (Prometheus text format)
+//	GET /debug/slowlog                    (requires -slowlog)
+//	GET /debug/pprof/                     (requires -pprof)
 //
 // With -timeout or -budget set, a query that overruns returns the partial
 // results found so far with "degraded": true instead of an error. With
 // -max-inflight set, excess concurrent requests are shed with 503 and a
 // Retry-After header. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// With -slowlog set, every query is traced and those at or over the
+// threshold keep their span tree in a ring buffer served at
+// /debug/slowlog. /healthz, /metrics, and the debug surfaces bypass the
+// admission gate and the per-request timeout, so they answer even while
+// the query path is saturated.
 package main
 
 import (
@@ -46,6 +55,9 @@ func main() {
 		budget      = flag.Int("budget", 0, "per-query posting budget; exhaustion degrades the response (0 = unlimited)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently-handled query requests; excess is shed with 503 (0 = unbounded)")
 		drain       = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		slowlog     = flag.Duration("slowlog", 0, "slow-query threshold; queries at or over it are kept at /debug/slowlog (0 = off)")
+		slowlogCap  = flag.Int("slowlog-cap", 0, "slow-query ring capacity (0 = 128)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -85,8 +97,11 @@ func main() {
 	}
 
 	h := server.NewWithConfig(eng, server.Config{
-		Timeout:     *timeout,
-		MaxInFlight: *maxInflight,
+		Timeout:          *timeout,
+		MaxInFlight:      *maxInflight,
+		SlowLogThreshold: *slowlog,
+		SlowLogCapacity:  *slowlogCap,
+		EnablePprof:      *pprofOn,
 	})
 	// WriteTimeout leaves headroom over the query deadline so degraded
 	// responses still get written rather than cut off mid-body.

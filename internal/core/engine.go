@@ -15,13 +15,13 @@ import (
 	"io"
 	"runtime"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"xrefine/internal/index"
 	"xrefine/internal/kvstore"
 	"xrefine/internal/lexicon"
 	"xrefine/internal/narrow"
+	"xrefine/internal/obs"
 	"xrefine/internal/rank"
 	"xrefine/internal/refine"
 	"xrefine/internal/rules"
@@ -101,6 +101,17 @@ type Config struct {
 	// degrades the response the same way with reason "posting-budget".
 	// Zero means unlimited.
 	PostingBudget int
+	// Metrics is the registry the engine registers its counters and
+	// histograms on. Nil means the engine creates a private registry,
+	// retrievable via Engine.Metrics(). Sharing one registry across an
+	// engine and its HTTP server is the normal serving setup;
+	// registration is idempotent so order does not matter.
+	Metrics *obs.Registry
+	// DisableMetrics runs the engine with no registry at all: every
+	// metric handle is nil and each instrumentation point collapses to
+	// a nil check. Engine.Stats then reports zeros. Intended for
+	// benchmark baselines and the allocation-overhead guard.
+	DisableMetrics bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -131,12 +142,11 @@ type Engine struct {
 	cfg   Config
 	cache *queryCache // nil when caching is disabled
 
-	statQueries    atomic.Uint64
-	statRefined    atomic.Uint64
-	statCacheHits  atomic.Uint64
-	statParallel   atomic.Uint64
-	statWorkerRuns atomic.Uint64
-	statDegraded   atomic.Uint64
+	// reg is the metrics registry (nil when disabled); m holds the
+	// registered handles. The registry is the single counter
+	// implementation — EngineStats is a read-through snapshot of it.
+	reg *obs.Registry
+	m   engineMetrics
 }
 
 // EngineStats is a snapshot of the engine's serving counters.
@@ -160,32 +170,53 @@ type EngineStats struct {
 	Parallelism int
 }
 
-// Stats returns the current counter snapshot.
+// Stats returns the current counter snapshot, read from the metrics
+// registry. Engines with DisableMetrics report zeros.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Queries:         e.statQueries.Load(),
-		Refined:         e.statRefined.Load(),
-		CacheHits:       e.statCacheHits.Load(),
-		ParallelQueries: e.statParallel.Load(),
-		WorkerRuns:      e.statWorkerRuns.Load(),
-		Degraded:        e.statDegraded.Load(),
+		Queries:         e.m.queries.Value(),
+		Refined:         e.m.refined.Value(),
+		CacheHits:       e.m.cacheHits.Value(),
+		ParallelQueries: e.m.parallel.Value(),
+		WorkerRuns:      e.m.workerRuns.Value(),
+		Degraded:        e.m.degraded.Sum(),
 		Parallelism:     e.cfg.Parallelism,
 	}
 }
 
-// noteOutcome updates the parallelism counters from one exploration.
+// Metrics returns the engine's registry — what /metrics exposes and the
+// HTTP server registers its own metrics on. Nil when DisableMetrics.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// noteOutcome records one exploration's observables: parallel fan-out,
+// partitions visited, candidate generation and pruning, and the SLCA work
+// delegated.
 func (e *Engine) noteOutcome(out *refine.TopKOutcome) {
 	if out.Workers > 1 {
-		e.statParallel.Add(1)
-		e.statWorkerRuns.Add(uint64(out.Workers))
+		e.m.parallel.Inc()
+		e.m.workerRuns.Add(int64(out.Workers))
 	}
+	e.m.refinePartitions.Add(int64(out.Partitions))
+	e.m.rqGenerated.Add(int64(out.RQGenerated))
+	e.m.rqPruned.Add(int64(out.RQPruned))
+	e.m.boundUpdates.Add(int64(out.BoundUpdates))
+	e.m.slcaCalls.Add(int64(out.SLCACalls))
+	e.m.slcaPostings.Add(out.SLCAPostings)
 }
 
 // NewFromIndex wraps an existing index. Engines built this way have no
 // source document, so Narrow is unavailable.
 func NewFromIndex(ix *index.Index, cfg *Config) *Engine {
 	c := cfg.withDefaults()
-	return &Engine{ix: ix, cfg: c, cache: newQueryCache(c.CacheSize)}
+	reg := c.Metrics
+	if c.DisableMetrics {
+		reg = obs.Disabled()
+	} else if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{ix: ix, cfg: c, cache: newQueryCache(c.CacheSize), reg: reg, m: newEngineMetrics(reg)}
+	registerIndexMetrics(reg, ix)
+	return e
 }
 
 // NewFromDocument indexes a parsed document in memory and keeps the
@@ -229,6 +260,7 @@ func Open(store *kvstore.Store, cfg *Config) (*Engine, error) {
 		return nil, err
 	}
 	e := NewFromIndex(ix, cfg)
+	InstrumentStore(e.reg, store)
 	doc, ok, err := xmltree.LoadDocument(store)
 	if err != nil {
 		return nil, fmt.Errorf("core: restore document: %w", err)
@@ -349,7 +381,12 @@ func (e *Engine) Query(q string) (*Response, error) {
 // error, while a deadline (from ctx or Config.Timeout, whichever fires
 // first) degrades the response to the partial results found so far.
 func (e *Engine) QueryCtx(ctx context.Context, q string) (*Response, error) {
+	tsp := obs.SpanFromContext(ctx).StartChild("tokenize")
 	terms := tokenize.Query(q)
+	if tsp != nil {
+		tsp.SetInt("terms", int64(len(terms)))
+		tsp.End()
+	}
 	if len(terms) == 0 {
 		return nil, errors.New("core: query has no keywords")
 	}
@@ -433,13 +470,18 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 	if k <= 0 {
 		k = e.cfg.TopK
 	}
-	e.statQueries.Add(1)
+	e.m.queries.Inc()
+	start := time.Now()
 	key := cacheKey(terms, strategy, k)
 	if resp, ok := e.cache.get(key); ok {
-		e.statCacheHits.Add(1)
+		e.m.cacheHits.Inc()
 		if resp.NeedRefine {
-			e.statRefined.Add(1)
+			e.m.refined.Inc()
 		}
+		if sp := obs.SpanFromContext(ctx); sp != nil {
+			sp.SetInt("cache_hit", 1)
+		}
+		e.m.querySeconds.Observe(time.Since(start).Seconds())
 		return resp, nil
 	}
 	if e.cfg.Timeout > 0 {
@@ -455,28 +497,37 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 		expandResponse(resp)
 	}
 	if resp.NeedRefine {
-		e.statRefined.Add(1)
+		e.m.refined.Inc()
 	}
 	if resp.Degraded {
-		e.statDegraded.Add(1)
+		e.m.degraded.With(resp.DegradedReason).Inc()
 	} else {
 		// Only complete responses are cacheable: a degraded partial
 		// answer must never satisfy a later query as if it were full.
 		e.cache.put(key, resp)
 	}
+	e.m.querySeconds.Observe(time.Since(start).Seconds())
 	return resp, nil
 }
 
 // queryUncached runs the full pipeline. parallelism > 0 overrides the
 // engine's configured partition-walk fan-out for this query.
 func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
+	root := obs.SpanFromContext(ctx)
+	psp := root.StartChild("prepare")
 	in, cands, err := e.Prepare(terms)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	in.Budget = refine.NewBudget(ctx, e.cfg.PostingBudget)
 	if parallelism > 0 {
 		in.Parallelism = parallelism
+	}
+	var ssp *obs.Span
+	if root != nil {
+		ssp = root.StartChild("refine:" + strategy.String())
+		in.Trace = ssp
 	}
 	rs := in.Rules
 	resp := &Response{Terms: terms, SearchFor: cands, Rules: rs.Rules()}
@@ -486,12 +537,15 @@ func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Str
 			// Top-K via the stack walk is an extension beyond the
 			// paper's optimal-only Algorithm 1; see refine.StackTopK.
 			out, err := refine.StackTopK(in, k)
+			annotateRefineSpan(ssp, out)
 			if err != nil {
 				return nil, err
 			}
-			return e.finishTopK(resp, terms, out, k)
+			e.noteOutcome(out)
+			return e.finishTopK(root, resp, terms, out, k)
 		}
 		out, err := refine.Stack(in)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -526,22 +580,45 @@ func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Str
 			out, err = refine.ShortListEager(in, k)
 		} else {
 			out, err = refine.PartitionTopK(in, k)
-			if out != nil {
-				e.noteOutcome(out)
-			}
 		}
+		annotateRefineSpan(ssp, out)
 		if err != nil {
 			return nil, err
 		}
-		return e.finishTopK(resp, terms, out, k)
+		e.noteOutcome(out)
+		return e.finishTopK(root, resp, terms, out, k)
 	}
 	return nil, fmt.Errorf("core: unknown strategy %d", strategy)
 }
 
+// annotateRefineSpan stamps a strategy span with the exploration's
+// observables and ends it. Nil-safe on both arguments.
+func annotateRefineSpan(sp *obs.Span, out *refine.TopKOutcome) {
+	if sp != nil && out != nil {
+		sp.SetInt("partitions", int64(out.Partitions))
+		sp.SetInt("slca_calls", int64(out.SLCACalls))
+		sp.SetInt("slca_postings", out.SLCAPostings)
+		sp.SetInt("rq_generated", int64(out.RQGenerated))
+		sp.SetInt("rq_pruned", int64(out.RQPruned))
+		sp.SetInt("workers", int64(out.Workers))
+		if out.Degraded {
+			sp.SetStr("degraded", out.DegradedReason)
+		}
+	}
+	sp.End()
+}
+
 // finishTopK interprets a top-K outcome: when the original query itself
 // surfaced with results it needs no refinement; otherwise the candidates
-// are ranked with Formula 10 and cut to K (the paper's line 19).
-func (e *Engine) finishTopK(resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
+// are ranked with Formula 10 and cut to K (the paper's line 19). trace is
+// the query's root span (nil when untraced); ranking runs under a "rank"
+// child.
+func (e *Engine) finishTopK(trace *obs.Span, resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
+	rsp := trace.StartChild("rank")
+	defer rsp.End()
+	if rsp != nil {
+		rsp.SetInt("candidates", int64(len(out.Candidates)))
+	}
 	resp.Degraded = out.Degraded
 	resp.DegradedReason = out.DegradedReason
 	for _, it := range out.Candidates {

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xrefine/internal/datagen"
+	"xrefine/internal/obs"
+	"xrefine/internal/refine"
+)
+
+// ObsRow is one line of the tracing-overhead comparison: batch average
+// Top-K partition-walk time with tracing disarmed (Input.Trace nil, the
+// production default) versus armed (a fresh root span per query, ended
+// and snapshotted like explain=1 does).
+type ObsRow struct {
+	Mode        string        `json:"mode"`
+	Avg         time.Duration `json:"avg_ns"`
+	AvgMS       float64       `json:"avg_ms"`
+	OverheadPct float64       `json:"overhead_pct"`
+	Spans       int           `json:"spans"` // spans produced per batch (traced mode only)
+}
+
+// ObsOverhead measures what per-query tracing costs on the refinement hot
+// path. Inputs are prepared once and refine.PartitionTopK is invoked
+// directly — the same isolation ParallelCompare uses — so the delta is
+// purely the span bookkeeping: StartChild/End/attribute writes plus the
+// Data snapshot and pool Release that the explain=1 and slowlog surfaces
+// perform per query.
+func ObsOverhead(c *Corpus, batch []datagen.Case, k, reps int) ([]ObsRow, error) {
+	ins := make([]refine.Input, 0, len(batch))
+	for _, cs := range batch {
+		in, _, err := c.Engine.Prepare(cs.Corrupted)
+		if err != nil {
+			return nil, fmt.Errorf("obs overhead prepare %v: %w", cs.Corrupted, err)
+		}
+		in.Parallelism = 1
+		ins = append(ins, in)
+	}
+	base, err := timeIt(reps, func() error {
+		for i := range ins {
+			ins[i].Trace = nil
+			if _, err := refine.PartitionTopK(ins[i], k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One untimed traced pass counts the spans a batch produces.
+	spans := 0
+	tracedBatch := func(count bool) error {
+		for i := range ins {
+			_, root := obs.NewTrace(context.Background(), "query")
+			ins[i].Trace = root
+			_, err := refine.PartitionTopK(ins[i], k)
+			root.End()
+			d := root.Data()
+			if count {
+				spans += countSpans(d)
+			}
+			root.Release()
+			ins[i].Trace = nil
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := tracedBatch(true); err != nil {
+		return nil, err
+	}
+	traced, err := timeIt(reps, func() error { return tracedBatch(false) })
+	if err != nil {
+		return nil, err
+	}
+	rows := []ObsRow{
+		{Mode: "tracing off", Avg: base, AvgMS: msFloat(base)},
+		{Mode: "tracing on", Avg: traced, AvgMS: msFloat(traced), Spans: spans},
+	}
+	if base > 0 {
+		rows[1].OverheadPct = (float64(traced) - float64(base)) / float64(base) * 100
+	}
+	return rows, nil
+}
+
+func countSpans(d *obs.SpanData) int {
+	if d == nil {
+		return 0
+	}
+	n := 1
+	for i := range d.Children {
+		n += countSpans(d.Children[i])
+	}
+	return n
+}

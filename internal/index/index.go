@@ -50,6 +50,33 @@ type Index struct {
 	gt       []uint32                         // G_T per type ID
 	coCache  map[coKey]int
 	partRoot []dewey.ID // document partition roots in order
+
+	// List-access counters, snapshot by OpStats. Plain atomics so the
+	// index stays free of observability dependencies; the serving layer
+	// bridges them into its metrics registry.
+	statResident       atomic.Uint64
+	statLoaded         atomic.Uint64
+	statPostingsLoaded atomic.Uint64
+}
+
+// OpStats is a snapshot of the index's list-access counters.
+type OpStats struct {
+	// ListsResident counts list lookups served from memory.
+	ListsResident uint64
+	// ListsLoaded counts list lookups that had to page the posting list
+	// in from the backing store (lazy loads).
+	ListsLoaded uint64
+	// PostingsLoaded counts postings materialized by those lazy loads.
+	PostingsLoaded uint64
+}
+
+// OpStats returns the current list-access counter snapshot.
+func (ix *Index) OpStats() OpStats {
+	return OpStats{
+		ListsResident:  ix.statResident.Load(),
+		ListsLoaded:    ix.statLoaded.Load(),
+		PostingsLoaded: ix.statPostingsLoaded.Load(),
+	}
 }
 
 type coKey struct {
@@ -153,37 +180,53 @@ func (ix *Index) List(term string) (*List, error) { return ix.ListCtx(nil, term)
 // behind another caller's singleflight, before returning the shared
 // result. Resident lists return regardless — there is nothing to save.
 func (ix *Index) ListCtx(ctx context.Context, term string) (*List, error) {
+	l, _, err := ix.ListCtxInfo(ctx, term)
+	return l, err
+}
+
+// ListCtxInfo is ListCtx plus a residency report: loaded is true when
+// this call paged the list in from the backing store (a cache miss in
+// observability terms) and false when the list was already in memory.
+// Per-query traces use the report to attribute load cost to the query
+// that paid it.
+func (ix *Index) ListCtxInfo(ctx context.Context, term string) (l *List, loaded bool, err error) {
 	e, ok := ix.terms[term]
 	if !ok {
-		return &List{Term: term}, nil
+		return &List{Term: term}, false, nil
 	}
 	if l := e.list.Load(); l != nil {
-		return l, nil
+		ix.statResident.Add(1)
+		return l, false, nil
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
 	if l := e.list.Load(); l != nil {
-		return l, nil
+		// Another caller's singleflight finished the load while we
+		// queued; it is resident from this call's perspective.
+		ix.statResident.Add(1)
+		return l, false, nil
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if ix.loader == nil {
-		return nil, fmt.Errorf("index: list for %q missing and no loader", term)
+		return nil, false, fmt.Errorf("index: list for %q missing and no loader", term)
 	}
-	l, err := ix.loader(term)
+	l, err = ix.loader(term)
 	if err != nil {
-		return nil, fmt.Errorf("index: load list %q: %w", term, err)
+		return nil, false, fmt.Errorf("index: load list %q: %w", term, err)
 	}
 	e.list.Store(l)
-	return l, nil
+	ix.statLoaded.Add(1)
+	ix.statPostingsLoaded.Add(uint64(l.Len()))
+	return l, true, nil
 }
 
 // ListLen returns the posting count of term without forcing a lazy list

@@ -64,6 +64,8 @@ type Store struct {
 	freeIDs   []uint32
 	pendFree  []uint32
 	committed bool // true when the in-memory state matches disk
+
+	ops opCounters // page-IO counters, see OpStats
 }
 
 // MaxKV returns the largest key+value payload the store accepts.
@@ -149,13 +151,14 @@ func Open(path string, opts *Options) (*Store, error) {
 		}
 		return s, nil
 	}
-	raw, err := s.pager.read(metaPageID)
+	raw, err := s.pagerRead(metaPageID)
 	if err != nil {
 		fp.close()
 		return nil, err
 	}
 	m, err := decodeMeta(raw)
 	if err != nil {
+		s.noteDecodeErr(err)
 		fp.close()
 		return nil, err
 	}
@@ -221,12 +224,13 @@ func (s *Store) load(id uint32) (*node, error) {
 	if n, ok := s.cache[id]; ok {
 		return n, nil
 	}
-	raw, err := s.pager.read(id)
+	raw, err := s.pagerRead(id)
 	if err != nil {
 		return nil, err
 	}
 	n, err := decodeNode(id, raw)
 	if err != nil {
+		s.noteDecodeErr(err)
 		return nil, err
 	}
 	s.cacheAdd(n)
@@ -568,7 +572,7 @@ func (s *Store) Commit() error {
 		if err != nil {
 			return err
 		}
-		if err := s.pager.write(id, buf); err != nil {
+		if err := s.pagerWrite(id, buf); err != nil {
 			return err
 		}
 	}
@@ -597,7 +601,7 @@ func (s *Store) writeMeta() error {
 		pageCount: s.pageCount,
 		kvCount:   s.kvCount,
 	}
-	return s.pager.write(metaPageID, encodeMeta(m, s.pageSize))
+	return s.pagerWrite(metaPageID, encodeMeta(m, s.pageSize))
 }
 
 // Close commits pending changes (when writable) and releases the file.

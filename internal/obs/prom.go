@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families in name order, each with HELP and TYPE
+// lines, series in label order, histograms with cumulative le buckets plus
+// _sum and _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		fn := f.fn
+		f.mu.Unlock()
+		if fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(fn()))
+			continue
+		}
+		if len(f.labels) == 0 {
+			c := f.childFor(nil)
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(bw, "%s %d\n", f.name, c.counter.Value())
+			case typeGauge:
+				fmt.Fprintf(bw, "%s %d\n", f.name, c.gauge.Value())
+			case typeHistogram:
+				writeHistogram(bw, f.name, "", c.hist)
+			}
+			continue
+		}
+		for _, c := range f.sortedChildren() {
+			sig := labelSig(f.labels, c.labelVals)
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, sig, c.counter.Value())
+			case typeGauge:
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, sig, c.gauge.Value())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the bucket/sum/count triplet of one histogram
+// series. extraSig carries the series' label signature ("" when none).
+func writeHistogram(w io.Writer, name, extraSig string, h *Histogram) {
+	cum := h.cumulative()
+	for i, b := range h.bounds {
+		sig := `le="` + formatValue(b) + `"`
+		if extraSig != "" {
+			sig = extraSig + "," + sig
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, sig, cum[i])
+	}
+	sig := `le="+Inf"`
+	if extraSig != "" {
+		sig = extraSig + "," + sig
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, sig, h.Count())
+	suffix := ""
+	if extraSig != "" {
+		suffix = "{" + extraSig + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+// labelSig renders `k1="v1",k2="v2"` with label-value escaping.
+func labelSig(names, vals []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus clients do: integral
+// values without an exponent, everything else in shortest form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

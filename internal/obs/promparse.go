@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionMetric is one parsed sample line of a Prometheus text
+// exposition: the metric name, its label pairs, and the sample value.
+type ExpositionMetric struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is the parsed form of a Prometheus text payload: every sample
+// plus, per family name, the declared TYPE.
+type Exposition struct {
+	Samples []ExpositionMetric
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+	Help    map[string]string // family name -> HELP text
+}
+
+// Families returns the distinct family names seen, folding histogram
+// sample suffixes (_bucket/_sum/_count) onto their declared family.
+func (e *Exposition) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range e.Samples {
+		name := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && e.Types[base] == typeHistogram {
+				name = base
+				break
+			}
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ParsePrometheus is the in-tree sanity parser for the text exposition
+// format: it validates the line grammar strictly enough to catch the
+// failure modes a hand-rolled writer can produce — malformed names,
+// unbalanced label braces, unquoted label values, non-numeric samples,
+// samples with no preceding TYPE, duplicate TYPE lines — and returns the
+// parsed samples. It is deliberately NOT a full client_model parser; it is
+// the gate the CI scrape job and the exposition golden test run against.
+func ParsePrometheus(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fmt.Errorf("obs: line %d: malformed HELP line %q", lineNo, line)
+			}
+			exp.Help[name] = rest[len(name)+1:]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch fields[1] {
+			case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, fields[1])
+			}
+			if _, dup := exp.Types[fields[0]]; dup {
+				return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, fields[0])
+			}
+			exp.Types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		m, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if familyOf(m.Name, exp.Types) == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no TYPE declaration", lineNo, m.Name)
+		}
+		exp.Samples = append(exp.Samples, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(exp.Samples) == 0 {
+		return nil, fmt.Errorf("obs: exposition contains no samples")
+	}
+	return exp, nil
+}
+
+// familyOf resolves a sample name to its declared family, accepting the
+// histogram sample suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == typeHistogram || t == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (ExpositionMetric, error) {
+	m := ExpositionMetric{Labels: make(map[string]string)}
+	rest := line
+	brace := strings.IndexByte(line, '{')
+	if brace >= 0 {
+		m.Name = line[:brace]
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			return m, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		if err := parseLabels(line[brace+1:end], m.Labels); err != nil {
+			return m, err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		var ok bool
+		m.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return m, fmt.Errorf("sample line %q has no value", line)
+		}
+		rest = strings.TrimSpace(rest)
+	}
+	if !validMetricName(m.Name) {
+		return m, fmt.Errorf("invalid metric name %q", m.Name)
+	}
+	// A timestamp may trail the value; accept and ignore it.
+	valStr, _, _ := strings.Cut(rest, " ")
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return m, fmt.Errorf("non-numeric sample value %q", valStr)
+	}
+	m.Value = v
+	return m, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` into dst.
+func parseLabels(s string, dst map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %q value is not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("label %q value is not terminated", name)
+		}
+		if _, dup := dst[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		dst[name] = val.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	return validMetricName(s)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog is a fixed-capacity ring buffer of slow-query records. When the
+// server is started with a slow-query threshold, every query is traced
+// and queries whose wall time meets the threshold deposit their rendered
+// span tree here; GET /debug/slowlog dumps the buffer newest-first. The
+// ring never allocates after construction beyond the records themselves,
+// and recording is a short critical section, so a burst of slow queries
+// cannot amplify the overload that made them slow.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu      sync.Mutex
+	entries []SlowEntry
+	next    int // ring write position
+	filled  bool
+	dropped uint64 // total entries overwritten
+}
+
+// SlowEntry is one recorded slow query.
+type SlowEntry struct {
+	// Time is when the query finished.
+	Time time.Time `json:"time"`
+	// Query is the raw query string as received.
+	Query string `json:"query"`
+	// DurationNS is the query's wall time in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Degraded and DegradedReason carry the budget outcome.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Trace is the query's span tree.
+	Trace *SpanData `json:"trace,omitempty"`
+}
+
+// NewSlowLog builds a slow log holding the last capacity entries at or
+// over threshold. capacity <= 0 defaults to 128.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, entries: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the recording threshold (0 for a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record deposits one entry if its duration meets the threshold; it
+// reports whether the entry was kept. Nil-safe.
+func (l *SlowLog) Record(e SlowEntry) bool {
+	if l == nil || time.Duration(e.DurationNS) < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	if l.filled {
+		l.dropped++
+	}
+	l.entries[l.next] = e
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+	l.mu.Unlock()
+	return true
+}
+
+// Entries returns the recorded entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.entries)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		// Walk backwards from the most recent write.
+		out = append(out, l.entries[(l.next-i+len(l.entries))%len(l.entries)])
+	}
+	return out
+}
+
+// Dropped returns how many entries were overwritten after the ring
+// filled.
+func (l *SlowLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Len returns the number of entries currently held.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		return len(l.entries)
+	}
+	return l.next
+}

@@ -1,6 +1,8 @@
 package refine
 
 import (
+	"time"
+
 	"xrefine/internal/dewey"
 	"xrefine/internal/index"
 	"xrefine/internal/slca"
@@ -35,6 +37,36 @@ type TopKOutcome struct {
 	Degraded bool
 	// DegradedReason is one of the Degraded* constants when Degraded.
 	DegradedReason string
+
+	// RQGenerated counts refined-query candidates the dynamic program
+	// produced across visited partitions (before dedup or pruning) —
+	// the exploration's raw breadth.
+	RQGenerated int
+	// RQPruned counts candidates whose SLCA computation the top-2K
+	// dissimilarity bound skipped — the paper's key optimization made
+	// observable.
+	RQPruned int
+	// BoundUpdates counts tightenings of the shared pruning bound on
+	// the parallel walk (the sequential walk's bound lives implicitly
+	// in its sorted list and reports 0).
+	BoundUpdates int
+	// SLCAPostings totals the postings handed to delegated SLCA
+	// computations — the work the SLCA layer actually received.
+	SLCAPostings int64
+	// WorkerShares describes each parallel worker's share of the walk;
+	// nil for the sequential path.
+	WorkerShares []WorkerShare
+}
+
+// WorkerShare is one parallel worker's slice of the partition walk.
+type WorkerShare struct {
+	// Ranges is how many contiguous partition ranges the worker drew
+	// from the job queue.
+	Ranges int
+	// Partitions is how many partitions the worker fully processed.
+	Partitions int
+	// SLCACalls counts the SLCA computations the worker ran.
+	SLCACalls int
 }
 
 // markDegraded records a budget-induced early stop on the outcome.
@@ -76,16 +108,31 @@ func PartitionTopK(in Input, k int) (*TopKOutcome, error) {
 
 // scanLists fetches the inverted list of every scan keyword. Loads go
 // through the context-aware index path so a canceled query stops between
-// (possibly disk-backed) list loads.
+// (possibly disk-backed) list loads. Under tracing it records a
+// "load-lists" span noting how many lists had to be lazily loaded (vs
+// already resident) and the posting mass fetched.
 func scanLists(in Input, ks []string) ([]*index.List, error) {
 	ctx := in.Budget.Context()
+	sp := in.Trace.StartChild("load-lists")
 	lists := make([]*index.List, len(ks))
+	var loaded, postings int64
 	for i, kw := range ks {
-		l, err := in.Index.ListCtx(ctx, kw)
+		l, wasLoaded, err := in.Index.ListCtxInfo(ctx, kw)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		if wasLoaded {
+			loaded++
+		}
+		postings += int64(l.Len())
 		lists[i] = l
+	}
+	if sp != nil {
+		sp.SetInt("lists", int64(len(ks)))
+		sp.SetInt("loaded", loaded)
+		sp.SetInt("postings", postings)
+		sp.End()
 	}
 	return lists, nil
 }
@@ -112,19 +159,23 @@ func partitionTopKSeq(in Input, k int, ks []string, lists []*index.List) (*TopKO
 		}
 		out.Partitions++
 		// Top-2K refined queries expressible in this partition (line 10).
-		for _, rq := range TopRQs(in.Query, w.avail, in.Rules, 2*k) {
+		rqs := TopRQs(in.Query, w.avail, in.Rules, 2*k)
+		out.RQGenerated += len(rqs)
+		for _, rq := range rqs {
 			item := sorted.Has(rq)
 			if item == nil && !sorted.Qualifies(rq.DSim) {
 				// Worse than the current 2K-th candidate: skip the
 				// SLCA computation entirely (the paper's advantage
 				// (2)).
+				out.RQPruned++
 				continue
 			}
-			res, err := partitionSLCA(in, rq, ks, lists, w.spans, pid)
+			res, postings, err := partitionSLCA(in, rq, ks, lists, w.spans, pid)
 			if err != nil {
 				return nil, err
 			}
 			out.SLCACalls++
+			out.SLCAPostings += int64(postings)
 			if len(res) == 0 {
 				continue // no meaningful result in this partition
 			}
@@ -248,8 +299,12 @@ func (w *partitionWalker) next() (dewey.ID, bool) {
 
 // partitionSLCA computes the meaningful SLCAs of rq inside one document
 // partition by delegating to the configured SLCA algorithm over the
-// partition-restricted sublists.
-func partitionSLCA(in Input, rq RQ, ks []string, lists []*index.List, spans []span, pid dewey.ID) ([]Match, error) {
+// partition-restricted sublists. The second return is the posting mass the
+// SLCA computation consumed (0 when a keyword was absent and the
+// computation was skipped). Under tracing, the time spent in the SLCA
+// layer accumulates onto the trace span's slca_ns attribute — safe from
+// concurrent workers.
+func partitionSLCA(in Input, rq RQ, ks []string, lists []*index.List, spans []span, pid dewey.ID) ([]Match, int, error) {
 	sub := make([]*index.List, 0, len(rq.Keywords))
 	var witness *index.List
 	for _, kw := range rq.Keywords {
@@ -260,7 +315,7 @@ func partitionSLCA(in Input, rq RQ, ks []string, lists []*index.List, spans []sp
 			}
 			s := spans[i]
 			if s.end <= s.start {
-				return nil, nil // keyword absent from partition
+				return nil, 0, nil // keyword absent from partition
 			}
 			l := lists[i].Sub(s.start, s.end)
 			sub = append(sub, l)
@@ -269,9 +324,16 @@ func partitionSLCA(in Input, rq RQ, ks []string, lists []*index.List, spans []sp
 			break
 		}
 		if !found {
-			return nil, nil
+			return nil, 0, nil
 		}
 	}
+	var t0 time.Time
+	if in.Trace != nil {
+		t0 = time.Now()
+	}
 	ids := slca.Compute(in.SLCA, sub)
-	return meaningfulMatches(ids, witness, in.Judge), nil
+	if in.Trace != nil {
+		in.Trace.AddInt("slca_ns", int64(time.Since(t0)))
+	}
+	return meaningfulMatches(ids, witness, in.Judge), slca.Cost(sub), nil
 }

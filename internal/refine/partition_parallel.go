@@ -3,6 +3,7 @@ package refine
 import (
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -73,6 +74,7 @@ func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
 	var (
 		bound      = newSharedBound()
 		perRange   = make([]*rangeOutcome, ranges)
+		shares     = make([]WorkerShare, workers)
 		jobs       = make(chan int)
 		wg         sync.WaitGroup
 		firstErr   error
@@ -87,8 +89,12 @@ func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
+			// Each worker gets its own span under the strategy span;
+			// worker spans overlap in time by design, so their durations
+			// are not additive with the sequential stage spans.
+			ws := in.Trace.StartChild("worker-" + strconv.Itoa(wi))
 			local := NewSortedList(2 * k)
 			for r := range jobs {
 				lo, hi := rangeBounds(pivots, r)
@@ -98,8 +104,17 @@ func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
 					continue
 				}
 				perRange[r] = res
+				shares[wi].Ranges++
+				shares[wi].Partitions += len(res.partitions)
+				shares[wi].SLCACalls += res.slcaCalls
 			}
-		}()
+			if ws != nil {
+				ws.SetInt("ranges", int64(shares[wi].Ranges))
+				ws.SetInt("partitions", int64(shares[wi].Partitions))
+				ws.SetInt("slca_calls", int64(shares[wi].SLCACalls))
+				ws.End()
+			}
+		}(w)
 	}
 	for r := 0; r < ranges; r++ {
 		jobs <- r
@@ -109,12 +124,15 @@ func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	ms := in.Trace.StartChild("merge")
 	out, err := mergeRanges(in, k, ks, lists, perRange)
+	ms.End()
 	if err != nil {
 		return nil, err
 	}
 	out.Workers = workers
 	out.Ranges = ranges
+	out.WorkerShares = shares
 	out.markDegraded(in.Budget)
 	return out, nil
 }
@@ -190,15 +208,15 @@ func newSharedBound() *sharedBound {
 
 func (b *sharedBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
 
-// lower tightens the bound to v if v is smaller.
-func (b *sharedBound) lower(v float64) {
+// lower tightens the bound to v if v is smaller, reporting whether it did.
+func (b *sharedBound) lower(v float64) bool {
 	for {
 		old := b.bits.Load()
 		if math.Float64frombits(old) <= v {
-			return
+			return false
 		}
 		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			return
+			return true
 		}
 	}
 }
@@ -221,8 +239,12 @@ type partitionRecord struct {
 
 // rangeOutcome is one worker's record of one contiguous partition range.
 type rangeOutcome struct {
-	partitions []partitionRecord
-	slcaCalls  int
+	partitions   []partitionRecord
+	slcaCalls    int
+	slcaPostings int64
+	rqGenerated  int
+	rqPruned     int
+	boundUpdates int
 }
 
 // walkRange processes the partitions inside [lo, hi): for each partition it
@@ -250,24 +272,29 @@ func walkRange(in Input, k int, ks []string, lists []*index.List, lo, hi dewey.I
 			return res, nil
 		}
 		rqs := TopRQs(in.Query, w.avail, in.Rules, 2*k)
+		res.rqGenerated += len(rqs)
 		rec := partitionRecord{pid: pid, rqs: make([]rqRecord, 0, len(rqs))}
 		for _, rq := range rqs {
 			item := local.Has(rq)
 			if item == nil && !(rq.DSim < bound.get() && local.Qualifies(rq.DSim)) {
+				res.rqPruned++
 				rec.rqs = append(rec.rqs, rqRecord{rq: rq})
 				continue
 			}
-			matches, err := partitionSLCA(in, rq, ks, lists, w.spans, pid)
+			matches, postings, err := partitionSLCA(in, rq, ks, lists, w.spans, pid)
 			if err != nil {
 				return nil, err
 			}
 			res.slcaCalls++
+			res.slcaPostings += int64(postings)
 			rec.rqs = append(rec.rqs, rqRecord{rq: rq, computed: true, results: matches})
 			if len(matches) == 0 || item != nil {
 				continue
 			}
 			if local.Insert(rq, nil) != nil && local.Full() {
-				bound.lower(local.Worst())
+				if bound.lower(local.Worst()) {
+					res.boundUpdates++
+				}
 			}
 		}
 		res.partitions = append(res.partitions, rec)
@@ -293,6 +320,10 @@ func mergeRanges(in Input, k int, ks []string, lists []*index.List, perRange []*
 			return nil, err
 		}
 		out.SLCACalls += rng.slcaCalls
+		out.SLCAPostings += rng.slcaPostings
+		out.RQGenerated += rng.rqGenerated
+		out.RQPruned += rng.rqPruned
+		out.BoundUpdates += rng.boundUpdates
 		for _, rec := range rng.partitions {
 			out.Partitions++
 			spansReady := false
@@ -308,11 +339,13 @@ func mergeRanges(in Input, k int, ks []string, lists []*index.List, perRange []*
 						spansReady = true
 					}
 					var err error
-					res, err = partitionSLCA(in, rr.rq, ks, lists, spans, rec.pid)
+					var postings int
+					res, postings, err = partitionSLCA(in, rr.rq, ks, lists, spans, rec.pid)
 					if err != nil {
 						return nil, err
 					}
 					out.SLCACalls++
+					out.SLCAPostings += int64(postings)
 				}
 				if len(res) == 0 {
 					continue

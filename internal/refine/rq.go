@@ -14,6 +14,7 @@ import (
 
 	"xrefine/internal/dewey"
 	"xrefine/internal/index"
+	"xrefine/internal/obs"
 	"xrefine/internal/rules"
 	"xrefine/internal/searchfor"
 	"xrefine/internal/slca"
@@ -169,6 +170,11 @@ type Input struct {
 	// Degraded — partial but valid results. A nil Budget never stops
 	// anything and the output is byte-identical to pre-budget behavior.
 	Budget *Budget
+	// Trace, when non-nil, is the span the algorithm hangs its stage
+	// spans off (list loads, per-worker shares) and accumulates SLCA
+	// time into. A nil Trace costs one nil check per instrumentation
+	// point and never changes the computed results.
+	Trace *obs.Span
 }
 
 // scanKeywords returns Q's keywords plus the rule-generated new keywords,

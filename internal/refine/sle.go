@@ -2,6 +2,7 @@ package refine
 
 import (
 	"sort"
+	"time"
 
 	"xrefine/internal/index"
 	"xrefine/internal/slca"
@@ -28,12 +29,28 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 		return out, nil
 	}
 	lists := make(map[string]*index.List, len(ks))
-	for _, kw := range ks {
-		l, err := in.Index.List(kw)
-		if err != nil {
-			return nil, err
+	{
+		ctx := in.Budget.Context()
+		sp := in.Trace.StartChild("load-lists")
+		var loaded, postings int64
+		for _, kw := range ks {
+			l, wasLoaded, err := in.Index.ListCtxInfo(ctx, kw)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			if wasLoaded {
+				loaded++
+			}
+			postings += int64(l.Len())
+			lists[kw] = l
 		}
-		lists[kw] = l
+		if sp != nil {
+			sp.SetInt("lists", int64(len(ks)))
+			sp.SetInt("loaded", loaded)
+			sp.SetInt("postings", postings)
+			sp.End()
+		}
 	}
 	sorted := NewSortedList(2 * k)
 	remaining := append([]string(nil), ks...)
@@ -108,10 +125,17 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 					avail[kw] = true
 				}
 			}
-			for _, rq := range TopRQs(in.Query, avail, in.Rules, 2*k) {
-				if sorted.Has(rq) == nil && sorted.Qualifies(rq.DSim) {
-					sorted.Insert(rq, nil)
+			rqs := TopRQs(in.Query, avail, in.Rules, 2*k)
+			out.RQGenerated += len(rqs)
+			for _, rq := range rqs {
+				if sorted.Has(rq) != nil {
+					continue
 				}
+				if !sorted.Qualifies(rq.DSim) {
+					out.RQPruned++
+					continue
+				}
+				sorted.Insert(rq, nil)
 			}
 			// Jump past this partition in ki's list.
 			pos = li.SeekGE(pid.Next())
@@ -123,6 +147,8 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 	// budget is re-checked before each candidate — full-list SLCA is the
 	// expensive stage here — and a degradable stop keeps the candidates
 	// whose results were already computed.
+	step2 := in.Trace.StartChild("slca")
+	defer step2.End()
 	for _, it := range sorted.Items() {
 		if !in.Budget.Ok() {
 			if err := in.Budget.Err(); err != nil {
@@ -134,6 +160,7 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 		for i, kw := range it.RQ.Keywords {
 			sub[i] = lists[kw]
 		}
+		out.SLCAPostings += int64(slca.Cost(sub))
 		ids, err := slca.ComputeCtx(in.Budget.Context(), in.SLCA, sub)
 		if err != nil {
 			if berr := in.Budget.Err(); berr != nil {
@@ -152,6 +179,10 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 		it.Results = res
 		out.Candidates = append(out.Candidates, it)
 	}
+	if step2 != nil {
+		step2.SetInt("calls", int64(out.SLCACalls))
+		step2.SetInt("postings", out.SLCAPostings)
+	}
 	out.markDegraded(in.Budget)
 	return out, nil
 }
@@ -161,21 +192,42 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 // Q) and the quick path for engines that know no refinement is wanted.
 func Original(in Input) ([]Match, error) {
 	ctx := in.Budget.Context()
+	sp := in.Trace.StartChild("load-lists")
 	sub := make([]*index.List, len(in.Query))
+	var loaded, postings int64
 	for i, kw := range in.Query {
-		l, err := in.Index.ListCtx(ctx, kw)
+		l, wasLoaded, err := in.Index.ListCtxInfo(ctx, kw)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		if wasLoaded {
+			loaded++
+		}
+		postings += int64(l.Len())
 		if l.Len() == 0 {
+			sp.End()
 			return nil, nil
 		}
 		sub[i] = l
 	}
+	if sp != nil {
+		sp.SetInt("lists", int64(len(in.Query)))
+		sp.SetInt("loaded", loaded)
+		sp.SetInt("postings", postings)
+		sp.End()
+	}
 	if len(sub) == 0 {
 		return nil, nil
 	}
+	var t0 time.Time
+	if in.Trace != nil {
+		t0 = time.Now()
+	}
 	ids, err := slca.ComputeCtx(ctx, in.SLCA, sub)
+	if in.Trace != nil {
+		in.Trace.AddInt("slca_ns", int64(time.Since(t0)))
+	}
 	if err != nil {
 		return nil, err
 	}

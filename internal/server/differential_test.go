@@ -33,6 +33,10 @@ func TestSearchByteIdenticalAcrossConfigs(t *testing.T) {
 		}),
 		Config{Timeout: time.Hour, MaxInFlight: 128},
 	)
+	// A slowlog threshold arms a trace on every query: the span plumbing
+	// through refine/slca/index must not perturb the response bytes.
+	traced := NewWithConfig(core.NewFromDocument(doc, nil),
+		Config{SlowLogThreshold: time.Nanosecond})
 
 	queries := []string{
 		"database query",
@@ -63,6 +67,9 @@ func TestSearchByteIdenticalAcrossConfigs(t *testing.T) {
 				}
 				if got := fetch(t, hardened, q, strategy, parallel); got != ref {
 					t.Errorf("hardened server: %q strategy=%s parallel=%d diverged from bare sequential", q, strategy, parallel)
+				}
+				if got := fetch(t, traced, q, strategy, parallel); got != ref {
+					t.Errorf("traced server: %q strategy=%s parallel=%d diverged from bare sequential", q, strategy, parallel)
 				}
 			}
 		}

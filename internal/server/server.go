@@ -2,9 +2,12 @@
 // the deployment surface a sponsored-search or digital-library integration
 // would talk to. Handlers are plain net/http so the server embeds anywhere.
 //
-//	GET /search?q=online+databse&k=3&strategy=partition&parallel=4
+//	GET /search?q=online+databse&k=3&strategy=partition&parallel=4&explain=1
 //	GET /narrow?q=database&max=50&k=3
 //	GET /healthz
+//	GET /metrics
+//	GET /debug/slowlog
+//	GET /debug/pprof/   (when Config.EnablePprof)
 package server
 
 import (
@@ -14,13 +17,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"xrefine/internal/core"
 	"xrefine/internal/narrow"
+	"xrefine/internal/obs"
 	"xrefine/internal/refine"
 	"xrefine/internal/tokenize"
 )
@@ -35,9 +39,20 @@ type Config struct {
 	Timeout time.Duration
 	// MaxInFlight caps concurrently-handled query requests when positive.
 	// Requests beyond the cap are shed immediately with 503 and a
-	// Retry-After hint rather than queueing without bound. /healthz is
-	// exempt so load probes keep working under saturation.
+	// Retry-After hint rather than queueing without bound. /healthz,
+	// /metrics, and /debug/slowlog are exempt — probes and scrapes must
+	// keep working under saturation, when they matter most.
 	MaxInFlight int
+	// SlowLogThreshold arms the slow-query ring log when positive: every
+	// /search query is traced, and those whose wall time meets the
+	// threshold deposit their span tree at GET /debug/slowlog.
+	SlowLogThreshold time.Duration
+	// SlowLogCapacity bounds the ring; 0 means 128 entries.
+	SlowLogCapacity int
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ on
+	// the server's own mux (never the default mux), bypassing the
+	// admission gate and timeout like the other debug surfaces.
+	EnablePprof bool
 }
 
 // statusClientClosedRequest is the de-facto code (nginx's 499) for
@@ -55,8 +70,17 @@ type Server struct {
 	cfg  Config
 	gate chan struct{} // admission semaphore; nil when unbounded
 
-	statShed   atomic.Uint64 // requests rejected by the gate
-	statPanics atomic.Uint64 // handler panics contained
+	// All serving counters live on the engine's metrics registry — the
+	// server registers its own families there so /metrics exposes one
+	// coherent catalog. Handles are nil (and no-op) when the engine was
+	// built with DisableMetrics.
+	reg       *obs.Registry
+	slowlog   *obs.SlowLog // nil unless SlowLogThreshold > 0
+	mShed     *obs.Counter
+	mPanics   *obs.Counter
+	mReqs     *obs.CounterVec // labels: route, code
+	mSeconds  *obs.Histogram
+	mInflight *obs.Gauge
 }
 
 // New builds a server around an engine with no edge protection.
@@ -64,14 +88,39 @@ func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
 
 // NewWithConfig builds a server with the given edge configuration.
 func NewWithConfig(eng *core.Engine, cfg Config) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg, reg: eng.Metrics()}
 	if cfg.MaxInFlight > 0 {
 		s.gate = make(chan struct{}, cfg.MaxInFlight)
 	}
-	s.mux.HandleFunc("/search", s.guard(s.handleSearch))
-	s.mux.HandleFunc("/narrow", s.guard(s.handleNarrow))
-	s.mux.HandleFunc("/complete", s.guard(s.handleComplete))
+	if cfg.SlowLogThreshold > 0 {
+		s.slowlog = obs.NewSlowLog(cfg.SlowLogThreshold, cfg.SlowLogCapacity)
+	}
+	s.mShed = s.reg.Counter("xrefine_http_shed_total",
+		"Requests rejected by the admission gate.")
+	s.mPanics = s.reg.Counter("xrefine_http_panics_total",
+		"Handler panics contained.")
+	s.mReqs = s.reg.CounterVec("xrefine_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.mSeconds = s.reg.Histogram("xrefine_http_request_seconds",
+		"HTTP request latency in seconds (query routes only).", obs.DefBuckets)
+	s.mInflight = s.reg.Gauge("xrefine_http_inflight",
+		"Query requests currently being handled.")
+	s.mux.HandleFunc("/search", s.observed("/search", s.guard(s.handleSearch)))
+	s.mux.HandleFunc("/narrow", s.observed("/narrow", s.guard(s.handleNarrow)))
+	s.mux.HandleFunc("/complete", s.observed("/complete", s.guard(s.handleComplete)))
+	// The operational surfaces below bypass the gate and the timeout on
+	// purpose: probes and scrapes must answer while the query path is
+	// saturated or wedged.
 	s.mux.HandleFunc("/healthz", s.recovered(s.handleHealth))
+	s.mux.HandleFunc("/metrics", s.recovered(s.handleMetrics))
+	s.mux.HandleFunc("/debug/slowlog", s.recovered(s.handleSlowlog))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -79,10 +128,38 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Shed returns the number of requests rejected by the admission gate.
-func (s *Server) Shed() uint64 { return s.statShed.Load() }
+func (s *Server) Shed() uint64 { return s.mShed.Value() }
 
 // Panics returns the number of handler panics contained so far.
-func (s *Server) Panics() uint64 { return s.statPanics.Load() }
+func (s *Server) Panics() uint64 { return s.mPanics.Value() }
+
+// statusWriter captures the status code a handler wrote so the request
+// counter can label it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// observed wraps a query route with request accounting: in-flight gauge,
+// latency histogram, and a per-route/per-code request counter.
+func (s *Server) observed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mInflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.mInflight.Add(-1)
+		s.mSeconds.Observe(time.Since(start).Seconds())
+		if s.mReqs != nil {
+			s.mReqs.With(route, strconv.Itoa(sw.code)).Inc()
+		}
+	}
+}
 
 // recovered wraps a handler with panic containment: a panicking request
 // becomes a 500 for that request alone instead of killing the process.
@@ -90,7 +167,7 @@ func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				s.statPanics.Add(1)
+				s.mPanics.Inc()
 				log.Printf("server: panic in %s %s: %v", r.Method, r.URL.Path, v)
 				// Headers may already be out; WriteHeader then is a
 				// no-op warning, which is the best we can do.
@@ -112,7 +189,7 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 			default:
 				// Shed immediately: under overload a bounded, fast "no"
 				// beats an unbounded queue of slow yeses.
-				s.statShed.Add(1)
+				s.mShed.Inc()
 				w.Header().Set("Retry-After", "1")
 				httpError(w, http.StatusServiceUnavailable, errors.New("server at capacity"))
 				return
@@ -157,6 +234,10 @@ type searchJSON struct {
 	// exist.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Explain is the query's span tree, present only when the request
+	// asked for it with explain=1 — omitted otherwise so no-explain
+	// bodies stay byte-identical to the pre-tracing format.
+	Explain *obs.SpanData `json:"explain,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -165,7 +246,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query().Get("q")
+	explain := r.URL.Query().Get("explain") == "1"
+	// A trace is armed when the caller asked for an explanation or the
+	// slow-query log is on (it needs the span tree of any query that
+	// turns out slow). Untraced queries pay one context lookup per stage.
+	ctx := r.Context()
+	var root *obs.Span
+	if explain || s.slowlog != nil {
+		ctx, root = obs.NewTrace(ctx, "query")
+		defer root.Release()
+		root.SetStr("q", q)
+	}
+	tsp := root.StartChild("tokenize")
 	terms := tokenize.Query(q)
+	if tsp != nil {
+		tsp.SetInt("terms", int64(len(terms)))
+		tsp.End()
+	}
 	if len(terms) == 0 {
 		httpError(w, http.StatusBadRequest, errors.New("missing or empty q parameter"))
 		return
@@ -188,7 +285,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.eng.QueryTermsCtx(r.Context(), terms, strategy, k, parallel)
+	start := time.Now()
+	resp, err := s.eng.QueryTermsCtx(ctx, terms, strategy, k, parallel)
 	if errors.Is(err, context.Canceled) {
 		httpError(w, statusClientClosedRequest, err)
 		return
@@ -197,11 +295,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	var trace *obs.SpanData
+	if root != nil {
+		root.End()
+		trace = root.Data()
+		s.slowlog.Record(obs.SlowEntry{
+			Time:           time.Now(),
+			Query:          q,
+			DurationNS:     int64(time.Since(start)),
+			Degraded:       resp.Degraded,
+			DegradedReason: resp.DegradedReason,
+			Trace:          trace,
+		})
+	}
 	out := searchJSON{
 		Terms:          resp.Terms,
 		NeedRefine:     resp.NeedRefine,
 		Degraded:       resp.Degraded,
 		DegradedReason: resp.DegradedReason,
+	}
+	if explain {
+		out.Explain = trace
 	}
 	for _, c := range resp.SearchFor {
 		out.SearchFor = append(out.SearchFor, c.Type.Path())
@@ -297,7 +411,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":           "ok",
 		"nodes":            s.eng.Index().NodeCount,
 		"terms":            len(s.eng.Index().Vocabulary()),
@@ -308,10 +422,45 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"parallel_queries": st.ParallelQueries,
 		"worker_runs":      st.WorkerRuns,
 		"degraded":         st.Degraded,
-		"shed":             s.statShed.Load(),
-		"panics":           s.statPanics.Load(),
+		"shed":             s.mShed.Value(),
+		"panics":           s.mPanics.Value(),
 		"max_inflight":     s.cfg.MaxInFlight,
 		"timeout_ms":       s.cfg.Timeout.Milliseconds(),
+	}
+	// The full registry snapshot rides along under its own key so the
+	// established top-level fields stay stable for existing probes.
+	if s.reg != nil {
+		body["metrics"] = s.reg.Snapshot()
+	}
+	writeJSON(w, body)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// It bypasses the admission gate and the request timeout: a scrape must
+// succeed precisely when the query path is saturated.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, errors.New("metrics disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleSlowlog dumps the slow-query ring buffer, newest first.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if s.slowlog == nil {
+		httpError(w, http.StatusNotFound, errors.New("slow-query log disabled; start with a slowlog threshold"))
+		return
+	}
+	entries := s.slowlog.Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, map[string]any{
+		"threshold_ms": s.slowlog.Threshold().Milliseconds(),
+		"dropped":      s.slowlog.Dropped(),
+		"entries":      entries,
 	})
 }
 

@@ -137,6 +137,18 @@ func (c *canceler) err() error {
 	return c.ctx.Err()
 }
 
+// Cost returns the posting mass of a computation's input — the sum of
+// list lengths. It is the unit the engine's SLCA metrics account in:
+// every algorithm's work is bounded by a small function of this mass, so
+// it is the algorithm-independent observable.
+func Cost(lists []*index.List) int {
+	n := 0
+	for _, l := range lists {
+		n += l.Len()
+	}
+	return n
+}
+
 // nonEmpty reports whether every list has at least one posting; SLCA of a
 // query with an unmatched keyword is empty by the conjunctive semantics.
 func nonEmpty(lists []*index.List) bool {

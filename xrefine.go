@@ -31,12 +31,14 @@
 package xrefine
 
 import (
+	"context"
 	"io"
 
 	"xrefine/internal/core"
 	"xrefine/internal/kvstore"
 	"xrefine/internal/lexicon"
 	"xrefine/internal/narrow"
+	"xrefine/internal/obs"
 	"xrefine/internal/rank"
 	"xrefine/internal/refine"
 	"xrefine/internal/rules"
@@ -150,6 +152,29 @@ func Tokenize(q string) []string { return tokenize.Query(q) }
 
 // EngineStats is a snapshot of the engine's serving counters.
 type EngineStats = core.EngineStats
+
+// MetricsRegistry collects the engine's counters, gauges and histograms;
+// retrieve an engine's with Engine.Metrics and expose it with its
+// WritePrometheus method or via the HTTP server's /metrics route.
+type MetricsRegistry = obs.Registry
+
+// Span is one timed stage of a traced query; SpanData is its rendered
+// snapshot as served by explain=1 and the slow-query log.
+type Span = obs.Span
+
+// SpanData is an immutable span-tree snapshot.
+type SpanData = obs.SpanData
+
+// NewTrace arms per-query tracing on a context: pass the returned context
+// to Engine.QueryCtx or Engine.QueryTermsCtx and every pipeline stage
+// records a span under the returned root. End the root after the query
+// and snapshot it with Data; Release returns the tree to the span pool.
+func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.NewTrace(ctx, name)
+}
+
+// WriteTrace pretty-prints a span tree for terminals.
+func WriteTrace(w io.Writer, d *SpanData) { obs.WriteTree(w, d) }
 
 // NarrowOptions tune Engine.Narrow, the too-many-results extension.
 type NarrowOptions = narrow.Options
