@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments examples obs clean
+.PHONY: all build vet test race bench fuzz experiments examples obs soak clean
 
 all: build vet test
 
@@ -40,6 +40,13 @@ experiments:
 # (cmd/obscheck), runs an explain=1 query, and checks /debug/slowlog.
 obs:
 	./scripts/obs_smoke.sh
+
+# Mixed read/write soak of the live-update subsystem: the in-tree
+# concurrency and crash-recovery suites under -race, then a race-built
+# live xserve with concurrent query loops against streamed POST /update
+# batches, ending in a durability-across-restart check.
+soak:
+	./scripts/update_soak.sh
 
 examples:
 	$(GO) run ./examples/quickstart

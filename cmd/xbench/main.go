@@ -8,7 +8,7 @@
 //	xbench [-scale 1.0] [-reps 3] [-queries 50] <experiment>
 //	paper experiments: tables3-6 fig4 fig5 fig6 table7 table8 table9 table10
 //	extensions:        ablation-decay ablation-searchfor ablation-slca
-//	                   ablation-beam elca parallel obs
+//	                   ablation-beam elca parallel obs update
 //	or: all
 package main
 
@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"text/tabwriter"
 	"time"
 
+	"xrefine/internal/core"
 	"xrefine/internal/datagen"
 	"xrefine/internal/experiments"
 )
@@ -36,7 +38,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -55,6 +57,7 @@ func main() {
 		"elca":               elcaCompare,
 		"parallel":           parallelCompare,
 		"obs":                obsOverhead,
+		"update":             updateBench,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -62,6 +65,7 @@ func main() {
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
 			"ablation-slca", "ablation-beam", "elca", "parallel", "obs",
+			"update",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -409,6 +413,113 @@ func printCG(title string, rows []experiments.CGRow) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\n", r.Model, r.CG[0], r.CG[1], r.CG[2], r.CG[3])
 	}
+	return w.Flush()
+}
+
+// updateBench measures the live-update path: apply throughput on its own,
+// and query latency with and without a concurrent writer, quantifying
+// what epoch publication costs readers. Uses an in-memory engine so the
+// numbers isolate staging + epoch-swap cost from disk commit cost.
+func updateBench() error {
+	authors := int(800 * *scale)
+	if authors < 100 {
+		authors = 100
+	}
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: authors, Seed: 42})
+	if err != nil {
+		return err
+	}
+	const batchOps = 8
+	nBatches := 10 * *reps
+	benchQueries := [][]string{
+		{"database", "query"},
+		{"keyword", "search", "xml"},
+		{"online", "databse"}, // misspelled: exercises refinement
+		{"twig", "pattern", "matching"},
+	}
+
+	// measure runs query rounds until stop closes, returning latencies.
+	measure := func(eng *core.Engine, stop <-chan struct{}) []time.Duration {
+		var lat []time.Duration
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return lat
+			default:
+			}
+			q := benchQueries[i%len(benchQueries)]
+			t0 := time.Now()
+			if _, err := eng.QueryTerms(q, core.StrategyPartition, 3); err == nil {
+				lat = append(lat, time.Since(t0))
+			}
+		}
+	}
+	stats := func(lat []time.Duration) (avg, p95 time.Duration) {
+		if len(lat) == 0 {
+			return 0, 0
+		}
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		return sum / time.Duration(len(sorted)), sorted[len(sorted)*95/100]
+	}
+
+	// Apply-only throughput.
+	batches, err := datagen.Updates(doc, datagen.UpdatesConfig{Batches: nBatches, Ops: batchOps, Seed: 99})
+	if err != nil {
+		return err
+	}
+	writer := core.NewFromDocument(doc, nil)
+	t0 := time.Now()
+	for _, b := range batches {
+		if _, err := writer.Apply(b); err != nil {
+			return err
+		}
+	}
+	applyDur := time.Since(t0)
+	opsTotal := nBatches * batchOps
+
+	// Read-only baseline: queries for the same wall-clock the writer took.
+	baseline := core.NewFromDocument(doc, nil)
+	stop := make(chan struct{})
+	time.AfterFunc(applyDur, func() { close(stop) })
+	baseAvg, baseP95 := stats(measure(baseline, stop))
+
+	// Mixed: a writer applying the same batches while one reader queries.
+	mixed := core.NewFromDocument(doc, nil)
+	stop = make(chan struct{})
+	var mixedApply time.Duration
+	var applyErr error
+	go func() {
+		defer close(stop)
+		t := time.Now()
+		for _, b := range batches {
+			if _, err := mixed.Apply(b); err != nil {
+				applyErr = err
+				return
+			}
+		}
+		mixedApply = time.Since(t)
+	}()
+	mixAvg, mixP95 := stats(measure(mixed, stop))
+	if applyErr != nil {
+		return applyErr
+	}
+
+	w := header("Update: apply throughput and query-latency impact (in-memory engine)")
+	fmt.Fprintf(w, "corpus\t%d authors, %d nodes\n", authors, doc.NodeCount)
+	fmt.Fprintf(w, "apply alone\t%d batches (%d ops) in %s = %.0f ops/s\n",
+		nBatches, opsTotal, applyDur.Round(time.Millisecond), float64(opsTotal)/applyDur.Seconds())
+	if mixedApply > 0 {
+		fmt.Fprintf(w, "apply vs reader\t%s = %.0f ops/s\n",
+			mixedApply.Round(time.Millisecond), float64(opsTotal)/mixedApply.Seconds())
+	}
+	fmt.Fprintf(w, "query latency idle\tavg %s\tp95 %s\n", ms(baseAvg), ms(baseP95))
+	fmt.Fprintf(w, "query latency under writes\tavg %s\tp95 %s\n", ms(mixAvg), ms(mixP95))
+	fmt.Fprintf(w, "final epoch\t%d\n", mixed.Epoch())
 	return w.Flush()
 }
 

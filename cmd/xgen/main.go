@@ -5,8 +5,14 @@
 // Usage:
 //
 //	xgen -kind dblp -authors 2000 -seed 42 -out dblp.xml
+//	xgen -kind dblp -authors 2000 -out dblp.xml -updates 40      also emit dblp.xml.updates
 //	xgen -kind baseball -teams 30 -out baseball.xml
 //	xgen -kind workload -xml dblp.xml -queries 50 -out queries.txt
+//	xgen -kind updates -xml dblp.xml -updates 40 -out updates.txt
+//
+// The -updates N flag derives a deterministic batch file of N insert/delete
+// operations valid against the generated (or -xml supplied) document, in
+// the one-op-per-line JSON form consumed by xrefine apply and POST /update.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"xrefine/internal/datagen"
+	"xrefine/internal/mutate"
 	"xrefine/internal/xmltree"
 )
 
@@ -32,14 +39,16 @@ func main() {
 func run(args []string, defaultOut io.Writer) error {
 	fs := flag.NewFlagSet("xgen", flag.ContinueOnError)
 	var (
-		kind    = fs.String("kind", "dblp", "dataset kind: dblp | baseball | workload")
-		out     = fs.String("out", "", "output file (default stdout)")
-		seed    = fs.Int64("seed", 42, "random seed")
-		authors = fs.Int("authors", 2000, "dblp: number of authors")
-		teams   = fs.Int("teams", 30, "baseball: number of teams")
-		xmlPath = fs.String("xml", "", "workload: document to sample queries from")
-		queries = fs.Int("queries", 50, "workload: number of queries")
-		ops     = fs.Int("ops", 1, "workload: corruptions per query")
+		kind     = fs.String("kind", "dblp", "dataset kind: dblp | baseball | workload | updates")
+		out      = fs.String("out", "", "output file (default stdout)")
+		seed     = fs.Int64("seed", 42, "random seed")
+		authors  = fs.Int("authors", 2000, "dblp: number of authors")
+		teams    = fs.Int("teams", 30, "baseball: number of teams")
+		xmlPath  = fs.String("xml", "", "workload/updates: document to derive from")
+		queries  = fs.Int("queries", 50, "workload: number of queries")
+		ops      = fs.Int("ops", 1, "workload: corruptions per query")
+		updates  = fs.Int("updates", 0, "emit N update operations (with -kind updates, or alongside a generated corpus)")
+		updBatch = fs.Int("update-batch", 4, "operations per update batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,10 +65,55 @@ func run(args []string, defaultOut io.Writer) error {
 	}
 
 	switch *kind {
-	case "dblp":
-		return datagen.DBLP(w, datagen.DBLPConfig{Authors: *authors, Seed: *seed})
-	case "baseball":
-		return datagen.Baseball(w, datagen.BaseballConfig{Teams: *teams, Seed: *seed})
+	case "dblp", "baseball":
+		var corpus strings.Builder
+		var err error
+		if *kind == "dblp" {
+			err = datagen.DBLP(&corpus, datagen.DBLPConfig{Authors: *authors, Seed: *seed})
+		} else {
+			err = datagen.Baseball(&corpus, datagen.BaseballConfig{Teams: *teams, Seed: *seed})
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, corpus.String()); err != nil {
+			return err
+		}
+		if *updates <= 0 {
+			return nil
+		}
+		// The update workload rides along in <out>.updates, so corpus and
+		// batches derived from it always travel as a pair.
+		if *out == "" {
+			return fmt.Errorf("-updates alongside a corpus needs -out (batches go to <out>.updates)")
+		}
+		doc, err := xmltree.ParseString(corpus.String(), nil)
+		if err != nil {
+			return err
+		}
+		uf, err := os.Create(*out + ".updates")
+		if err != nil {
+			return err
+		}
+		defer uf.Close()
+		return writeUpdates(uf, doc, *updates, *updBatch, *seed)
+	case "updates":
+		if *xmlPath == "" {
+			return fmt.Errorf("updates needs -xml")
+		}
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			return err
+		}
+		doc, err := xmltree.Parse(f, nil)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if *updates <= 0 {
+			return fmt.Errorf("updates needs -updates N")
+		}
+		return writeUpdates(w, doc, *updates, *updBatch, *seed)
 	case "workload":
 		if *xmlPath == "" {
 			return fmt.Errorf("workload needs -xml")
@@ -93,4 +147,39 @@ func run(args []string, defaultOut io.Writer) error {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
+}
+
+// writeUpdates derives n operations in perBatch-sized batches and writes
+// them one per line, batches separated by comment markers. The whole file
+// applies as one batch (xrefine apply) and the markers let soak/bench
+// tooling split it back into the original batches.
+func writeUpdates(w io.Writer, doc *xmltree.Document, n, perBatch int, seed int64) error {
+	if perBatch <= 0 {
+		perBatch = 4
+	}
+	batches, err := datagen.Updates(doc, datagen.UpdatesConfig{
+		Batches: (n + perBatch - 1) / perBatch,
+		Ops:     perBatch,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	left := n
+	for i, b := range batches {
+		if len(b.Ops) > left {
+			b.Ops = b.Ops[:left]
+		}
+		if len(b.Ops) == 0 {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "# batch %d\n", i); err != nil {
+			return err
+		}
+		if err := mutate.WriteBatchFile(w, b); err != nil {
+			return err
+		}
+		left -= len(b.Ops)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"xrefine/internal/mutate"
 	"xrefine/internal/xmltree"
 )
 
@@ -58,11 +59,46 @@ func TestRunWorkload(t *testing.T) {
 	}
 }
 
+func TestRunUpdatesAlongsideCorpus(t *testing.T) {
+	dir := t.TempDir()
+	xml := filepath.Join(dir, "d.xml")
+	if err := run([]string{"-kind", "dblp", "-authors", "30", "-out", xml, "-updates", "10", "-update-batch", "4"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(xml + ".updates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := mutate.ReadBatchFile(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Ops) != 10 {
+		t.Fatalf("update ops = %d, want 10", len(batch.Ops))
+	}
+	if !strings.Contains(string(data), "# batch 1") {
+		t.Error("batch separators missing")
+	}
+
+	// The standalone form derives the same workload from the same corpus
+	// and seed.
+	var standalone strings.Builder
+	if err := run([]string{"-kind", "updates", "-xml", xml, "-updates", "10", "-update-batch", "4"}, &standalone); err != nil {
+		t.Fatal(err)
+	}
+	if standalone.String() != string(data) {
+		t.Error("standalone -kind updates diverged from the ride-along batch file")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-kind", "bogus"},
 		{"-kind", "workload"}, // missing -xml
 		{"-kind", "workload", "-xml", "/nonexistent.xml"},
+		{"-kind", "updates"},                    // missing -xml
+		{"-kind", "updates", "-xml", "/no.xml"}, // unreadable document
+		{"-kind", "dblp", "-updates", "5"},      // -updates without -out
 		{"-badflag"},
 	} {
 		if err := run(args, &strings.Builder{}); err == nil {

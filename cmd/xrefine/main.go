@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	xrefine index  -xml dblp.xml -index dblp.kv
+//	xrefine index  -xml dblp.xml -index dblp.kv -with-doc
 //	xrefine search -xml dblp.xml "online databse"
 //	xrefine search -index dblp.kv -k 5 -strategy sle "efficient key word search"
+//	xrefine apply  -index dblp.kv -batch updates.txt
 //	xrefine repl   -xml dblp.xml
 package main
 
@@ -35,6 +36,8 @@ func main() {
 		cmdREPL(os.Args[2:])
 	case "batch":
 		cmdBatch(os.Args[2:])
+	case "apply":
+		cmdApply(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
 	case "narrow":
@@ -49,6 +52,7 @@ func usage() {
   xrefine index  -xml <file> -index <file>      build a persistent index
   xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
   xrefine batch  [-xml <file> | -index <file>] [-k N] [-parallel N] -queries <file>   one query per line, TSV out
+  xrefine apply  -index <file> [-wal <file>] -batch <file>   apply an update batch as a new epoch
   xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
   xrefine narrow [-xml <file>] [-max N] [-k N] <query>    too-many-results suggestions
   xrefine repl   [-xml <file> | -index <file>]  interactive session`)
@@ -222,6 +226,57 @@ func runBatch(w io.Writer, eng *xrefine.Engine, queries io.Reader, strategy xref
 			q, resp.NeedRefine, strings.Join(best.Keywords, " "), best.DSim, len(best.Results))
 	}
 	return sc.Err()
+}
+
+func cmdApply(args []string) {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file (built with index -with-doc)")
+	walPath := fs.String("wal", "", "write-ahead log file (default <index>.wal)")
+	batchPath := fs.String("batch", "", "update batch file, one op per line (see xgen -updates)")
+	fs.Parse(args)
+	if *indexPath == "" || *batchPath == "" {
+		fatal(fmt.Errorf("apply needs -index and -batch"))
+	}
+	if *walPath == "" {
+		*walPath = *indexPath + ".wal"
+	}
+	if err := applyBatch(os.Stdout, *indexPath, *walPath, *batchPath); err != nil {
+		fatal(err)
+	}
+}
+
+// applyBatch commits one batch file against a live index as a new epoch.
+func applyBatch(w io.Writer, indexPath, walPath, batchPath string) error {
+	bf, err := os.Open(batchPath)
+	if err != nil {
+		return err
+	}
+	batch, err := xrefine.ReadUpdateBatch(bf)
+	bf.Close()
+	if err != nil {
+		return err
+	}
+	store, err := xrefine.OpenStore(indexPath, false)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	eng, err := xrefine.OpenLiveIndex(store, walPath, nil)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if st := eng.UpdateStats(); st.ReplayedBatches > 0 {
+		fmt.Fprintf(w, "recovered %d batch(es) from the write-ahead log (epoch %d)\n",
+			st.ReplayedBatches, st.Epoch)
+	}
+	res, err := eng.Apply(batch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "epoch %d: %d insert op(s), %d delete op(s); %d node(s) added, %d removed (%d WAL bytes)\n",
+		res.Epoch, res.InsertOps, res.DeleteOps, res.Inserted, res.Deleted, res.WALBytes)
+	return nil
 }
 
 func cmdExplain(args []string) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -148,6 +150,58 @@ func TestExplain(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("explain output missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestApplyBatch(t *testing.T) {
+	dir := t.TempDir()
+	kv := filepath.Join(dir, "d.kv")
+	wal := kv + ".wal"
+	batch := filepath.Join(dir, "updates.txt")
+
+	eng, doc := testEngine(t)
+	_ = doc
+	store, err := xrefine.OpenStore(kv, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveIndexWithDocument(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ops := `# one insert, one delete
+{"op":"insert","parent":"0","xml":"<author><publications><paper><title>applied sentinel paper</title></paper></publications></author>"}
+{"op":"delete","target":"0.0.0.0"}
+`
+	if err := os.WriteFile(batch, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := applyBatch(&out, kv, wal, batch); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "epoch 1: 1 insert op(s), 1 delete op(s)") {
+		t.Errorf("apply output = %q", out.String())
+	}
+
+	// The committed epoch answers queries for the inserted content.
+	store2, err := xrefine.OpenStore(kv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	eng2, err := xrefine.OpenIndex(store2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng2.Query("applied sentinel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.NeedRefine {
+		t.Error("applied batch not visible after reopen")
 	}
 }
 

@@ -6,11 +6,13 @@
 //	xserve -xml dblp.xml -addr :8080
 //	xserve -index dblp.kv -addr :8080 -parallel 4
 //	xserve -index dblp.kv -timeout 2s -budget 5000000 -max-inflight 64
+//	xserve -index dblp.kv -live
 //
 // Endpoints:
 //
 //	GET /search?q=online+databse&k=3&strategy=partition|sle|stack&parallel=N&explain=1
 //	GET /narrow?q=database&max=50&k=3    (requires -xml)
+//	POST /update                          (requires -live or -xml; see README)
 //	GET /healthz
 //	GET /metrics                          (Prometheus text format)
 //	GET /debug/slowlog                    (requires -slowlog)
@@ -20,6 +22,12 @@
 // results found so far with "degraded": true instead of an error. With
 // -max-inflight set, excess concurrent requests are shed with 503 and a
 // Retry-After header. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// With -live set, the index is opened read-write with a write-ahead log
+// (default <index>.wal) and POST /update applies insert/delete batches as
+// durable epoch commits; without it an -index server serves a frozen
+// snapshot and /update is rejected. An -xml server accepts updates too,
+// but in memory only — they vanish on restart.
 //
 // With -slowlog set, every query is traced and those at or over the
 // threshold keep their span tree in a ring buffer served at
@@ -58,6 +66,8 @@ func main() {
 		slowlog     = flag.Duration("slowlog", 0, "slow-query threshold; queries at or over it are kept at /debug/slowlog (0 = off)")
 		slowlogCap  = flag.Int("slowlog-cap", 0, "slow-query ring capacity (0 = 128)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		live        = flag.Bool("live", false, "open -index read-write and accept POST /update (WAL-backed epoch commits)")
+		walPath     = flag.String("wal", "", "write-ahead log file for -live (default <index>.wal)")
 	)
 	flag.Parse()
 
@@ -81,16 +91,33 @@ func main() {
 		eng = core.NewFromDocument(doc, cfg)
 		log.Printf("indexed %s: %d nodes", *xmlPath, doc.NodeCount)
 	case *indexPath != "":
-		store, err := xrefine.OpenStore(*indexPath, true)
+		store, err := xrefine.OpenStore(*indexPath, !*live)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer store.Close()
-		eng, err = core.Open(store, cfg)
-		if err != nil {
-			log.Fatal(err)
+		if *live {
+			wal := *walPath
+			if wal == "" {
+				wal = *indexPath + ".wal"
+			}
+			eng, err = core.OpenLive(store, wal, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer eng.Close()
+			st := eng.UpdateStats()
+			if st.ReplayedBatches > 0 {
+				log.Printf("replayed %d update batch(es) from %s", st.ReplayedBatches, wal)
+			}
+			log.Printf("opened live index %s at epoch %d (wal %s)", *indexPath, st.Epoch, wal)
+		} else {
+			eng, err = core.Open(store, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("opened index %s (read-only)", *indexPath)
 		}
-		log.Printf("opened index %s", *indexPath)
 	default:
 		fmt.Fprintln(os.Stderr, "xserve: need -xml or -index")
 		os.Exit(2)

@@ -40,6 +40,8 @@ func run(args []string, w io.Writer) error {
 	}
 	var ix *index.Index
 	var storeStats *kvstore.Stats
+	var epoch uint64
+	var walBytes int64 = -1
 	switch {
 	case *xmlPath != "":
 		f, err := os.Open(*xmlPath)
@@ -63,13 +65,20 @@ func run(args []string, w io.Writer) error {
 		}
 		st := store.Stats()
 		storeStats = &st
+		epoch = store.Epoch()
+		// A write-ahead log beside the index means the store takes live
+		// updates; a non-empty one means the last writer died mid-commit
+		// and the next OpenLive will replay it.
+		if fi, err := os.Stat(*indexPath + ".wal"); err == nil {
+			walBytes = fi.Size()
+		}
 	default:
 		return fmt.Errorf("need -xml or -index")
 	}
-	return report(w, ix, storeStats, *top)
+	return report(w, ix, storeStats, epoch, walBytes, *top)
 }
 
-func report(w io.Writer, ix *index.Index, store *kvstore.Stats, top int) error {
+func report(w io.Writer, ix *index.Index, store *kvstore.Stats, epoch uint64, walBytes int64, top int) error {
 	vocab := ix.Vocabulary()
 	fmt.Fprintf(w, "nodes:       %d\n", ix.NodeCount)
 	fmt.Fprintf(w, "node types:  %d\n", ix.Types.Len())
@@ -78,6 +87,15 @@ func report(w io.Writer, ix *index.Index, store *kvstore.Stats, top int) error {
 	if store != nil {
 		fmt.Fprintf(w, "store:       %d keys, %d pages (%d free), %d bytes\n",
 			store.Keys, store.Pages, store.FreePages, store.FileSize)
+		fmt.Fprintf(w, "epoch:       %d\n", epoch)
+		switch {
+		case walBytes < 0:
+			fmt.Fprintf(w, "wal:         none\n")
+		case walBytes == 0:
+			fmt.Fprintf(w, "wal:         empty (all batches committed)\n")
+		default:
+			fmt.Fprintf(w, "wal:         %d bytes pending replay\n", walBytes)
+		}
 	}
 
 	type tf struct {

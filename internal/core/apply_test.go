@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"xrefine/internal/datagen"
+	"xrefine/internal/dewey"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/mutate"
+	"xrefine/internal/xmltree"
+)
+
+const applyBaseXML = `<root>
+  <paper><title>xml keyword search</title><author>smith</author></paper>
+  <paper><title>query refinement</title><author>jones</author></paper>
+  <paper><title>stale cache sentinel</title><author>lee</author></paper>
+</root>`
+
+func applyTestEngine(t *testing.T, cfg *Config) *Engine {
+	t.Helper()
+	doc, err := xmltree.ParseString(applyBaseXML, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFromDocument(doc, cfg)
+}
+
+// applySigs answers every query on e and returns the flattened responses —
+// the differential currency of these tests.
+func applySigs(t *testing.T, e *Engine, queries [][]string) []string {
+	t.Helper()
+	out := make([]string, len(queries))
+	for i, q := range queries {
+		resp, err := e.QueryTerms(q, StrategyPartition, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = responseSig(resp)
+	}
+	return out
+}
+
+var applyQueries = [][]string{
+	{"keyword", "search"},
+	{"refinement"},
+	{"sentinel"},
+	{"freshly", "minted"},
+}
+
+func TestApplyAdvancesEpochAndMatchesRebuild(t *testing.T) {
+	e := applyTestEngine(t, nil)
+	if e.Epoch() != 0 {
+		t.Fatalf("fresh engine at epoch %d", e.Epoch())
+	}
+	res, err := e.Apply(&mutate.Batch{Ops: []mutate.Op{
+		{Kind: mutate.OpInsert, Parent: dewey.Root(), XML: `<paper><title>freshly minted keyword entry</title><author>smith</author></paper>`},
+		{Kind: mutate.OpDelete, Target: dewey.ID{0, 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || e.Epoch() != 1 {
+		t.Fatalf("epoch = %d/%d, want 1", res.Epoch, e.Epoch())
+	}
+	if res.InsertOps != 1 || res.DeleteOps != 1 || res.Inserted == 0 || res.Deleted == 0 {
+		t.Fatalf("counts = %+v", res)
+	}
+	// The updated engine must answer exactly like an engine rebuilt from
+	// scratch over the mutated document.
+	rebuilt := NewFromDocument(e.Document(), nil)
+	got := applySigs(t, e, applyQueries)
+	want := applySigs(t, rebuilt, applyQueries)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("query %v diverged from rebuild\ngot  %s\nwant %s", applyQueries[i], got[i], want[i])
+		}
+	}
+}
+
+func TestApplyRejectsBadBatchAtomically(t *testing.T) {
+	e := applyTestEngine(t, nil)
+	before := applySigs(t, e, applyQueries)
+	_, err := e.Apply(&mutate.Batch{Ops: []mutate.Op{
+		{Kind: mutate.OpInsert, Parent: dewey.Root(), XML: `<paper><title>should not land</title></paper>`},
+		{Kind: mutate.OpDelete, Target: dewey.ID{0, 9, 9}}, // no such node
+	}})
+	if err == nil {
+		t.Fatal("bad batch applied without error")
+	}
+	if e.Epoch() != 0 {
+		t.Fatalf("failed batch advanced epoch to %d", e.Epoch())
+	}
+	after := applySigs(t, e, applyQueries)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("query %v changed after a rejected batch", applyQueries[i])
+		}
+	}
+}
+
+// TestQueryCacheDropsPreUpdateResults is the regression test for the cache
+// key ignoring the index generation: a post-update query must never be
+// served a pre-update response out of the LRU.
+func TestQueryCacheDropsPreUpdateResults(t *testing.T) {
+	e := applyTestEngine(t, &Config{CacheSize: 16})
+	q := []string{"stale", "sentinel"}
+	r1, err := e.QueryTerms(q, StrategyPartition, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.NeedRefine || len(r1.Queries[0].Results) == 0 {
+		t.Fatalf("precondition: query unsatisfied before update: %+v", r1)
+	}
+	if _, err := e.QueryTerms(q, StrategyPartition, 3); err != nil {
+		t.Fatal(err)
+	}
+	if hits := e.Stats().CacheHits; hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	// Delete the only partition containing both terms.
+	if _, err := e.Apply(&mutate.Batch{Ops: []mutate.Op{
+		{Kind: mutate.OpDelete, Target: dewey.ID{0, 2}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := e.QueryTerms(q, StrategyPartition, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := e.Stats().CacheHits; hits != 1 {
+		t.Fatalf("post-update query hit the stale cache (hits = %d)", hits)
+	}
+	if responseSig(r3) == responseSig(r1) {
+		t.Fatal("post-update response identical to pre-update response")
+	}
+	want, err := NewFromDocument(e.Document(), nil).QueryTerms(q, StrategyPartition, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if responseSig(r3) != responseSig(want) {
+		t.Fatalf("post-update response diverged from rebuild\ngot  %s\nwant %s", responseSig(r3), responseSig(want))
+	}
+	// The new epoch caches normally.
+	if _, err := e.QueryTerms(q, StrategyPartition, 3); err != nil {
+		t.Fatal(err)
+	}
+	if hits := e.Stats().CacheHits; hits != 2 {
+		t.Fatalf("new-epoch response not cached (hits = %d)", hits)
+	}
+}
+
+// seedLiveStore builds a store file carrying index + document and returns
+// its path plus the WAL path beside it.
+func seedLiveStore(t *testing.T, xml string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.kv")
+	wal := filepath.Join(dir, "ix.wal")
+	doc, err := xmltree.ParseString(xml, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := kvstore.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewFromDocument(doc, nil)
+	if err := e.SaveIndexWithDocument(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, wal
+}
+
+func TestOpenLiveApplyPersistsAcrossReopen(t *testing.T) {
+	path, wal := seedLiveStore(t, applyBaseXML)
+	store, err := kvstore.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenLive(store, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.UpdateStats().Live {
+		t.Fatal("OpenLive engine not live")
+	}
+	for i, b := range []*mutate.Batch{
+		{Ops: []mutate.Op{{Kind: mutate.OpInsert, Parent: dewey.Root(), XML: `<paper><title>freshly minted keyword</title></paper>`}}},
+		{Ops: []mutate.Op{{Kind: mutate.OpDelete, Target: dewey.ID{0, 1}}}},
+	} {
+		res, err := eng.Apply(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if res.Epoch != uint64(i+1) {
+			t.Fatalf("batch %d produced epoch %d", i, res.Epoch)
+		}
+		if res.WALBytes == 0 {
+			t.Fatalf("batch %d logged no WAL bytes", i)
+		}
+	}
+	want := applySigs(t, eng, applyQueries)
+	if eng.UpdateStats().WALSizeBytes != 0 {
+		t.Fatalf("WAL not truncated after commit: %d bytes", eng.UpdateStats().WALSizeBytes)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := kvstore.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	re, err := OpenLive(store2, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Epoch() != 2 {
+		t.Fatalf("reopened at epoch %d, want 2", re.Epoch())
+	}
+	if n := re.UpdateStats().ReplayedBatches; n != 0 {
+		t.Fatalf("clean reopen replayed %d batches", n)
+	}
+	got := applySigs(t, re, applyQueries)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %v changed across reopen\ngot  %s\nwant %s", applyQueries[i], got[i], want[i])
+		}
+	}
+	// And the persisted state matches a rebuild of the restored document.
+	rebuilt := applySigs(t, NewFromDocument(re.Document(), nil), applyQueries)
+	for i := range want {
+		if got[i] != rebuilt[i] {
+			t.Errorf("query %v diverged from rebuild after reopen", applyQueries[i])
+		}
+	}
+}
+
+// TestOpenLiveReplaysPendingWAL simulates a crash between WAL append and
+// store commit: the logged batch must be re-applied on open.
+func TestOpenLiveReplaysPendingWAL(t *testing.T) {
+	path, wal := seedLiveStore(t, applyBaseXML)
+	b := &mutate.Batch{Ops: []mutate.Op{
+		{Kind: mutate.OpInsert, Parent: dewey.Root(), XML: `<paper><title>freshly minted keyword</title></paper>`},
+	}}
+	w, err := mutate.OpenWAL(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, b.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := kvstore.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng, err := OpenLive(store, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Epoch() != 1 {
+		t.Fatalf("epoch %d after replay, want 1", eng.Epoch())
+	}
+	if n := eng.UpdateStats().ReplayedBatches; n != 1 {
+		t.Fatalf("replayed %d batches, want 1", n)
+	}
+	if store.Epoch() != 1 {
+		t.Fatalf("store epoch %d after replay, want 1", store.Epoch())
+	}
+	if eng.UpdateStats().WALSizeBytes != 0 {
+		t.Fatal("WAL not reset after replay")
+	}
+	// The replayed engine equals an in-memory engine that applied the batch.
+	shadow := applyTestEngine(t, nil)
+	if _, err := shadow.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	got := applySigs(t, eng, applyQueries)
+	want := applySigs(t, shadow, applyQueries)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %v: replay diverged from direct apply\ngot  %s\nwant %s", applyQueries[i], got[i], want[i])
+		}
+	}
+}
+
+// TestApplyCrashRecoveryMatrix arms storage failpoints during Apply and
+// requires the store to reopen at the last committed epoch every time,
+// answering queries exactly as a clean engine at that epoch would. A
+// fault may cost the in-flight batch, never durability or correctness.
+func TestApplyCrashRecoveryMatrix(t *testing.T) {
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]string{{"database", "query"}, {"epoch", "sentinel"}, {"keyword"}}
+	batch1 := &mutate.Batch{Ops: []mutate.Op{
+		{Kind: mutate.OpInsert, Parent: dewey.Root(), XML: `<author><name>epoch sentinel</name></author>`},
+	}}
+	batch2 := &mutate.Batch{Ops: []mutate.Op{
+		{Kind: mutate.OpInsert, Parent: dewey.Root(), XML: `<author><name>second wave keyword</name></author>`},
+		{Kind: mutate.OpDelete, Target: dewey.ID{0, 1}},
+	}}
+	// Shadow engines give the expected signatures for epochs 1 and 2.
+	shadow := NewFromDocument(doc.Clone(), nil)
+	if _, err := shadow.Apply(batch1); err != nil {
+		t.Fatal(err)
+	}
+	sigs := map[uint64][]string{1: applySigs(t, shadow, queries)}
+	if _, err := shadow.Apply(batch2); err != nil {
+		t.Fatal(err)
+	}
+	sigs[2] = applySigs(t, shadow, queries)
+
+	arms := []struct {
+		name string
+		arm  func(f *kvstore.Faults)
+	}{
+		{"write-fail-1", func(f *kvstore.Faults) { f.FailWrites(1) }},
+		{"write-fail-2", func(f *kvstore.Faults) { f.FailWrites(2) }},
+		{"write-fail-5", func(f *kvstore.Faults) { f.FailWrites(5) }},
+		{"write-fail-20", func(f *kvstore.Faults) { f.FailWrites(20) }},
+		{"torn-write-1", func(f *kvstore.Faults) { f.TornWrite(1) }},
+		{"torn-write-3", func(f *kvstore.Faults) { f.TornWrite(3) }},
+		{"torn-write-8", func(f *kvstore.Faults) { f.TornWrite(8) }},
+	}
+	var sawFail, sawSilent int
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "ix.kv")
+			wal := filepath.Join(dir, "ix.wal")
+			store, err := kvstore.Open(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedEng := NewFromDocument(doc.Clone(), nil)
+			if err := seedEng.SaveIndexWithDocument(store); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			faults := &kvstore.Faults{}
+			store, err = kvstore.Open(path, &kvstore.Options{Faults: faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := OpenLive(store, wal, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Apply(batch1); err != nil {
+				t.Fatalf("clean batch: %v", err)
+			}
+			arm.arm(faults)
+			if _, err := eng.Apply(batch2); err != nil {
+				sawFail++
+			} else {
+				sawSilent++ // torn write: commit reported success
+			}
+			faults.Clear()
+			// Crash: drop the process state without any graceful flush.
+			eng.Close()
+			store.Close()
+
+			store2, err := kvstore.Open(path, nil)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer store2.Close()
+			re, err := OpenLive(store2, wal, nil)
+			if err != nil {
+				t.Fatalf("reopen live: %v", err)
+			}
+			defer re.Close()
+			ep := re.Epoch()
+			want, ok := sigs[ep]
+			if !ok {
+				t.Fatalf("reopened at epoch %d, want 1 or 2", ep)
+			}
+			got := applySigs(t, re, queries)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("epoch %d query %v diverged from clean engine\ngot  %s\nwant %s",
+						ep, queries[i], got[i], want[i])
+				}
+			}
+		})
+	}
+	if sawFail == 0 || sawSilent == 0 {
+		t.Fatalf("matrix lost an outcome class: failed=%d silent=%d", sawFail, sawSilent)
+	}
+}
+
+// TestQueriesPinEpochDuringApply races readers against a writer applying
+// batches: every response must exactly match one of the per-epoch clean
+// signatures — never a blend of two epochs. Run under -race this also
+// proves the epoch swap is properly synchronized.
+func TestQueriesPinEpochDuringApply(t *testing.T) {
+	const epochs = 5
+	q := []string{"keyword"}
+	// Expected signature per epoch, from a sequential shadow engine.
+	base, err := xmltree.ParseString(applyBaseXML, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := make([]*mutate.Batch, epochs)
+	for i := range batches {
+		batches[i] = &mutate.Batch{Ops: []mutate.Op{{
+			Kind:   mutate.OpInsert,
+			Parent: dewey.Root(),
+			XML:    fmt.Sprintf(`<paper><title>wave%d keyword entry</title></paper>`, i),
+		}}}
+	}
+	shadow := NewFromDocument(base.Clone(), nil)
+	allowed := map[string]bool{applySigs(t, shadow, [][]string{q})[0]: true}
+	for _, b := range batches {
+		if _, err := shadow.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		allowed[applySigs(t, shadow, [][]string{q})[0]] = true
+	}
+
+	eng := NewFromDocument(base, &Config{CacheSize: 8})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := eng.QueryTerms(q, StrategyPartition, 3)
+				if err != nil {
+					select {
+					case errs <- fmt.Sprintf("query error: %v", err):
+					default:
+					}
+					return
+				}
+				if sig := responseSig(resp); !allowed[sig] {
+					select {
+					case errs <- fmt.Sprintf("response matches no epoch: %s", sig):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for _, b := range batches {
+		if _, err := eng.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if eng.Epoch() != epochs {
+		t.Fatalf("epoch %d after %d applies", eng.Epoch(), epochs)
+	}
+}

@@ -34,9 +34,14 @@ func newQueryCache(capacity int) *queryCache {
 
 // cacheKey identifies a query execution: terms are order-insensitive at
 // the semantic level but the DP consumes them in order, so the raw order
-// participates in the key.
-func cacheKey(terms []string, strategy Strategy, k int) string {
+// participates in the key. The epoch generation leads the key — a cached
+// response is only valid for the exact index state that produced it, so
+// an applied update batch implicitly invalidates every older entry (they
+// age out of the LRU unreferenced).
+func cacheKey(gen uint64, terms []string, strategy Strategy, k int) string {
 	var b strings.Builder
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('@')
 	b.WriteString(strconv.Itoa(int(strategy)))
 	b.WriteByte('/')
 	b.WriteString(strconv.Itoa(k))

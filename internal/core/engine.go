@@ -15,6 +15,8 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xrefine/internal/index"
@@ -135,12 +137,32 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// epoch is one immutable snapshot of the engine's data: the index, the
+// source document (nil for index-only engines) and the generation number.
+// Queries load the pointer once and run entirely against that snapshot, so
+// a concurrent Apply never changes data under a running query — it swaps
+// in a new epoch that only later queries observe.
+type epoch struct {
+	ix  *index.Index
+	doc *xmltree.Document
+	gen uint64
+}
+
 // Engine is an XRefine instance bound to one indexed document.
 type Engine struct {
-	ix    *index.Index
-	doc   *xmltree.Document // nil for engines loaded from an index store
+	ep    atomic.Pointer[epoch]
 	cfg   Config
 	cache *queryCache // nil when caching is disabled
+
+	// applyMu serializes writers (Apply and WAL replay). Readers never
+	// take it — they pin an epoch snapshot instead.
+	applyMu sync.Mutex
+	// live is the durable-update state (store + WAL); nil for in-memory
+	// engines, whose epochs advance without persistence. frozen marks a
+	// store-backed engine opened without live support: Apply is refused
+	// so the served state can never silently diverge from the store.
+	live   *liveState
+	frozen bool
 
 	// reg is the metrics registry (nil when disabled); m holds the
 	// registered handles. The registry is the single counter
@@ -148,6 +170,15 @@ type Engine struct {
 	reg *obs.Registry
 	m   engineMetrics
 }
+
+// snapshot pins the current epoch. The returned value is immutable; every
+// read within one query must go through the same snapshot.
+func (e *Engine) snapshot() *epoch { return e.ep.Load() }
+
+// Epoch returns the current index generation: 0 for a freshly built
+// engine, incremented by every applied update batch. Engines opened from
+// a store resume at the store's committed epoch.
+func (e *Engine) Epoch() uint64 { return e.snapshot().gen }
 
 // EngineStats is a snapshot of the engine's serving counters.
 type EngineStats struct {
@@ -214,8 +245,9 @@ func NewFromIndex(ix *index.Index, cfg *Config) *Engine {
 	} else if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	e := &Engine{ix: ix, cfg: c, cache: newQueryCache(c.CacheSize), reg: reg, m: newEngineMetrics(reg)}
-	registerIndexMetrics(reg, ix)
+	e := &Engine{cfg: c, cache: newQueryCache(c.CacheSize), reg: reg, m: newEngineMetrics(reg)}
+	e.ep.Store(&epoch{ix: ix})
+	e.registerEpochMetrics(reg)
 	return e
 }
 
@@ -223,8 +255,16 @@ func NewFromIndex(ix *index.Index, cfg *Config) *Engine {
 // document for snippets and narrowing.
 func NewFromDocument(doc *xmltree.Document, cfg *Config) *Engine {
 	e := NewFromIndex(index.Build(doc), cfg)
-	e.doc = doc
+	e.setDocument(doc)
 	return e
+}
+
+// setDocument attaches doc to the current epoch; construction-time only,
+// before the engine is shared.
+func (e *Engine) setDocument(doc *xmltree.Document) {
+	ep := *e.ep.Load()
+	ep.doc = doc
+	e.ep.Store(&ep)
 }
 
 // NewFromXML parses and indexes XML from r, keeping the document tree for
@@ -261,38 +301,50 @@ func Open(store *kvstore.Store, cfg *Config) (*Engine, error) {
 	}
 	e := NewFromIndex(ix, cfg)
 	InstrumentStore(e.reg, store)
-	doc, ok, err := xmltree.LoadDocument(store)
+	// The document interns into the index's registry: types are compared
+	// by pointer, and live updates graft nodes whose types must be the
+	// index's own.
+	doc, ok, err := xmltree.LoadDocumentInto(store, ix.Types)
 	if err != nil {
 		return nil, fmt.Errorf("core: restore document: %w", err)
 	}
+	ep := *e.ep.Load()
 	if ok {
-		e.doc = doc
+		ep.doc = doc
 	}
+	// Resume at the store's committed epoch so cache keys and WAL replay
+	// line up across restarts.
+	ep.gen = store.Epoch()
+	e.ep.Store(&ep)
+	e.frozen = true
 	return e, nil
 }
 
 // SaveIndex persists the engine's index into a kvstore.
-func (e *Engine) SaveIndex(store *kvstore.Store) error { return e.ix.Save(store) }
+func (e *Engine) SaveIndex(store *kvstore.Store) error { return e.snapshot().ix.Save(store) }
 
 // SaveIndexWithDocument persists the index plus the source document, so an
 // engine opened from this store retains snippets and narrowing. It fails
 // on engines that have no document (built from an index or a stream).
 func (e *Engine) SaveIndexWithDocument(store *kvstore.Store) error {
-	if e.doc == nil {
+	ep := e.snapshot()
+	if ep.doc == nil {
 		return errors.New("core: engine has no source document to save")
 	}
-	if err := xmltree.SaveDocument(e.doc, store); err != nil {
+	if err := xmltree.SaveDocument(ep.doc, store); err != nil {
 		return err
 	}
-	return e.ix.Save(store)
+	return ep.ix.Save(store)
 }
 
-// Index exposes the underlying index (read-only by convention).
-func (e *Engine) Index() *index.Index { return e.ix }
+// Index exposes the underlying index (read-only by convention). Under
+// live updates this is the current epoch's index; pin it once rather than
+// calling repeatedly when consistency across reads matters.
+func (e *Engine) Index() *index.Index { return e.snapshot().ix }
 
 // Document returns the source document when the engine was built from one,
 // or nil for engines loaded from an index store.
-func (e *Engine) Document() *xmltree.Document { return e.doc }
+func (e *Engine) Document() *xmltree.Document { return e.snapshot().doc }
 
 // Complete suggests up to k indexed terms starting with the last token of
 // the partial query — search-as-you-type over the corpus vocabulary,
@@ -302,7 +354,7 @@ func (e *Engine) Complete(partial string, k int) []string {
 	if len(terms) == 0 {
 		return nil
 	}
-	return e.ix.CompleteByPrefix(terms[len(terms)-1], k)
+	return e.snapshot().ix.CompleteByPrefix(terms[len(terms)-1], k)
 }
 
 // Narrow handles the opposite failure mode of refinement — the paper's
@@ -315,11 +367,12 @@ func (e *Engine) Narrow(q string, opts *narrow.Options) (*narrow.Outcome, error)
 	if len(terms) == 0 {
 		return nil, errors.New("core: query has no keywords")
 	}
-	in, _, err := e.Prepare(terms)
+	ep := e.snapshot()
+	in, _, err := e.prepare(ep, terms)
 	if err != nil {
 		return nil, err
 	}
-	return narrow.Narrow(e.doc, e.ix, terms, in.Judge, e.cfg.SLCA, opts)
+	return narrow.Narrow(ep.doc, ep.ix, terms, in.Judge, e.cfg.SLCA, opts)
 }
 
 // RankedQuery is one entry of a response: a query (the original or a
@@ -397,7 +450,14 @@ func (e *Engine) QueryCtx(ctx context.Context, q string) (*Response, error) {
 // candidates and refinement input — without running any algorithm. It is
 // the shared front half of QueryTerms and Explore.
 func (e *Engine) Prepare(terms []string) (refine.Input, []searchfor.Candidate, error) {
-	rs, err := e.cfg.Rules.Generate(e.ix, terms)
+	return e.prepare(e.snapshot(), terms)
+}
+
+// prepare is Prepare pinned to one epoch, so a query whose front half
+// races an Apply still reads rules, inference and lists from one
+// consistent snapshot.
+func (e *Engine) prepare(ep *epoch, terms []string) (refine.Input, []searchfor.Candidate, error) {
+	rs, err := e.cfg.Rules.Generate(ep.ix, terms)
 	if err != nil {
 		return refine.Input{}, nil, fmt.Errorf("core: rule generation: %w", err)
 	}
@@ -405,9 +465,9 @@ func (e *Engine) Prepare(terms []string) (refine.Input, []searchfor.Candidate, e
 	// keywords: for fully mismatched queries only the latter touch the
 	// data at all.
 	inferTerms := append(append([]string(nil), terms...), rs.NewKeywords(terms)...)
-	cands := searchfor.Infer(e.ix, inferTerms, &e.cfg.SearchFor)
+	cands := searchfor.Infer(ep.ix, inferTerms, &e.cfg.SearchFor)
 	in := refine.Input{
-		Index:       e.ix,
+		Index:       ep.ix,
 		Query:       terms,
 		Rules:       rs,
 		Judge:       searchfor.NewJudge(cands),
@@ -425,7 +485,7 @@ func (e *Engine) Explore(terms []string, k int) (*refine.TopKOutcome, []searchfo
 	if len(terms) == 0 {
 		return nil, nil, errors.New("core: query has no keywords")
 	}
-	in, cands, err := e.Prepare(terms)
+	in, cands, err := e.prepare(e.snapshot(), terms)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -472,7 +532,14 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 	}
 	e.m.queries.Inc()
 	start := time.Now()
-	key := cacheKey(terms, strategy, k)
+	// Pin one epoch for the whole query: the cache key, rule generation,
+	// exploration and ranking all read this snapshot, so a concurrent
+	// Apply cannot mix generations within one response or serve a
+	// pre-update response to a post-update query.
+	ep := e.snapshot()
+	e.m.pinnedQueries.Add(1)
+	defer e.m.pinnedQueries.Add(-1)
+	key := cacheKey(ep.gen, terms, strategy, k)
 	if resp, ok := e.cache.get(key); ok {
 		e.m.cacheHits.Inc()
 		if resp.NeedRefine {
@@ -489,7 +556,7 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
 		defer cancel()
 	}
-	resp, err := e.queryUncached(ctx, terms, strategy, k, parallelism)
+	resp, err := e.queryUncached(ctx, ep, terms, strategy, k, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -510,12 +577,13 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 	return resp, nil
 }
 
-// queryUncached runs the full pipeline. parallelism > 0 overrides the
-// engine's configured partition-walk fan-out for this query.
-func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
+// queryUncached runs the full pipeline against one pinned epoch.
+// parallelism > 0 overrides the engine's configured partition-walk
+// fan-out for this query.
+func (e *Engine) queryUncached(ctx context.Context, ep *epoch, terms []string, strategy Strategy, k, parallelism int) (*Response, error) {
 	root := obs.SpanFromContext(ctx)
 	psp := root.StartChild("prepare")
-	in, cands, err := e.Prepare(terms)
+	in, cands, err := e.prepare(ep, terms)
 	psp.End()
 	if err != nil {
 		return nil, err
@@ -542,7 +610,7 @@ func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Str
 				return nil, err
 			}
 			e.noteOutcome(out)
-			return e.finishTopK(root, resp, terms, out, k)
+			return e.finishTopK(root, ep, resp, terms, out, k)
 		}
 		out, err := refine.Stack(in)
 		ssp.End()
@@ -561,7 +629,7 @@ func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Str
 			return resp, nil
 		}
 		if out.Found {
-			score, err := e.cfg.Rank.Rank(e.ix, cands, terms, out.Best.Keywords, out.Best.DSim)
+			score, err := e.cfg.Rank.Rank(ep.ix, cands, terms, out.Best.Keywords, out.Best.DSim)
 			if err != nil {
 				return nil, err
 			}
@@ -586,7 +654,7 @@ func (e *Engine) queryUncached(ctx context.Context, terms []string, strategy Str
 			return nil, err
 		}
 		e.noteOutcome(out)
-		return e.finishTopK(root, resp, terms, out, k)
+		return e.finishTopK(root, ep, resp, terms, out, k)
 	}
 	return nil, fmt.Errorf("core: unknown strategy %d", strategy)
 }
@@ -613,7 +681,7 @@ func annotateRefineSpan(sp *obs.Span, out *refine.TopKOutcome) {
 // are ranked with Formula 10 and cut to K (the paper's line 19). trace is
 // the query's root span (nil when untraced); ranking runs under a "rank"
 // child.
-func (e *Engine) finishTopK(trace *obs.Span, resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
+func (e *Engine) finishTopK(trace *obs.Span, ep *epoch, resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
 	rsp := trace.StartChild("rank")
 	defer rsp.End()
 	if rsp != nil {
@@ -634,8 +702,8 @@ func (e *Engine) finishTopK(trace *obs.Span, resp *Response, terms []string, out
 	}
 	resp.NeedRefine = true
 	for _, it := range out.Candidates {
-		sim := e.cfg.Rank.Similarity(e.ix, resp.SearchFor, terms, it.RQ.Keywords, it.RQ.DSim)
-		dep, err := e.cfg.Rank.Dependence(e.ix, resp.SearchFor, it.RQ.Keywords)
+		sim := e.cfg.Rank.Similarity(ep.ix, resp.SearchFor, terms, it.RQ.Keywords, it.RQ.DSim)
+		dep, err := e.cfg.Rank.Dependence(ep.ix, resp.SearchFor, it.RQ.Keywords)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xrefine/internal/mutate"
+	"xrefine/internal/xmltree"
+)
+
+// UpdatesConfig sizes a deterministic update workload derived from a
+// document. The same (document, config) pair always yields the same
+// batches, so tests, soak runs, and benchmarks can share a workload by
+// sharing a seed.
+type UpdatesConfig struct {
+	// Batches is the number of batches to derive; 0 means 8.
+	Batches int
+	// Ops is the number of operations per batch; 0 means 4.
+	Ops int
+	// Seed makes generation deterministic.
+	Seed int64
+	// DeleteRatio is the fraction of delete operations; 0 means 0.25.
+	// Use a negative value for an insert-only workload.
+	DeleteRatio float64
+}
+
+func (c UpdatesConfig) withDefaults() UpdatesConfig {
+	if c.Batches == 0 {
+		c.Batches = 8
+	}
+	if c.Ops == 0 {
+		c.Ops = 4
+	}
+	if c.DeleteRatio == 0 {
+		c.DeleteRatio = 0.25
+	}
+	if c.DeleteRatio < 0 {
+		c.DeleteRatio = 0
+	}
+	return c
+}
+
+// Updates derives a sequence of update batches that are valid when applied
+// to doc in order: every delete targets a node that still exists and every
+// insert names a parent that still exists at that point in the sequence.
+// The generator tracks validity by replaying its own operations on a
+// private clone — doc itself is never modified. Later batches may target
+// nodes inserted by earlier ones, exercising the Dewey relabeling path.
+//
+// Insert fragments draw on the same Zipf-skewed title vocabulary as the
+// DBLP generator, so refinement queries hit both original and inserted
+// content. Deletes target nodes at least two levels below the root,
+// keeping every partition alive.
+func Updates(doc *xmltree.Document, cfg UpdatesConfig) ([]*mutate.Batch, error) {
+	c := cfg.withDefaults()
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("datagen: updates need a document")
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(r, 1.3, 1, uint64(len(titleWords)-1))
+	sim := doc.Clone()
+	batches := make([]*mutate.Batch, 0, c.Batches)
+	for i := 0; i < c.Batches; i++ {
+		b := &mutate.Batch{}
+		for j := 0; j < c.Ops; j++ {
+			op, err := nextOp(r, zipf, sim, c.DeleteRatio)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: batch %d op %d: %w", i, j, err)
+			}
+			b.Ops = append(b.Ops, op)
+		}
+		batches = append(batches, b)
+	}
+	return batches, nil
+}
+
+// nextOp emits one operation and mirrors it onto the simulation clone so
+// subsequent operations see its effect.
+func nextOp(r *rand.Rand, zipf *rand.Zipf, sim *xmltree.Document, deleteRatio float64) (mutate.Op, error) {
+	if r.Float64() < deleteRatio {
+		if target := pickDeletable(r, sim); target != nil {
+			op := mutate.Op{Kind: mutate.OpDelete, Target: target.ID}
+			if _, err := sim.Detach(target); err != nil {
+				return mutate.Op{}, err
+			}
+			return op, nil
+		}
+		// Nothing safely deletable (tiny document); insert instead.
+	}
+	parent := pickParent(r, sim)
+	xml := insertFragment(r, zipf, parent)
+	frag, err := xmltree.ParseString(xml, nil)
+	if err != nil {
+		return mutate.Op{}, err
+	}
+	op := mutate.Op{Kind: mutate.OpInsert, Parent: parent.ID, XML: xml}
+	if _, err := sim.Graft(parent, frag); err != nil {
+		return mutate.Op{}, err
+	}
+	return op, nil
+}
+
+// pickDeletable returns a uniformly chosen node at depth >= 2 (label
+// length >= 3), or nil when none exists. Partitions (root children) are
+// never deleted, so the document keeps its shape.
+func pickDeletable(r *rand.Rand, sim *xmltree.Document) *xmltree.Node {
+	var candidates []*xmltree.Node
+	sim.Walk(func(n *xmltree.Node) bool {
+		if len(n.ID) >= 3 {
+			candidates = append(candidates, n)
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[r.Intn(len(candidates))]
+}
+
+// pickParent chooses where the next fragment lands: usually the root (a
+// new entity-level subtree, the common ingest pattern), sometimes a
+// partition (growing an existing entity).
+func pickParent(r *rand.Rand, sim *xmltree.Document) *xmltree.Node {
+	parts := sim.Partitions()
+	if len(parts) > 0 && r.Intn(3) == 0 {
+		return parts[r.Intn(len(parts))]
+	}
+	return sim.Root
+}
+
+// insertFragment builds an entity-shaped fragment. Under the root it
+// mirrors a DBLP author; under a partition it is a single publication.
+func insertFragment(r *rand.Rand, zipf *rand.Zipf, parent *xmltree.Node) string {
+	if parent.Parent == nil {
+		name := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+		var sb strings.Builder
+		sb.WriteString("<author><name>")
+		sb.WriteString(name)
+		sb.WriteString("</name><publications>")
+		papers := 1 + r.Intn(3)
+		for p := 0; p < papers; p++ {
+			sb.WriteString(paperFragment(r, zipf))
+		}
+		sb.WriteString("</publications></author>")
+		return sb.String()
+	}
+	return paperFragment(r, zipf)
+}
+
+func paperFragment(r *rand.Rand, zipf *rand.Zipf) string {
+	nWords := 3 + r.Intn(5)
+	words := make([]string, nWords)
+	for i := range words {
+		words[i] = titleWords[zipf.Uint64()]
+	}
+	venue := venues[r.Intn(len(venues))]
+	year := 1995 + r.Intn(13)
+	return fmt.Sprintf("<inproceedings><title>%s</title><booktitle>%s</booktitle><year>%d</year></inproceedings>",
+		strings.Join(words, " "), venue, year)
+}

@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"xrefine/internal/mutate"
+	"xrefine/internal/xmltree"
+)
+
+func batchFileBytes(t *testing.T, batches []*mutate.Batch) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, b := range batches {
+		if err := mutate.WriteBatchFile(&sb, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+func TestUpdatesDeterministic(t *testing.T) {
+	doc, err := DBLPDocument(DBLPConfig{Authors: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := UpdatesConfig{Batches: 5, Ops: 6, Seed: 9}
+	a, err := Updates(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Updates(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchFileBytes(t, a) != batchFileBytes(t, b) {
+		t.Error("same seed produced different update workloads")
+	}
+	cfg.Seed = 10
+	c, err := Updates(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchFileBytes(t, a) == batchFileBytes(t, c) {
+		t.Error("different seeds produced identical update workloads")
+	}
+}
+
+// TestUpdatesApplyCleanly stages every generated batch in sequence: the
+// generator's promise is that each op is valid at its point in the
+// workload, including ops that target nodes inserted by earlier batches.
+func TestUpdatesApplyCleanly(t *testing.T) {
+	doc, err := DBLPDocument(DBLPConfig{Authors: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := Updates(doc, UpdatesConfig{Batches: 10, Ops: 5, Seed: 4, DeleteRatio: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 10 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	inserts, deletes := 0, 0
+	cur := doc
+	for i, b := range batches {
+		if len(b.Ops) != 5 {
+			t.Fatalf("batch %d has %d ops", i, len(b.Ops))
+		}
+		for _, op := range b.Ops {
+			switch op.Kind {
+			case mutate.OpInsert:
+				inserts++
+			case mutate.OpDelete:
+				deletes++
+			}
+		}
+		// Stage without an index: validity of targets and fragments is a
+		// pure tree property.
+		sim := cur.Clone()
+		for j, op := range b.Ops {
+			switch op.Kind {
+			case mutate.OpInsert:
+				parent, ok := sim.NodeByID(op.Parent)
+				if !ok {
+					t.Fatalf("batch %d op %d: parent %s missing", i, j, op.Parent)
+				}
+				frag, err := xmltree.ParseString(op.XML, nil)
+				if err != nil {
+					t.Fatalf("batch %d op %d: %v", i, j, err)
+				}
+				if _, err := sim.Graft(parent, frag); err != nil {
+					t.Fatalf("batch %d op %d: %v", i, j, err)
+				}
+			case mutate.OpDelete:
+				n, ok := sim.NodeByID(op.Target)
+				if !ok {
+					t.Fatalf("batch %d op %d: target %s missing", i, j, op.Target)
+				}
+				if _, err := sim.Detach(n); err != nil {
+					t.Fatalf("batch %d op %d: %v", i, j, err)
+				}
+			}
+		}
+		cur = sim
+	}
+	if inserts == 0 || deletes == 0 {
+		t.Fatalf("workload not mixed: %d inserts, %d deletes", inserts, deletes)
+	}
+	// Round-trip through the batch-file wire form (what xgen emits).
+	var sb strings.Builder
+	for _, b := range batches {
+		if err := mutate.WriteBatchFile(&sb, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := mutate.ReadBatchFile(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != inserts+deletes {
+		t.Fatalf("round-trip ops = %d, want %d", len(back.Ops), inserts+deletes)
+	}
+}

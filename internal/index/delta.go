@@ -1,0 +1,406 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"xrefine/internal/dewey"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/xmltree"
+)
+
+// Mutator derives a new index epoch from an existing one by applying
+// subtree insertions and deletions, keeping every statistic exactly what a
+// from-scratch Build over the mutated document would produce (the
+// rebuild-equivalence guarantee — the differential tests assert it).
+//
+// The derivation is copy-on-write at keyword granularity: the new index
+// shares the kwEntry of every untouched term with its source, and the
+// first mutation of a term clones its entry. The source index keeps
+// serving concurrent readers untouched throughout. Cloning a term first
+// forces its posting list resident through the *shared* entry — after the
+// batch commits, the chunks that term's lazy loader would have read are
+// rewritten, so the previous epoch must never page it in again.
+//
+// Statistic maintenance mirrors Build exactly:
+//
+//   - N_T: ±1 per node of the subtree.
+//   - tf(k,T): ±1 per occurrence, for every ancestor-or-self type.
+//   - f_k^T (df) inside the subtree: distinct containing roots at depths
+//     >= the subtree root, replayed with Build's consecutive-LCA trick
+//     seeded at the subtree root's depth.
+//   - f_k^T at strict-ancestor depths: ±1 only when the subtree adds the
+//     first (or removes the last) occurrence under that ancestor, probed
+//     against the unmodified list.
+//   - G_T: row-existence count, adjusted when a (k,T) row appears or its
+//     tf drains to zero.
+type Mutator struct {
+	ix      *Index
+	cloned  map[string]bool
+	changed map[string]bool
+	removed map[string]bool
+}
+
+// NewMutator starts a derivation from src. src is not modified (beyond
+// lazily materializing posting lists it shares with the derived index).
+func NewMutator(src *Index) *Mutator {
+	ix := &Index{
+		Types:     src.Types,
+		Root:      src.Root,
+		NodeCount: src.NodeCount,
+		terms:     make(map[string]*kwEntry, len(src.terms)),
+		loader:    src.loader,
+		nt:        append([]uint32(nil), src.nt...),
+		gt:        append([]uint32(nil), src.gt...),
+		coCache:   make(map[coKey]int),
+		partRoot:  append([]dewey.ID(nil), src.partRoot...),
+		stat:      src.stat,
+	}
+	for t, e := range src.terms {
+		ix.terms[t] = e
+	}
+	return &Mutator{
+		ix:      ix,
+		cloned:  make(map[string]bool),
+		changed: make(map[string]bool),
+		removed: make(map[string]bool),
+	}
+}
+
+// Index returns the derived index. It is safe to publish once the caller
+// is done mutating.
+func (m *Mutator) Index() *Index { return m.ix }
+
+// Changed returns the terms whose rows/lists differ from the source, in
+// lexicographic order. Removed terms are not included.
+func (m *Mutator) Changed() []string { return sortedTermSet(m.changed) }
+
+// Removed returns the terms deleted entirely, in lexicographic order.
+func (m *Mutator) Removed() []string { return sortedTermSet(m.removed) }
+
+func sortedTermSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// touch returns the mutator-private clone of term's entry, creating the
+// term when it is new to the index.
+func (m *Mutator) touch(term string) (*kwEntry, error) {
+	e, ok := m.ix.terms[term]
+	if ok && m.cloned[term] {
+		return e, nil
+	}
+	m.cloned[term] = true
+	m.changed[term] = true
+	delete(m.removed, term)
+	if !ok {
+		ne := &kwEntry{stats: make(map[int]typeStat)}
+		ne.list.Store(NewListUnchecked(term, nil))
+		m.ix.terms[term] = ne
+		return ne, nil
+	}
+	// Load through the still-shared entry so the previous epoch keeps a
+	// resident copy of its list (epoch isolation, see type comment).
+	l, err := m.ix.ListCtx(nil, term)
+	if err != nil {
+		return nil, err
+	}
+	ne := &kwEntry{listLen: e.listLen, stats: make(map[int]typeStat, len(e.stats))}
+	for id, row := range e.stats {
+		ne.stats[id] = row
+	}
+	ne.list.Store(l)
+	m.ix.terms[term] = ne
+	return ne, nil
+}
+
+// growType extends the per-type stat arrays to cover type ID id.
+func (m *Mutator) growType(id int) {
+	for id >= len(m.ix.nt) {
+		m.ix.nt = append(m.ix.nt, 0)
+	}
+	for id >= len(m.ix.gt) {
+		m.ix.gt = append(m.ix.gt, 0)
+	}
+}
+
+// termDelta accumulates one term's contribution of a single subtree walk:
+// the postings rooted in the subtree (deduplicated per node, in document
+// order), tf occurrence counts per type, and the in-subtree df counts per
+// type (distinct containing roots at depths >= the subtree root).
+type termDelta struct {
+	postings []Posting
+	lastIn   dewey.ID
+	tf       map[int]uint32
+	df       map[int]uint32
+}
+
+// walkSubtree replays Build's single-pass statistics over just the
+// subtree rooted at sub, whose root sits at depth d = len(sub.ID)-1. The
+// returned map is keyed by term; order lists terms by first occurrence;
+// nt counts the subtree's nodes per type ID.
+func walkSubtree(sub *xmltree.Node) (deltas map[string]*termDelta, order []string, nt map[int]uint32) {
+	rootDepth := sub.Type.Depth
+	deltas = make(map[string]*termDelta)
+	nt = make(map[int]uint32)
+	var rec func(n *xmltree.Node)
+	rec = func(n *xmltree.Node) {
+		nt[n.Type.ID]++
+		terms := n.Terms()
+		if len(terms) > 0 {
+			ancestors := make([]*xmltree.Type, 0, n.Type.Depth+1)
+			for t := n.Type; t != nil; t = t.Parent {
+				ancestors = append(ancestors, t)
+			}
+			seen := make(map[string]bool, len(terms))
+			for _, term := range terms {
+				td := deltas[term]
+				if td == nil {
+					td = &termDelta{tf: make(map[int]uint32), df: make(map[int]uint32)}
+					deltas[term] = td
+					order = append(order, term)
+				}
+				for _, t := range ancestors {
+					td.tf[t.ID]++
+				}
+				if seen[term] {
+					continue
+				}
+				seen[term] = true
+				shared := rootDepth
+				if td.lastIn != nil {
+					shared = dewey.LCALen(td.lastIn, n.ID)
+				}
+				for depth := shared; depth <= n.Type.Depth; depth++ {
+					td.df[ancestors[len(ancestors)-1-depth].ID]++
+				}
+				td.lastIn = n.ID
+				td.postings = append(td.postings, Posting{ID: n.ID, Type: n.Type})
+			}
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(sub)
+	return deltas, order, nt
+}
+
+// subChain returns sub's ancestor-or-self types indexed by depth
+// (subChain[d] is the depth-d ancestor type).
+func subChain(sub *xmltree.Node) []*xmltree.Type {
+	chain := make([]*xmltree.Type, sub.Type.Depth+1)
+	for t := sub.Type; t != nil; t = t.Parent {
+		chain[t.Depth] = t
+	}
+	return chain
+}
+
+// InsertSubtree folds a freshly grafted subtree into the derived index.
+// sub must already be attached to the (new epoch's) document — its Dewey
+// labels and interned types are read as-is.
+func (m *Mutator) InsertSubtree(sub *xmltree.Node) error {
+	ix := m.ix
+	deltas, order, nt := walkSubtree(sub)
+	for id, n := range nt {
+		m.growType(id)
+		ix.nt[id] += n
+	}
+	chain := subChain(sub)
+	rootDepth := sub.Type.Depth
+	for _, term := range order {
+		td := deltas[term]
+		e, err := m.touch(term)
+		if err != nil {
+			return err
+		}
+		old := e.list.Load()
+		// tf first: it creates any missing rows (every df row below is
+		// on some posting's ancestor-or-self chain, so tf covers it).
+		for id, dtf := range td.tf {
+			row, had := e.stats[id]
+			if !had {
+				m.growType(id)
+				ix.gt[id]++
+			}
+			row.tf += dtf
+			e.stats[id] = row
+		}
+		for id, ddf := range td.df {
+			row := e.stats[id]
+			row.df += ddf
+			e.stats[id] = row
+		}
+		// Strict ancestors of the subtree root: a new containing root
+		// only when the term did not occur under it before.
+		for d := 0; d < rootDepth; d++ {
+			if !old.HasInSubtree(sub.ID[:d+1]) {
+				row := e.stats[chain[d].ID]
+				row.df++
+				e.stats[chain[d].ID] = row
+			}
+		}
+		at := old.SeekGE(sub.ID)
+		merged := make([]Posting, 0, old.Len()+len(td.postings))
+		merged = append(merged, old.Slice(0, at)...)
+		merged = append(merged, td.postings...)
+		merged = append(merged, old.Slice(at, old.Len())...)
+		// Checked constructor: document order is the invariant every
+		// downstream algorithm relies on; fail the batch, not the query.
+		e.list.Store(NewList(term, merged))
+		e.listLen = uint32(len(merged))
+	}
+	if len(sub.ID) == 2 {
+		ix.partRoot = append(ix.partRoot, sub.ID)
+	}
+	ix.NodeCount += xmltree.SubtreeSize(sub)
+	return nil
+}
+
+// DeleteSubtree removes a subtree's contribution from the derived index.
+// Call it while sub is still attached (or just detached with its labels
+// intact) — the walk needs the subtree's structure and terms.
+func (m *Mutator) DeleteSubtree(sub *xmltree.Node) error {
+	ix := m.ix
+	deltas, order, nt := walkSubtree(sub)
+	for id, n := range nt {
+		m.growType(id)
+		if ix.nt[id] < n {
+			return fmt.Errorf("index: delete of %s: N_T underflow for type %d", sub.ID, id)
+		}
+		ix.nt[id] -= n
+	}
+	chain := subChain(sub)
+	rootDepth := sub.Type.Depth
+	for _, term := range order {
+		td := deltas[term]
+		e, err := m.touch(term)
+		if err != nil {
+			return err
+		}
+		old := e.list.Load()
+		lo, hi := old.InSubtree(sub.ID)
+		if hi-lo != len(td.postings) {
+			return fmt.Errorf("index: delete of %s: list for %q holds %d postings in subtree, document has %d",
+				sub.ID, term, hi-lo, len(td.postings))
+		}
+		// All df adjustments happen before tf so a drained row reads
+		// df==0 when its tf reaches zero.
+		for id, ddf := range td.df {
+			row, had := e.stats[id]
+			if !had || row.df < ddf {
+				return fmt.Errorf("index: delete of %s: df underflow for %q type %d", sub.ID, term, id)
+			}
+			row.df -= ddf
+			e.stats[id] = row
+		}
+		for d := 0; d < rootDepth; d++ {
+			alo, ahi := old.InSubtree(sub.ID[:d+1])
+			if (ahi-alo)-(hi-lo) == 0 {
+				row := e.stats[chain[d].ID]
+				if row.df == 0 {
+					return fmt.Errorf("index: delete of %s: ancestor df underflow for %q type %d", sub.ID, term, chain[d].ID)
+				}
+				row.df--
+				e.stats[chain[d].ID] = row
+			}
+		}
+		for id, dtf := range td.tf {
+			row, had := e.stats[id]
+			if !had || row.tf < dtf {
+				return fmt.Errorf("index: delete of %s: tf underflow for %q type %d", sub.ID, term, id)
+			}
+			row.tf -= dtf
+			if row.tf == 0 {
+				if row.df != 0 {
+					return fmt.Errorf("index: delete of %s: row (%q, type %d) drained tf with df=%d", sub.ID, term, id, row.df)
+				}
+				delete(e.stats, id)
+				if ix.gt[id] == 0 {
+					return fmt.Errorf("index: delete of %s: G_T underflow for type %d", sub.ID, id)
+				}
+				ix.gt[id]--
+				continue
+			}
+			e.stats[id] = row
+		}
+		merged := make([]Posting, 0, old.Len()-(hi-lo))
+		merged = append(merged, old.Slice(0, lo)...)
+		merged = append(merged, old.Slice(hi, old.Len())...)
+		if len(merged) == 0 {
+			if len(e.stats) != 0 {
+				return fmt.Errorf("index: delete of %s: %q lost its last posting but keeps %d stat rows", sub.ID, term, len(e.stats))
+			}
+			delete(ix.terms, term)
+			delete(m.changed, term)
+			delete(m.cloned, term)
+			m.removed[term] = true
+			continue
+		}
+		e.list.Store(NewList(term, merged))
+		e.listLen = uint32(len(merged))
+	}
+	if len(sub.ID) == 2 {
+		for i, p := range ix.partRoot {
+			if dewey.Equal(p, sub.ID) {
+				ix.partRoot = append(append([]dewey.ID(nil), ix.partRoot[:i]...), ix.partRoot[i+1:]...)
+				break
+			}
+		}
+	}
+	ix.NodeCount -= xmltree.SubtreeSize(sub)
+	return nil
+}
+
+// SaveDelta writes the derivation into the store: document-level metadata
+// always (node counts and stats changed), removed terms' rows and chunks
+// deleted, changed terms' rows and chunks rewritten. It does not commit —
+// the caller batches it with the document rewrite and the epoch bump into
+// one atomic commit.
+func (m *Mutator) SaveDelta(s *kvstore.Store) error {
+	ix := m.ix
+	if n := ix.Types.Len(); n > 0 {
+		m.growType(n - 1)
+	}
+	if err := s.Put([]byte(metaTypesKey), ix.Types.Marshal()); err != nil {
+		return err
+	}
+	if err := putDocMeta(s, ix.encodeDocMeta()); err != nil {
+		return err
+	}
+	for _, term := range m.Removed() {
+		if _, err := s.Delete(freqKey(term)); err != nil {
+			return err
+		}
+		if err := deleteChunks(s, term); err != nil {
+			return err
+		}
+	}
+	for _, term := range m.Changed() {
+		e := ix.terms[term]
+		l := e.list.Load()
+		if err := deleteChunks(s, term); err != nil {
+			return err
+		}
+		if err := s.Put(freqKey(term), encodeFreqRow(uint32(l.Len()), e.stats)); err != nil {
+			return fmt.Errorf("index: save freq %q: %w", term, err)
+		}
+		if err := saveChunks(s, term, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteChunks removes every persisted posting-list chunk of term.
+func deleteChunks(s *kvstore.Store, term string) error {
+	prefix := append([]byte(listPrefix), term...)
+	prefix = append(prefix, 0)
+	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	_, err := s.DeleteRange(prefix, end)
+	return err
+}

@@ -51,12 +51,20 @@ type Index struct {
 	coCache  map[coKey]int
 	partRoot []dewey.ID // document partition roots in order
 
-	// List-access counters, snapshot by OpStats. Plain atomics so the
-	// index stays free of observability dependencies; the serving layer
-	// bridges them into its metrics registry.
-	statResident       atomic.Uint64
-	statLoaded         atomic.Uint64
-	statPostingsLoaded atomic.Uint64
+	// stat holds the list-access counters, snapshot by OpStats. The struct
+	// is shared by pointer across epoch derivations (NewMutator), so
+	// metrics keep accumulating across live updates instead of resetting
+	// at every epoch swap.
+	stat *opStat
+}
+
+// opStat carries the list-access counters. Plain atomics so the index
+// stays free of observability dependencies; the serving layer bridges them
+// into its metrics registry.
+type opStat struct {
+	resident       atomic.Uint64
+	loaded         atomic.Uint64
+	postingsLoaded atomic.Uint64
 }
 
 // OpStats is a snapshot of the index's list-access counters.
@@ -73,9 +81,9 @@ type OpStats struct {
 // OpStats returns the current list-access counter snapshot.
 func (ix *Index) OpStats() OpStats {
 	return OpStats{
-		ListsResident:  ix.statResident.Load(),
-		ListsLoaded:    ix.statLoaded.Load(),
-		PostingsLoaded: ix.statPostingsLoaded.Load(),
+		ListsResident:  ix.stat.resident.Load(),
+		ListsLoaded:    ix.stat.loaded.Load(),
+		PostingsLoaded: ix.stat.postingsLoaded.Load(),
 	}
 }
 
@@ -94,6 +102,7 @@ func Build(doc *xmltree.Document) *Index {
 		NodeCount: doc.NodeCount,
 		terms:     make(map[string]*kwEntry),
 		coCache:   make(map[coKey]int),
+		stat:      &opStat{},
 	}
 	ix.nt = make([]uint32, doc.Types.Len())
 	type buildState struct {
@@ -195,7 +204,7 @@ func (ix *Index) ListCtxInfo(ctx context.Context, term string) (l *List, loaded 
 		return &List{Term: term}, false, nil
 	}
 	if l := e.list.Load(); l != nil {
-		ix.statResident.Add(1)
+		ix.stat.resident.Add(1)
 		return l, false, nil
 	}
 	if ctx != nil {
@@ -208,7 +217,7 @@ func (ix *Index) ListCtxInfo(ctx context.Context, term string) (l *List, loaded 
 	if l := e.list.Load(); l != nil {
 		// Another caller's singleflight finished the load while we
 		// queued; it is resident from this call's perspective.
-		ix.statResident.Add(1)
+		ix.stat.resident.Add(1)
 		return l, false, nil
 	}
 	if ctx != nil {
@@ -224,8 +233,8 @@ func (ix *Index) ListCtxInfo(ctx context.Context, term string) (l *List, loaded 
 		return nil, false, fmt.Errorf("index: load list %q: %w", term, err)
 	}
 	e.list.Store(l)
-	ix.statLoaded.Add(1)
-	ix.statPostingsLoaded.Add(uint64(l.Len()))
+	ix.stat.loaded.Add(1)
+	ix.stat.postingsLoaded.Add(uint64(l.Len()))
 	return l, true, nil
 }
 
@@ -269,11 +278,22 @@ func (ix *Index) TF(term string, t *xmltree.Type) int {
 	return 0
 }
 
-// NT returns N_T, the number of T-typed nodes.
-func (ix *Index) NT(t *xmltree.Type) int { return int(ix.nt[t.ID]) }
+// NT returns N_T, the number of T-typed nodes. Types minted by a later
+// epoch (the registry is shared across epochs) read as zero here.
+func (ix *Index) NT(t *xmltree.Type) int {
+	if t.ID >= len(ix.nt) {
+		return 0
+	}
+	return int(ix.nt[t.ID])
+}
 
 // GT returns G_T, the number of distinct keywords within T-typed subtrees.
-func (ix *Index) GT(t *xmltree.Type) int { return int(ix.gt[t.ID]) }
+func (ix *Index) GT(t *xmltree.Type) int {
+	if t.ID >= len(ix.gt) {
+		return 0
+	}
+	return int(ix.gt[t.ID])
+}
 
 // PartitionRoots returns the Dewey labels of the document partitions
 // (Definition 6.1) in document order.

@@ -24,8 +24,12 @@ import (
 const (
 	metaTypesKey = "M\x00types"
 	metaDocKey   = "M\x00doc"
-	freqPrefix   = "F\x00"
-	listPrefix   = "L\x00"
+	// metaDocExtPrefix keys continuation chunks of the doc metadata when
+	// it outgrows a single cell (many types, or a fragmented partition
+	// set after live updates). Legacy stores have no continuation keys.
+	metaDocExtPrefix = "M\x00doc\x00"
+	freqPrefix       = "F\x00"
+	listPrefix       = "L\x00"
 )
 
 // chunkBudget caps encoded chunk payloads comfortably under the kvstore's
@@ -38,7 +42,7 @@ func (ix *Index) Save(s *kvstore.Store) error {
 	if err := s.Put([]byte(metaTypesKey), ix.Types.Marshal()); err != nil {
 		return err
 	}
-	if err := s.Put([]byte(metaDocKey), ix.encodeDocMeta()); err != nil {
+	if err := putDocMeta(s, ix.encodeDocMeta()); err != nil {
 		return err
 	}
 	for _, term := range ix.Vocabulary() {
@@ -78,8 +82,27 @@ func (ix *Index) encodeDocMeta() []byte {
 	for _, v := range ix.gt {
 		b = binary.AppendUvarint(b, uint64(v))
 	}
-	// Partition roots are always 0.0 .. 0.(F-1); the fanout F suffices.
+	// Partition roots carry explicit ordinals: live updates delete and
+	// append partitions without relabeling, so the roots are no longer
+	// guaranteed to be the contiguous 0.0 .. 0.(F-1). Ordinals ascend in
+	// document order, so they run-length encode well — a never-mutated
+	// document is a single (0, F) run.
 	b = binary.AppendUvarint(b, uint64(len(ix.partRoot)))
+	type run struct{ start, n uint32 }
+	var runs []run
+	for _, p := range ix.partRoot {
+		ord := p[len(p)-1]
+		if len(runs) > 0 && runs[len(runs)-1].start+runs[len(runs)-1].n == ord {
+			runs[len(runs)-1].n++
+			continue
+		}
+		runs = append(runs, run{start: ord, n: 1})
+	}
+	b = binary.AppendUvarint(b, uint64(len(runs)))
+	for _, r := range runs {
+		b = binary.AppendUvarint(b, uint64(r.start))
+		b = binary.AppendUvarint(b, uint64(r.n))
+	}
 	return b
 }
 
@@ -117,10 +140,90 @@ func decodeDocMeta(ix *Index, b []byte) error {
 	if err != nil {
 		return err
 	}
-	for i := uint64(0); i < nParts; i++ {
-		ix.partRoot = append(ix.partRoot, dewey.Root().Child(uint32(i)))
+	if r.Len() == 0 {
+		// Legacy stream: no explicit ordinals, partitions are 0.0..0.(F-1).
+		for i := uint64(0); i < nParts; i++ {
+			ix.partRoot = append(ix.partRoot, dewey.Root().Child(uint32(i)))
+		}
+		return nil
+	}
+	nRuns, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nRuns; i++ {
+		start, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < n; j++ {
+			ix.partRoot = append(ix.partRoot, dewey.Root().Child(uint32(start+j)))
+		}
+	}
+	if uint64(len(ix.partRoot)) != nParts {
+		return fmt.Errorf("index: doc meta runs cover %d partitions, header says %d", len(ix.partRoot), nParts)
 	}
 	return nil
+}
+
+// putDocMeta writes the doc metadata, spilling into continuation chunks
+// when it exceeds a single cell. Stale continuation chunks are cleared
+// first (the metadata shrinks when partition runs re-coalesce).
+func putDocMeta(s *kvstore.Store, b []byte) error {
+	lo := []byte(metaDocExtPrefix)
+	hi := append(append([]byte(nil), lo...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := s.DeleteRange(lo, hi); err != nil {
+		return err
+	}
+	budget := s.MaxKV() - 16
+	end := len(b)
+	if end > budget {
+		end = budget
+	}
+	if err := s.Put([]byte(metaDocKey), b[:end]); err != nil {
+		return err
+	}
+	seq := uint32(0)
+	for off := end; off < len(b); {
+		end := off + budget
+		if end > len(b) {
+			end = len(b)
+		}
+		if err := s.Put(docMetaExtKey(seq), b[off:end]); err != nil {
+			return err
+		}
+		off = end
+		seq++
+	}
+	return nil
+}
+
+func docMetaExtKey(seq uint32) []byte {
+	k := []byte(metaDocExtPrefix)
+	var be [4]byte
+	binary.BigEndian.PutUint32(be[:], seq)
+	return append(k, be[:]...)
+}
+
+// getDocMeta reads the doc metadata, concatenating continuation chunks.
+func getDocMeta(s *kvstore.Store) ([]byte, bool, error) {
+	b, ok, err := s.Get([]byte(metaDocKey))
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	lo := []byte(metaDocExtPrefix)
+	hi := append(append([]byte(nil), lo...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if err := s.Range(lo, hi, func(k, v []byte) bool {
+		b = append(b, v...)
+		return true
+	}); err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
 }
 
 func encodeFreqRow(listLen uint32, stats map[int]typeStat) []byte {
@@ -303,8 +406,9 @@ func Load(s *kvstore.Store) (*Index, error) {
 		Root:    dewey.Root(),
 		terms:   make(map[string]*kwEntry),
 		coCache: make(map[coKey]int),
+		stat:    &opStat{},
 	}
-	docRaw, ok, err := s.Get([]byte(metaDocKey))
+	docRaw, ok, err := getDocMeta(s)
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,7 @@ func BuildStream(r io.Reader, opts *xmltree.Options) (*Index, error) {
 		Root:    dewey.Root(),
 		terms:   make(map[string]*kwEntry),
 		coCache: make(map[coKey]int),
+		stat:    &opStat{},
 	}
 	var nt []uint32
 

@@ -96,7 +96,7 @@ func TestFaultsWriteErrorKeepsCommittedState(t *testing.T) {
 	}
 }
 
-func TestFaultsTornWriteSurfacesAsChecksum(t *testing.T) {
+func TestFaultsTornWriteRecoversPreviousCommit(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "store.kv")
 	f := &Faults{}
@@ -108,7 +108,9 @@ func TestFaultsTornWriteSurfacesAsChecksum(t *testing.T) {
 
 	// Tear the first page write of the next commit. The write reports
 	// success, the commit publishes, and the corruption is silent until
-	// a read hits the page — where the CRC must catch it.
+	// a read hits the page. Open's reachability scan catches the CRC
+	// mismatch and must fall back to the previous commit's meta slot —
+	// the torn commit disappears, the committed state before it survives.
 	f.TornWrite(1)
 	if err := s.Put([]byte("key-00100"), []byte("new-value")); err != nil {
 		t.Fatal(err)
@@ -118,14 +120,23 @@ func TestFaultsTornWriteSurfacesAsChecksum(t *testing.T) {
 	}
 	s.Close()
 
-	// Reopen walks every reachable page (the free-list rebuild), so the
-	// torn page must surface as a checksum error, never as wrong data.
-	_, err = Open(path, nil)
-	if err == nil {
-		t.Fatal("Open accepted a store with a torn page")
+	re, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open after torn commit: %v", err)
 	}
-	if !errors.Is(err, ErrChecksum) {
-		t.Fatalf("Open = %v, want ErrChecksum", err)
+	defer re.Close()
+	if got := re.OpStats().MetaFallbacks; got != 1 {
+		t.Fatalf("MetaFallbacks = %d, want 1", got)
+	}
+	v, ok, err := re.Get([]byte("key-00100"))
+	if err != nil || !ok {
+		t.Fatalf("Get after recovery: ok=%v err=%v", ok, err)
+	}
+	if want := "value-00100-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"; string(v) != want {
+		t.Fatalf("recovered Get = %q, want the pre-torn-commit %q", v, want)
+	}
+	if re.Len() != 200 {
+		t.Fatalf("recovered Len = %d, want 200", re.Len())
 	}
 }
 

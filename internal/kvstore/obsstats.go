@@ -23,6 +23,9 @@ type OpStats struct {
 	ChecksumFailures int64
 	// FaultsInjected counts reads/writes an armed failpoint disrupted.
 	FaultsInjected int64
+	// MetaFallbacks counts Opens that rejected the newest meta slot (torn
+	// commit) and recovered from the previous one.
+	MetaFallbacks int64
 }
 
 // opCounters is embedded in Store; all fields are atomics so readers
@@ -32,6 +35,7 @@ type opCounters struct {
 	pageWrites    atomic.Int64
 	checksumFails atomic.Int64
 	injected      atomic.Int64
+	metaFallbacks atomic.Int64
 }
 
 // OpStats returns the current page-IO counter snapshot.
@@ -41,6 +45,7 @@ func (s *Store) OpStats() OpStats {
 		PageWrites:       s.ops.pageWrites.Load(),
 		ChecksumFailures: s.ops.checksumFails.Load(),
 		FaultsInjected:   s.ops.injected.Load(),
+		MetaFallbacks:    s.ops.metaFallbacks.Load(),
 	}
 }
 
@@ -71,4 +76,10 @@ func (s *Store) noteDecodeErr(err error) {
 	if err != nil && errors.Is(err, ErrChecksum) {
 		s.ops.checksumFails.Add(1)
 	}
+}
+
+// noteMetaFallback records that Open abandoned the newest meta slot and is
+// trying the previous commit's slot.
+func (s *Store) noteMetaFallback() {
+	s.ops.metaFallbacks.Add(1)
 }

@@ -40,8 +40,16 @@ const (
 	// metaVersion 2 added a CRC32 trailer to every node page (v1 only
 	// checksummed the meta page), so torn writes and bit rot in data
 	// pages surface as ErrChecksum instead of silently-wrong postings.
-	metaVersion = uint32(2)
+	// Version 3 doubled the meta into two alternating slots (pages 0 and
+	// 1) carrying a transaction ID and an application epoch: commits
+	// alternate slots by txid parity, so a torn meta write can only
+	// destroy the slot being written — the previous commit's slot stays
+	// intact and Open falls back to it. This is what makes a crash (or
+	// torn write) during a live-update commit recover to the last
+	// committed epoch instead of bricking the store.
+	metaVersion = uint32(3)
 	metaPageID  = uint32(0)
+	metaPageID2 = uint32(1)
 
 	// pageCRCSize is the per-page checksum trailer: the last 4 bytes of
 	// every node page hold the CRC32 of the rest of the page.
@@ -183,12 +191,15 @@ func decodeNode(id uint32, buf []byte) (*node, error) {
 	return n, nil
 }
 
-// meta is the store header kept in page 0.
+// meta is the store header. Two copies live in pages 0 and 1; the one with
+// the highest txid that passes its CRC (and whose tree verifies) wins.
 type meta struct {
 	pageSize  uint32
 	rootID    uint32 // 0 when the store is empty
-	pageCount uint32 // number of allocated pages including meta
+	pageCount uint32 // number of allocated pages including both meta slots
 	kvCount   uint64
+	txid      uint64 // commit sequence; slot = txid % 2
+	epoch     uint64 // application-level epoch, see SetEpoch
 }
 
 // encodeMeta writes the header with a trailing CRC so a torn meta write is
@@ -201,13 +212,15 @@ func encodeMeta(m meta, pageSize int) []byte {
 	binary.LittleEndian.PutUint32(buf[12:], m.rootID)
 	binary.LittleEndian.PutUint32(buf[16:], m.pageCount)
 	binary.LittleEndian.PutUint64(buf[20:], m.kvCount)
-	binary.LittleEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	binary.LittleEndian.PutUint64(buf[28:], m.txid)
+	binary.LittleEndian.PutUint64(buf[36:], m.epoch)
+	binary.LittleEndian.PutUint32(buf[44:], crc32.ChecksumIEEE(buf[:44]))
 	return buf
 }
 
 func decodeMeta(buf []byte) (meta, error) {
 	var m meta
-	if len(buf) < 32 {
+	if len(buf) < 48 {
 		return m, fmt.Errorf("kvstore: meta page truncated")
 	}
 	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
@@ -216,13 +229,15 @@ func decodeMeta(buf []byte) (meta, error) {
 	if v := binary.LittleEndian.Uint32(buf[4:]); v != metaVersion {
 		return m, fmt.Errorf("kvstore: unsupported version %d", v)
 	}
-	if crc := binary.LittleEndian.Uint32(buf[28:]); crc != crc32.ChecksumIEEE(buf[:28]) {
+	if crc := binary.LittleEndian.Uint32(buf[44:]); crc != crc32.ChecksumIEEE(buf[:44]) {
 		return m, fmt.Errorf("kvstore: meta checksum mismatch")
 	}
 	m.pageSize = binary.LittleEndian.Uint32(buf[8:])
 	m.rootID = binary.LittleEndian.Uint32(buf[12:])
 	m.pageCount = binary.LittleEndian.Uint32(buf[16:])
 	m.kvCount = binary.LittleEndian.Uint64(buf[20:])
+	m.txid = binary.LittleEndian.Uint64(buf[28:])
+	m.epoch = binary.LittleEndian.Uint64(buf[36:])
 	if m.pageSize < minPageSize {
 		return m, fmt.Errorf("kvstore: implausible page size %d", m.pageSize)
 	}

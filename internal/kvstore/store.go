@@ -58,6 +58,12 @@ type Store struct {
 	rootID    uint32
 	pageCount uint32
 	kvCount   uint64
+	txid      uint64 // last committed transaction; slot = txid % 2
+	epoch     uint64 // application epoch published with the root at Commit
+
+	// lastMeta is the most recently committed header, the state Rollback
+	// restores after a failed commit.
+	lastMeta meta
 
 	cache     map[uint32]*node
 	cacheMax  int
@@ -92,10 +98,11 @@ func NewMemWithFaults(f *Faults) *Store {
 	return &Store{
 		pager:     p,
 		pageSize:  DefaultPageSize,
-		pageCount: 1, // meta
+		pageCount: 2, // both meta slots
 		cache:     make(map[uint32]*node),
 		cacheMax:  cacheMax,
 		committed: true,
+		lastMeta:  meta{pageSize: uint32(DefaultPageSize), pageCount: 2},
 	}
 }
 
@@ -140,8 +147,15 @@ func Open(path string, opts *Options) (*Store, error) {
 			fp.close()
 			return nil, errors.New("kvstore: empty file opened read-only")
 		}
-		s.pageCount = 1
-		if err := s.writeMeta(); err != nil {
+		s.pageCount = 2
+		m := meta{pageSize: uint32(s.pageSize), pageCount: 2}
+		if err := s.pagerWrite(metaPageID, encodeMeta(m, s.pageSize)); err != nil {
+			fp.close()
+			return nil, err
+		}
+		// Zero-fill the second slot so the file always spans both meta
+		// pages; an all-zero slot fails the magic check and never wins.
+		if err := s.pagerWrite(metaPageID2, make([]byte, s.pageSize)); err != nil {
 			fp.close()
 			return nil, err
 		}
@@ -149,31 +163,58 @@ func Open(path string, opts *Options) (*Store, error) {
 			fp.close()
 			return nil, err
 		}
+		s.lastMeta = m
 		return s, nil
 	}
-	raw, err := s.pagerRead(metaPageID)
-	if err != nil {
-		fp.close()
-		return nil, err
+	// Read both meta slots and adopt the newest valid one whose tree
+	// passes the reachability scan; fall back to the other slot when the
+	// newest commit turns out torn (meta or data). Pages freed by commit N
+	// are reused no earlier than commit N+1, so the previous slot's tree
+	// is always intact on disk.
+	var cands []meta
+	var firstErr error
+	for _, id := range []uint32{metaPageID, metaPageID2} {
+		raw, err := s.pagerRead(id)
+		if err == nil {
+			var m meta
+			if m, err = decodeMeta(raw); err == nil {
+				cands = append(cands, m)
+				continue
+			}
+			s.noteDecodeErr(err)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	m, err := decodeMeta(raw)
-	if err != nil {
-		s.noteDecodeErr(err)
-		fp.close()
-		return nil, err
+	sort.Slice(cands, func(i, j int) bool { return cands[i].txid > cands[j].txid })
+	for i, m := range cands {
+		if int(m.pageSize) != o.PageSize {
+			fp.close()
+			return nil, fmt.Errorf("kvstore: file page size %d != requested %d", m.pageSize, o.PageSize)
+		}
+		s.rootID = m.rootID
+		s.pageCount = m.pageCount
+		s.kvCount = m.kvCount
+		s.txid = m.txid
+		s.epoch = m.epoch
+		if err := s.rebuildFreeList(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if i+1 < len(cands) {
+				s.noteMetaFallback()
+			}
+			continue
+		}
+		s.lastMeta = m
+		return s, nil
 	}
-	if int(m.pageSize) != o.PageSize {
-		fp.close()
-		return nil, fmt.Errorf("kvstore: file page size %d != requested %d", m.pageSize, o.PageSize)
+	fp.close()
+	if firstErr == nil {
+		firstErr = errors.New("kvstore: no valid meta slot")
 	}
-	s.rootID = m.rootID
-	s.pageCount = m.pageCount
-	s.kvCount = m.kvCount
-	if err := s.rebuildFreeList(); err != nil {
-		fp.close()
-		return nil, err
-	}
-	return s, nil
+	return nil, firstErr
 }
 
 // rebuildFreeList scans reachability from the root; every allocated page
@@ -182,10 +223,11 @@ func Open(path string, opts *Options) (*Store, error) {
 func (s *Store) rebuildFreeList() error {
 	reachable := make(map[uint32]bool, s.pageCount)
 	reachable[metaPageID] = true
+	reachable[metaPageID2] = true
 	if s.rootID != 0 {
 		var walk func(id uint32) error
 		walk = func(id uint32) error {
-			if id == 0 || id >= s.pageCount {
+			if id <= metaPageID2 || id >= s.pageCount {
 				return fmt.Errorf("kvstore: page %d out of bounds (count %d)", id, s.pageCount)
 			}
 			if reachable[id] {
@@ -551,8 +593,10 @@ func insertUint32(s []uint32, i int, v uint32) []uint32 {
 }
 
 // Commit writes every dirty page, syncs, then publishes the new root via
-// the meta page. After a successful commit, pages freed by COW become
-// reusable.
+// one of the two alternating meta slots. After a successful commit, pages
+// freed by COW become reusable. A commit that fails midway leaves the
+// previous committed state recoverable — on disk always (the previous
+// meta slot and its tree are untouched), and in memory via Rollback.
 func (s *Store) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -579,12 +623,28 @@ func (s *Store) Commit() error {
 	if err := s.pager.sync(); err != nil {
 		return err
 	}
-	if err := s.writeMeta(); err != nil {
+	m := meta{
+		pageSize:  uint32(s.pageSize),
+		rootID:    s.rootID,
+		pageCount: s.pageCount,
+		kvCount:   s.kvCount,
+		txid:      s.txid + 1,
+		epoch:     s.epoch,
+	}
+	// Alternate slots by txid parity: this write can only destroy the
+	// slot of the commit before last, never the most recent good one.
+	slot := metaPageID
+	if m.txid%2 == 1 {
+		slot = metaPageID2
+	}
+	if err := s.pagerWrite(slot, encodeMeta(m, s.pageSize)); err != nil {
 		return err
 	}
 	if err := s.pager.sync(); err != nil {
 		return err
 	}
+	s.txid = m.txid
+	s.lastMeta = m
 	for _, n := range s.cache {
 		n.dirty = false
 	}
@@ -594,14 +654,85 @@ func (s *Store) Commit() error {
 	return nil
 }
 
-func (s *Store) writeMeta() error {
-	m := meta{
-		pageSize:  uint32(s.pageSize),
-		rootID:    s.rootID,
-		pageCount: s.pageCount,
-		kvCount:   s.kvCount,
+// Rollback discards every uncommitted mutation and restores the last
+// committed state — the in-memory complement of the on-disk recovery the
+// dual meta slots provide. A failed Commit leaves the store poisoned
+// (in-memory root pointing at pages that may not all be durable); Rollback
+// makes it serviceable again without a close/reopen cycle.
+func (s *Store) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.readOnly:
+		return ErrReadOnly
+	case s.committed:
+		return nil
 	}
-	return s.pagerWrite(metaPageID, encodeMeta(m, s.pageSize))
+	for id, n := range s.cache {
+		if n.dirty {
+			delete(s.cache, id)
+		}
+	}
+	m := s.lastMeta
+	s.rootID = m.rootID
+	s.pageCount = m.pageCount
+	s.kvCount = m.kvCount
+	s.epoch = m.epoch
+	s.pendFree = s.pendFree[:0]
+	if err := s.rebuildFreeList(); err != nil {
+		return err
+	}
+	s.committed = true
+	return nil
+}
+
+// Epoch returns the application epoch published by the last commit (or
+// staged by SetEpoch since).
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// SetEpoch stages a new application epoch; the next Commit publishes it
+// atomically with the root. The epoch is an opaque uint64 the embedding
+// layer (the live-update engine) uses to tie a committed tree to its WAL
+// position: replay after a crash resumes from the epoch the store actually
+// reached.
+func (s *Store) SetEpoch(e uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.readOnly:
+		return ErrReadOnly
+	}
+	if s.epoch != e {
+		s.epoch = e
+		s.committed = false
+	}
+	return nil
+}
+
+// DeleteRange removes every key in [lo, hi), returning how many existed.
+// Keys are collected first (cursors do not survive writes), then deleted.
+func (s *Store) DeleteRange(lo, hi []byte) (int, error) {
+	var keys [][]byte
+	if err := s.Range(lo, hi, func(k, v []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if _, err := s.Delete(k); err != nil {
+			return 0, err
+		}
+	}
+	return len(keys), nil
 }
 
 // Close commits pending changes (when writable) and releases the file.
@@ -650,6 +781,10 @@ type Stats struct {
 	FreePages int
 	FileSize  int64
 	PageSize  int
+	// Txid is the last committed transaction sequence number.
+	Txid uint64
+	// Epoch is the application epoch of the last commit (see SetEpoch).
+	Epoch uint64
 }
 
 // Stats returns physical storage statistics.
@@ -662,5 +797,7 @@ func (s *Store) Stats() Stats {
 		FreePages: len(s.freeIDs) + len(s.pendFree),
 		FileSize:  pagerSize(s.pager),
 		PageSize:  s.pageSize,
+		Txid:      s.txid,
+		Epoch:     s.epoch,
 	}
 }

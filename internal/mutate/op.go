@@ -1,0 +1,249 @@
+// Package mutate implements live index maintenance: a write-ahead log of
+// subtree insert/delete batches, staging of a batch against the current
+// epoch's document and index (via xmltree.Clone/Graft/Detach and
+// index.Mutator), and replay of the log after a crash. The engine layer
+// composes these into atomic epoch commits; this package knows nothing
+// about epochs beyond the WAL sequence numbers it is handed.
+package mutate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"xrefine/internal/dewey"
+)
+
+// OpKind discriminates update operations.
+type OpKind uint8
+
+const (
+	// OpInsert grafts an XML fragment as the last child of a parent node.
+	OpInsert OpKind = 1
+	// OpDelete detaches the subtree rooted at a target node.
+	OpDelete OpKind = 2
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Op is one update operation. Insert ops carry Parent and XML; delete ops
+// carry Target.
+type Op struct {
+	Kind   OpKind
+	Parent dewey.ID // insert: node receiving the fragment as last child
+	Target dewey.ID // delete: root of the subtree to remove
+	XML    string   // insert: the fragment document
+}
+
+// Batch is the unit of atomicity: all ops apply in order inside one epoch
+// commit, or none do.
+type Batch struct {
+	Ops []Op `json:"ops"`
+}
+
+// Encode serializes the batch into the WAL payload format: a varint op
+// count, then per op a kind byte, the varint-length-prefixed Dewey label
+// (parent or target), and the varint-length-prefixed fragment XML.
+func (b *Batch) Encode() []byte {
+	out := binary.AppendUvarint(nil, uint64(len(b.Ops)))
+	for _, op := range b.Ops {
+		out = append(out, byte(op.Kind))
+		label := op.Parent
+		if op.Kind == OpDelete {
+			label = op.Target
+		}
+		lb := label.Bytes()
+		out = binary.AppendUvarint(out, uint64(len(lb)))
+		out = append(out, lb...)
+		out = binary.AppendUvarint(out, uint64(len(op.XML)))
+		out = append(out, op.XML...)
+	}
+	return out
+}
+
+// DecodeBatch parses a WAL payload written by Encode.
+func DecodeBatch(p []byte) (*Batch, error) {
+	r := newByteReader(p)
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("mutate: batch header: %w", err)
+	}
+	if n > uint64(len(p)) {
+		return nil, fmt.Errorf("mutate: implausible op count %d", n)
+	}
+	b := &Batch{Ops: make([]Op, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("mutate: op %d kind: %w", i, err)
+		}
+		labelLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := r.take(int(labelLen))
+		if err != nil {
+			return nil, fmt.Errorf("mutate: op %d label: %w", i, err)
+		}
+		label, _, err := dewey.FromBytes(lb)
+		if err != nil {
+			return nil, fmt.Errorf("mutate: op %d label: %w", i, err)
+		}
+		xmlLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		xb, err := r.take(int(xmlLen))
+		if err != nil {
+			return nil, fmt.Errorf("mutate: op %d xml: %w", i, err)
+		}
+		op := Op{Kind: OpKind(kind), XML: string(xb)}
+		switch op.Kind {
+		case OpInsert:
+			op.Parent = label
+		case OpDelete:
+			op.Target = label
+		default:
+			return nil, fmt.Errorf("mutate: op %d has unknown kind %d", i, kind)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if r.len() != 0 {
+		return nil, fmt.Errorf("mutate: %d trailing bytes in batch", r.len())
+	}
+	return b, nil
+}
+
+// byteReader is a positioned reader over a byte slice with bulk take.
+type byteReader struct {
+	p   []byte
+	pos int
+}
+
+func newByteReader(p []byte) *byteReader { return &byteReader{p: p} }
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.p) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.p[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.p) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := r.p[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *byteReader) len() int { return len(r.p) - r.pos }
+
+// opJSON is the wire form of Op:
+//
+//	{"op":"insert","parent":"0.1","xml":"<paper>...</paper>"}
+//	{"op":"delete","target":"0.2"}
+type opJSON struct {
+	Op     string `json:"op"`
+	Parent string `json:"parent,omitempty"`
+	Target string `json:"target,omitempty"`
+	XML    string `json:"xml,omitempty"`
+}
+
+// MarshalJSON renders the op in its wire form.
+func (o Op) MarshalJSON() ([]byte, error) {
+	switch o.Kind {
+	case OpInsert:
+		return json.Marshal(opJSON{Op: "insert", Parent: o.Parent.String(), XML: o.XML})
+	case OpDelete:
+		return json.Marshal(opJSON{Op: "delete", Target: o.Target.String()})
+	default:
+		return nil, fmt.Errorf("mutate: cannot marshal op kind %d", o.Kind)
+	}
+}
+
+// UnmarshalJSON parses the wire form, validating kind-specific fields.
+func (o *Op) UnmarshalJSON(b []byte) error {
+	var w opJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	switch w.Op {
+	case "insert":
+		if w.Parent == "" || w.XML == "" {
+			return fmt.Errorf("mutate: insert op needs parent and xml")
+		}
+		parent, err := dewey.Parse(w.Parent)
+		if err != nil {
+			return fmt.Errorf("mutate: insert parent: %w", err)
+		}
+		*o = Op{Kind: OpInsert, Parent: parent, XML: w.XML}
+	case "delete":
+		if w.Target == "" {
+			return fmt.Errorf("mutate: delete op needs target")
+		}
+		target, err := dewey.Parse(w.Target)
+		if err != nil {
+			return fmt.Errorf("mutate: delete target: %w", err)
+		}
+		*o = Op{Kind: OpDelete, Target: target}
+	default:
+		return fmt.Errorf("mutate: unknown op %q", w.Op)
+	}
+	return nil
+}
+
+// ReadBatchFile parses a batch file: one op per line in the JSON wire
+// form, blank lines and #-comments skipped. This is the format xgen
+// -updates emits and xrefine apply consumes.
+func ReadBatchFile(r io.Reader) (*Batch, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	b := &Batch{}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		var op Op
+		if err := json.Unmarshal([]byte(s), &op); err != nil {
+			return nil, fmt.Errorf("mutate: batch file line %d: %w", line, err)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteBatchFile writes the batch in the one-op-per-line wire form.
+func WriteBatchFile(w io.Writer, b *Batch) error {
+	for _, op := range b.Ops {
+		j, err := json.Marshal(op)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(j, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

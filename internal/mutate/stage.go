@@ -1,0 +1,97 @@
+package mutate
+
+import (
+	"fmt"
+
+	"xrefine/internal/index"
+	"xrefine/internal/xmltree"
+)
+
+// StageResult is a fully materialized next epoch: the mutated document
+// clone, the derived index, and the mutator (for SaveDelta). Nothing in
+// it is shared mutable state with the source epoch — publishing it is a
+// pointer swap.
+type StageResult struct {
+	Doc *xmltree.Document
+	Ix  *index.Index
+	Mut *index.Mutator
+	// Inserted and Deleted count the nodes added/removed by the batch.
+	Inserted int
+	Deleted  int
+	// InsertOps and DeleteOps count the batch's ops by kind.
+	InsertOps int
+	DeleteOps int
+}
+
+// Stage applies the batch to a clone of doc and a derivation of ix,
+// leaving both originals untouched. Ops apply sequentially — a later op
+// may target nodes grafted by an earlier one. Any failing op rejects the
+// whole batch: the returned error carries the op index, and the caller
+// discards the staged state.
+func Stage(doc *xmltree.Document, ix *index.Index, b *Batch) (*StageResult, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("mutate: no document to update (index-only engine?)")
+	}
+	if len(b.Ops) == 0 {
+		return nil, fmt.Errorf("mutate: empty batch")
+	}
+	res := &StageResult{Doc: doc.Clone(), Mut: index.NewMutator(ix)}
+	for i, op := range b.Ops {
+		var err error
+		switch op.Kind {
+		case OpInsert:
+			err = stageInsert(res, op)
+		case OpDelete:
+			err = stageDelete(res, op)
+		default:
+			err = fmt.Errorf("mutate: unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mutate: op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	res.Ix = res.Mut.Index()
+	return res, nil
+}
+
+func stageInsert(res *StageResult, op Op) error {
+	parent, ok := res.Doc.NodeByID(op.Parent)
+	if !ok {
+		return fmt.Errorf("parent %s does not exist", op.Parent)
+	}
+	frag, err := xmltree.ParseString(op.XML, nil)
+	if err != nil {
+		return fmt.Errorf("fragment: %w", err)
+	}
+	sub, err := res.Doc.Graft(parent, frag)
+	if err != nil {
+		return err
+	}
+	if err := res.Mut.InsertSubtree(sub); err != nil {
+		return err
+	}
+	res.Inserted += xmltree.SubtreeSize(sub)
+	res.InsertOps++
+	return nil
+}
+
+func stageDelete(res *StageResult, op Op) error {
+	n, ok := res.Doc.NodeByID(op.Target)
+	if !ok {
+		return fmt.Errorf("target %s does not exist", op.Target)
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("cannot delete the document root")
+	}
+	// Index first (the walk needs the intact subtree), then the tree.
+	if err := res.Mut.DeleteSubtree(n); err != nil {
+		return err
+	}
+	size, err := res.Doc.Detach(n)
+	if err != nil {
+		return err
+	}
+	res.Deleted += size
+	res.DeleteOps++
+	return nil
+}

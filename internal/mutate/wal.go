@@ -1,0 +1,156 @@
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL is the write-ahead log of update batches. Records are framed
+//
+//	[len uint32 LE][seq uint64 LE][payload][crc32 LE]
+//
+// where len counts the payload bytes and the CRC covers seq+payload —
+// the same torn-write discipline the kvstore applies to its pages. The
+// sequence number is the epoch the batch produces; replay after a crash
+// skips records the store already committed (seq <= store epoch).
+//
+// The log is truncated after every successful commit, so it holds at most
+// the batch in flight; a torn tail (crash mid-append) is detected on open
+// and truncated away, which is safe because an incompletely-logged batch
+// was never applied.
+type WAL struct {
+	f    *os.File
+	path string
+	size int64 // bytes of validated records
+}
+
+const walHeaderSize = 12 // len + seq
+const walTrailerSize = 4 // crc32
+
+// OpenWAL opens (or creates) the log at path, validates every record, and
+// truncates any torn tail.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mutate: open wal: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	valid, err := w.scan(nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > valid {
+		// Torn tail from a crash mid-append: the batch was never
+		// committed, drop it.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("mutate: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	w.size = valid
+	return w, nil
+}
+
+// scan walks the log from the start, calling fn (when non-nil) for every
+// valid record, and returns the byte offset of the end of the last valid
+// record. An invalid or incomplete record ends the scan without error —
+// it is a torn tail.
+func (w *WAL) scan(fn func(seq uint64, payload []byte) error) (int64, error) {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var off int64
+	var hdr [walHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(w.f, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		seq := binary.LittleEndian.Uint64(hdr[4:12])
+		body := make([]byte, int(plen)+walTrailerSize)
+		if _, err := io.ReadFull(w.f, body); err != nil {
+			return off, nil // torn payload
+		}
+		payload := body[:plen]
+		sum := binary.LittleEndian.Uint32(body[plen:])
+		if sum != walCRC(seq, payload) {
+			return off, nil // torn or corrupt record
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return off, err
+			}
+		}
+		off += walHeaderSize + int64(plen) + walTrailerSize
+	}
+}
+
+func walCRC(seq uint64, payload []byte) uint32 {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], seq)
+	crc := crc32.ChecksumIEEE(sb[:])
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// Append durably logs one record and returns the bytes written.
+func (w *WAL) Append(seq uint64, payload []byte) (int64, error) {
+	rec := make([]byte, 0, walHeaderSize+len(payload)+walTrailerSize)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint64(rec, seq)
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, walCRC(seq, payload))
+	if _, err := w.f.WriteAt(rec, w.size); err != nil {
+		return 0, fmt.Errorf("mutate: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("mutate: wal sync: %w", err)
+	}
+	w.size += int64(len(rec))
+	return int64(len(rec)), nil
+}
+
+// Replay calls fn for every logged record with seq > after, in log order.
+func (w *WAL) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	_, err := w.scan(func(seq uint64, payload []byte) error {
+		if seq <= after {
+			return nil
+		}
+		return fn(seq, payload)
+	})
+	return err
+}
+
+// Reset truncates the log: its records have been committed to the store
+// and are no longer needed for recovery.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("mutate: wal reset: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	return nil
+}
+
+// Size returns the validated log size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close releases the file.
+func (w *WAL) Close() error { return w.f.Close() }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,4 +76,57 @@ func TestSearchByteIdenticalAcrossConfigs(t *testing.T) {
 			}
 		}
 	}
+
+	// Rebuild equivalence (the live-update guarantee): a server that
+	// absorbed K random update batches through POST /update must answer
+	// every query byte-for-byte like a server whose index was rebuilt from
+	// scratch on the final document — for every strategy, at every
+	// parallelism. Incremental list deltas, stat-table maintenance, epoch
+	// swaps and the generation-keyed cache must leave no fingerprint.
+	t.Run("rebuild-equivalence", func(t *testing.T) {
+		updDoc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: 60, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		incremental := New(core.NewFromDocument(updDoc, nil))
+		batches, err := datagen.Updates(updDoc, datagen.UpdatesConfig{Batches: 6, Ops: 4, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range batches {
+			j, err := json.Marshal(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := httptest.NewRequest(http.MethodPost, "/update", strings.NewReader(string(j)))
+			rec := httptest.NewRecorder()
+			incremental.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("batch %d: /update = %d %s", i, rec.Code, rec.Body.String())
+			}
+		}
+		if got, want := incremental.eng.Epoch(), uint64(len(batches)); got != want {
+			t.Fatalf("epoch after %d batches = %d", want, got)
+		}
+		rebuilt := New(core.NewFromDocument(incremental.eng.Document(), nil))
+
+		// Queries mix original corpus vocabulary, inserted-fragment
+		// vocabulary, and misspellings that force refinement through the
+		// maintained frequency and co-occurrence tables.
+		updQueries := append(queries, "refinement suggestion", "keyword databse onlin")
+		for _, strategy := range []string{"partition", "sle", "stack"} {
+			for _, q := range updQueries {
+				ref := fetch(t, rebuilt, q, strategy, 1)
+				for _, parallel := range []int{0, 2, 4} {
+					if got := fetch(t, incremental, q, strategy, parallel); got != ref {
+						t.Errorf("incremental server: %q strategy=%s parallel=%d diverged from rebuilt index\nincremental: %s\nrebuilt:     %s",
+							q, strategy, parallel, got, ref)
+					}
+					if got := fetch(t, rebuilt, q, strategy, parallel); got != ref {
+						t.Errorf("rebuilt server: %q strategy=%s parallel=%d nondeterministic", q, strategy, parallel)
+					}
+				}
+			}
+		}
+	})
 }

@@ -4,6 +4,7 @@
 //
 //	GET /search?q=online+databse&k=3&strategy=partition&parallel=4&explain=1
 //	GET /narrow?q=database&max=50&k=3
+//	POST /update   {"ops":[{"op":"insert","parent":"0","xml":"<paper>...</paper>"}]}
 //	GET /healthz
 //	GET /metrics
 //	GET /debug/slowlog
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"xrefine/internal/core"
+	"xrefine/internal/mutate"
 	"xrefine/internal/narrow"
 	"xrefine/internal/obs"
 	"xrefine/internal/refine"
@@ -108,6 +110,11 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/search", s.observed("/search", s.guard(s.handleSearch)))
 	s.mux.HandleFunc("/narrow", s.observed("/narrow", s.guard(s.handleNarrow)))
 	s.mux.HandleFunc("/complete", s.observed("/complete", s.guard(s.handleComplete)))
+	// Updates share the query routes' edge protection: the admission gate
+	// bounds writers and readers together (a write burst must not starve
+	// probes), and the deadline caps a runaway batch. Writers additionally
+	// serialize on the engine's own apply lock.
+	s.mux.HandleFunc("/update", s.observed("/update", s.guard(s.handleUpdate)))
 	// The operational surfaces below bypass the gate and the timeout on
 	// purpose: probes and scrapes must answer while the query path is
 	// saturated or wedged.
@@ -409,10 +416,69 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"completions": terms})
 }
 
+// updateJSON is the /update response body.
+type updateJSON struct {
+	Epoch     uint64 `json:"epoch"`
+	InsertOps int    `json:"insert_ops"`
+	DeleteOps int    `json:"delete_ops"`
+	Inserted  int    `json:"nodes_inserted"`
+	Deleted   int    `json:"nodes_deleted"`
+	WALBytes  int64  `json:"wal_bytes,omitempty"`
+}
+
+// maxUpdateBody bounds an /update request body; a batch larger than this
+// should arrive as several batches (each is one epoch commit anyway).
+const maxUpdateBody = 16 << 20
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var batch mutate.Batch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	if len(batch.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("update batch has no ops"))
+		return
+	}
+	res, err := s.eng.Apply(&batch)
+	if err != nil {
+		// A rejected batch is the caller's fault (bad target, malformed
+		// fragment); the engine state is untouched either way. A frozen
+		// snapshot server is a deployment property, not a batch problem.
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, core.ErrReadOnly) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, updateJSON{
+		Epoch:     res.Epoch,
+		InsertOps: res.InsertOps,
+		DeleteOps: res.DeleteOps,
+		Inserted:  res.Inserted,
+		Deleted:   res.Deleted,
+		WALBytes:  res.WALBytes,
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	us := s.eng.UpdateStats()
 	body := map[string]any{
 		"status":           "ok",
+		"epoch":            us.Epoch,
+		"live_updates":     us.Live,
+		"applied_batches":  us.AppliedBatches,
+		"applied_ops":      us.AppliedOps,
+		"replayed_batches": us.ReplayedBatches,
+		"wal_bytes":        us.WALSizeBytes,
 		"nodes":            s.eng.Index().NodeCount,
 		"terms":            len(s.eng.Index().Vocabulary()),
 		"queries":          st.Queries,

@@ -1,0 +1,120 @@
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tree mutation primitives for the live-update path (internal/mutate).
+// Updates never modify a document that queries may be reading: the update
+// path clones the current epoch's tree, grafts and detaches subtrees on
+// the clone, and publishes the result as a new epoch.
+//
+// Labeling discipline: a deletion removes the subtree but never relabels
+// surviving siblings (their ordinals keep gaps), and an insertion appends
+// as the parent's last child under ordinal max+1. Stored labels therefore
+// survive any update sequence unchanged, which is what makes an index
+// rebuilt from the mutated document reproduce the incrementally-maintained
+// index bit for bit (index.Build reads stored labels, it does not
+// recompute them).
+
+// Clone returns a deep copy of the document. Node structs are fresh (so
+// the copy can be mutated while the original keeps serving), while the
+// type registry, interned *Type values, and dewey.ID slices are shared —
+// all three are immutable-once-created.
+func (d *Document) Clone() *Document {
+	if d == nil || d.Root == nil {
+		return nil
+	}
+	out := &Document{Types: d.Types, NodeCount: d.NodeCount}
+	var rec func(src *Node, parent *Node) *Node
+	rec = func(src *Node, parent *Node) *Node {
+		n := &Node{
+			Tag:    src.Tag,
+			Type:   src.Type,
+			ID:     src.ID,
+			Parent: parent,
+			Text:   src.Text,
+		}
+		if len(src.Children) > 0 {
+			n.Children = make([]*Node, 0, len(src.Children))
+			for _, c := range src.Children {
+				n.Children = append(n.Children, rec(c, n))
+			}
+		}
+		return n
+	}
+	out.Root = rec(d.Root, nil)
+	return out
+}
+
+// SubtreeSize counts the nodes of the subtree rooted at n, including n.
+func SubtreeSize(n *Node) int {
+	count := 1
+	for _, c := range n.Children {
+		count += SubtreeSize(c)
+	}
+	return count
+}
+
+// NextChildOrd returns the ordinal an appended child of n would receive:
+// one past the highest ordinal ever used (children are ordinal-sorted, so
+// that is the last child's ordinal plus one).
+func (n *Node) NextChildOrd() uint32 {
+	if len(n.Children) == 0 {
+		return 0
+	}
+	return n.Children[len(n.Children)-1].Ord() + 1
+}
+
+// Graft re-roots the fragment document under parent (a node of d) as its
+// new last child, re-interning every fragment type into d's registry and
+// assigning fresh Dewey labels below parent.ID. It returns the grafted
+// subtree root. The fragment document is left untouched.
+func (d *Document) Graft(parent *Node, frag *Document) (*Node, error) {
+	if frag == nil || frag.Root == nil {
+		return nil, errors.New("xmltree: graft of empty fragment")
+	}
+	var rec func(src *Node, p *Node, ord uint32) *Node
+	rec = func(src *Node, p *Node, ord uint32) *Node {
+		n := &Node{
+			Tag:    src.Tag,
+			Type:   d.Types.Intern(p.Type, src.Tag),
+			ID:     p.ID.Child(ord),
+			Parent: p,
+			Text:   src.Text,
+		}
+		p.Children = append(p.Children, n)
+		d.NodeCount++
+		for i, c := range src.Children {
+			rec(c, n, uint32(i))
+		}
+		return n
+	}
+	return rec(frag.Root, parent, parent.NextChildOrd()), nil
+}
+
+// Detach removes the subtree rooted at n from the document, leaving the
+// ordinals of n's surviving siblings untouched (labels never shift). It
+// returns the number of nodes removed. The root cannot be detached.
+func (d *Document) Detach(n *Node) (int, error) {
+	p := n.Parent
+	if p == nil {
+		return 0, errors.New("xmltree: cannot detach the document root")
+	}
+	at := -1
+	for i, c := range p.Children {
+		if c == n {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return 0, fmt.Errorf("xmltree: node %s not among its parent's children", n.ID)
+	}
+	p.Children = append(p.Children[:at], p.Children[at+1:]...)
+	n.Parent = nil
+	size := SubtreeSize(n)
+	d.NodeCount -= size
+	return size, nil
+}

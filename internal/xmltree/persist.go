@@ -14,15 +14,31 @@ import (
 // mine narrowing candidates — the two features that need the source
 // document rather than the inverted lists.
 //
-// Layout: one pre-order byte stream (per node: varint tag length, tag,
-// varint child count, varint text length, text), chunked under sequential
-// keys to respect the store's cell bound:
+// Layout: one pre-order byte stream (v2, per node: varint child ordinal,
+// varint tag length, tag, varint child count, varint text length, text),
+// chunked under sequential keys to respect the store's cell bound:
 //
+//	D\x00v                version marker (absent on legacy v1 streams)
 //	D\x00c\x00<seq BE32>  chunk of the serialized tree
 //
 // Chunk keys sort by sequence number, so a Range reads the stream back in
-// order. Reconstruction is a single recursive decode.
-const docChunkPrefix = "D\x00c\x00"
+// order. Reconstruction is a single recursive decode. The explicit child
+// ordinal (added in v2) is what lets a mutated tree round-trip: after a
+// subtree deletion the surviving siblings keep their original ordinals, so
+// positions in the child list no longer determine Dewey labels. Legacy v1
+// streams (no version key, no ordinal field) decode positionally.
+const (
+	docChunkPrefix  = "D\x00c\x00"
+	docVersionKey   = "D\x00v"
+	docVersionValue = 2
+)
+
+// DocChunkBounds returns the key range [lo, hi) covering every persisted
+// document key (version marker and chunks), for callers that rewrite the
+// document in place and must clear stale chunks first.
+func DocChunkBounds() (lo, hi []byte) {
+	return []byte("D\x00"), []byte("D\x01")
+}
 
 // SaveDocument writes the document into the store (without committing; the
 // caller batches it with the index save).
@@ -33,6 +49,7 @@ func SaveDocument(d *Document, s *kvstore.Store) error {
 	var buf []byte
 	var encode func(n *Node)
 	encode = func(n *Node) {
+		buf = binary.AppendUvarint(buf, uint64(n.Ord()))
 		buf = binary.AppendUvarint(buf, uint64(len(n.Tag)))
 		buf = append(buf, n.Tag...)
 		buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
@@ -44,6 +61,9 @@ func SaveDocument(d *Document, s *kvstore.Store) error {
 	}
 	encode(d.Root)
 
+	if err := s.Put([]byte(docVersionKey), []byte{docVersionValue}); err != nil {
+		return err
+	}
 	budget := s.MaxKV() - 16
 	seq := uint32(0)
 	for off := 0; off < len(buf); {
@@ -74,6 +94,16 @@ func docChunkKey(seq uint32) []byte {
 // SaveDocument; it returns (nil, false, nil) when the store holds no
 // document (an index-only store).
 func LoadDocument(s *kvstore.Store) (*Document, bool, error) {
+	return LoadDocumentInto(s, nil)
+}
+
+// LoadDocumentInto is LoadDocument with a caller-supplied type registry
+// (nil creates a fresh one). An engine that loads both an index and its
+// source document from one store must intern both into the same registry:
+// type identity is by pointer, and a document-side type that merely
+// *equals* an index-side type would make every judgment that compares the
+// two silently false — in particular for nodes grafted by live updates.
+func LoadDocumentInto(s *kvstore.Store, reg *Registry) (*Document, bool, error) {
 	var buf []byte
 	prefix := []byte(docChunkPrefix)
 	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
@@ -86,12 +116,30 @@ func LoadDocument(s *kvstore.Store) (*Document, bool, error) {
 	if len(buf) == 0 {
 		return nil, false, nil
 	}
-	reg := NewRegistry()
+	withOrds := false
+	if ver, ok, err := s.Get([]byte(docVersionKey)); err != nil {
+		return nil, false, err
+	} else if ok {
+		if len(ver) != 1 || ver[0] != docVersionValue {
+			return nil, false, fmt.Errorf("xmltree: unsupported doc stream version %v", ver)
+		}
+		withOrds = true
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	doc := &Document{Types: reg}
 	r := bytes.NewReader(buf)
 	pos := func() int { return len(buf) - r.Len() }
 	var decode func(parent *Node, ord uint32) (*Node, error)
 	decode = func(parent *Node, ord uint32) (*Node, error) {
+		if withOrds {
+			o, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("xmltree: doc stream at %d: %w", pos(), err)
+			}
+			ord = uint32(o)
+		}
 		tagLen, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, fmt.Errorf("xmltree: doc stream at %d: %w", pos(), err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"xrefine/internal/dewey"
@@ -246,6 +247,23 @@ func ParseString(s string, opts *Options) (*Document, error) {
 	return Parse(strings.NewReader(s), opts)
 }
 
+// Ord returns the node's child ordinal: the last component of its Dewey
+// label. After subtree deletions the ordinals of a node's children may have
+// gaps (labels of surviving siblings never shift), so the ordinal is not
+// the position in the Children slice.
+func (n *Node) Ord() uint32 { return n.ID[len(n.ID)-1] }
+
+// ChildByOrd returns the child carrying the given ordinal. Children stay
+// sorted by ordinal, so this is a binary search — positions and ordinals
+// diverge once a deletion leaves a gap.
+func (n *Node) ChildByOrd(ord uint32) (*Node, bool) {
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Ord() >= ord })
+	if i < len(n.Children) && n.Children[i].Ord() == ord {
+		return n.Children[i], true
+	}
+	return nil, false
+}
+
 // NodeByID resolves a Dewey label to its node. It fails when the label does
 // not name a node of this document.
 func (d *Document) NodeByID(id dewey.ID) (*Node, bool) {
@@ -254,10 +272,11 @@ func (d *Document) NodeByID(id dewey.ID) (*Node, bool) {
 	}
 	n := d.Root
 	for _, c := range id[1:] {
-		if int(c) >= len(n.Children) {
+		child, ok := n.ChildByOrd(c)
+		if !ok {
 			return nil, false
 		}
-		n = n.Children[c]
+		n = child
 	}
 	return n, true
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Type is an interned node type: a prefix path of tag names from the root.
@@ -59,17 +61,29 @@ func (t *Type) HasPrefix(p *Type) bool {
 	return a == p
 }
 
-// Registry interns node types. It is not safe for concurrent mutation;
-// build it single-threaded (during parse or index load) and share it
-// read-only afterwards.
+// Registry interns node types. Lookups are lock-free reads of an immutable
+// snapshot published through an atomic pointer, so queries running against
+// one epoch of an index never block (or race) while a live-update batch
+// interns new types for the next epoch. Intern itself copies the snapshot
+// only when it actually creates a type, which is rare after warm-up.
+// *Type values are shared across snapshots: pointer identity of a type is
+// stable for the life of the registry.
 type Registry struct {
+	mu   sync.Mutex // serializes snapshot replacement by writers
+	snap atomic.Pointer[regSnap]
+}
+
+// regSnap is one immutable registry state.
+type regSnap struct {
 	byPath map[string]*Type
 	types  []*Type
 }
 
 // NewRegistry returns an empty type registry.
 func NewRegistry() *Registry {
-	return &Registry{byPath: make(map[string]*Type)}
+	r := &Registry{}
+	r.snap.Store(&regSnap{byPath: make(map[string]*Type)})
+	return r
 }
 
 // Intern returns the type for the child tag under parent, creating it on
@@ -83,42 +97,56 @@ func (r *Registry) Intern(parent *Type, tag string) *Type {
 		path = parent.path + "/" + tag
 		depth = parent.Depth + 1
 	}
-	if t, ok := r.byPath[path]; ok {
+	if t, ok := r.snap.Load().byPath[path]; ok {
 		return t
 	}
-	t := &Type{ID: len(r.types), Tag: tag, Parent: parent, Depth: depth, path: path}
-	r.byPath[path] = t
-	r.types = append(r.types, t)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	if t, ok := old.byPath[path]; ok { // lost the creation race
+		return t
+	}
+	t := &Type{ID: len(old.types), Tag: tag, Parent: parent, Depth: depth, path: path}
+	next := &regSnap{
+		byPath: make(map[string]*Type, len(old.byPath)+1),
+		types:  append(append(make([]*Type, 0, len(old.types)+1), old.types...), t),
+	}
+	for p, ot := range old.byPath {
+		next.byPath[p] = ot
+	}
+	next.byPath[path] = t
+	r.snap.Store(next)
 	return t
 }
 
 // ByPath looks a type up by its full "/"-joined path.
 func (r *Registry) ByPath(path string) (*Type, bool) {
-	t, ok := r.byPath[path]
+	t, ok := r.snap.Load().byPath[path]
 	return t, ok
 }
 
 // ByID returns the type with the given registry ID.
 func (r *Registry) ByID(id int) (*Type, bool) {
-	if id < 0 || id >= len(r.types) {
+	types := r.snap.Load().types
+	if id < 0 || id >= len(types) {
 		return nil, false
 	}
-	return r.types[id], true
+	return types[id], true
 }
 
 // Len returns the number of interned types.
-func (r *Registry) Len() int { return len(r.types) }
+func (r *Registry) Len() int { return len(r.snap.Load().types) }
 
-// Types returns all interned types in ID order. The slice is shared; do not
-// mutate it.
-func (r *Registry) Types() []*Type { return r.types }
+// Types returns all interned types in ID order. The slice is an immutable
+// snapshot; types interned later do not appear in it.
+func (r *Registry) Types() []*Type { return r.snap.Load().types }
 
 // ByTag returns every type whose final tag equals tag, in ID order. The
 // paper abbreviates node types by their tag name when unambiguous; this is
 // the lookup that resolves such an abbreviation.
 func (r *Registry) ByTag(tag string) []*Type {
 	var out []*Type
-	for _, t := range r.types {
+	for _, t := range r.snap.Load().types {
 		if t.Tag == tag {
 			out = append(out, t)
 		}
@@ -131,7 +159,7 @@ func (r *Registry) ByTag(tag string) []*Type {
 // children (parents are interned first).
 func (r *Registry) Marshal() []byte {
 	var b strings.Builder
-	for _, t := range r.types {
+	for _, t := range r.snap.Load().types {
 		b.WriteString(t.path)
 		b.WriteByte('\n')
 	}
@@ -151,13 +179,13 @@ func UnmarshalRegistry(data []byte) (*Registry, error) {
 			r.Intern(nil, line)
 			continue
 		}
-		parent, ok := r.byPath[line[:i]]
+		parent, ok := r.ByPath(line[:i])
 		if !ok {
 			return nil, fmt.Errorf("xmltree: registry data lists %q before its parent", line)
 		}
 		r.Intern(parent, line[i+1:])
 	}
-	if len(r.types) == 0 {
+	if r.Len() == 0 {
 		return nil, errors.New("xmltree: empty registry data")
 	}
 	return r, nil
@@ -166,8 +194,9 @@ func UnmarshalRegistry(data []byte) (*Registry, error) {
 // SortTypesByPath returns the registry's types sorted by path, for
 // deterministic iteration in reports and tests.
 func (r *Registry) SortTypesByPath() []*Type {
-	out := make([]*Type, len(r.types))
-	copy(out, r.types)
+	types := r.snap.Load().types
+	out := make([]*Type, len(types))
+	copy(out, types)
 	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
 	return out
 }

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# update_soak.sh — mixed read/write soak for the live-update subsystem,
+# run by `make soak` and the CI update-soak job.
+#
+# Two phases, both under the race detector:
+#   1. The in-tree concurrency suites: queries pinning epochs while Apply
+#      publishes new ones, and the crash-recovery fault matrix. `go test
+#      -timeout` is the hang detector — a reader stuck on a dead epoch or
+#      a writer deadlocked against the WAL fails the build here.
+#   2. A live race-built xserve: concurrent query loops hammer /search
+#      while update batches stream into POST /update; the soak then
+#      asserts the final epoch, that the WAL drained, and that a server
+#      restart serves the same epoch (durability end to end).
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18081}"
+BASE="http://$ADDR"
+BATCHES="${BATCHES:-12}"
+OPS_PER_BATCH="${OPS_PER_BATCH:-5}"
+READERS="${READERS:-4}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+READER_PIDS=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    for p in $READER_PIDS; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "update-soak: FAIL: $*" >&2
+    [ -f "$WORK/server.log" ] && cat "$WORK/server.log" >&2
+    exit 1
+}
+
+cd "$(dirname "$0")/.."
+
+echo "update-soak: phase 1: concurrency + crash-recovery suites (-race)"
+go test -race -timeout 10m -count "${SOAK_COUNT:-2}" \
+    -run 'TestQueriesPinEpochDuringApply|TestApplyCrashRecoveryMatrix|TestOpenLiveReplaysPendingWAL' \
+    ./internal/core/ || fail "race suites failed"
+go test -race -timeout 5m -run 'TestSearchByteIdenticalAcrossConfigs' \
+    ./internal/server/ || fail "rebuild-equivalence differential failed"
+
+echo "update-soak: phase 2: building race-instrumented binaries"
+go build -race -o "$WORK/xserve" ./cmd/xserve
+go build -o "$WORK/xgen" ./cmd/xgen
+go build -o "$WORK/xrefine" ./cmd/xrefine
+go build -o "$WORK/xstat" ./cmd/xstat
+
+echo "update-soak: generating corpus and update workload"
+"$WORK/xgen" -kind dblp -authors 150 -seed 42 -out "$WORK/dblp.xml" \
+    -updates $((BATCHES * OPS_PER_BATCH)) -update-batch "$OPS_PER_BATCH"
+"$WORK/xrefine" index -xml "$WORK/dblp.xml" -index "$WORK/dblp.kv" -with-doc
+
+# Split the ride-along batch file back into per-batch JSON bodies.
+awk -v dir="$WORK" '/^# batch /{n=$3; next} /^{/{print > (dir "/op-" n ".jsonl")}' \
+    "$WORK/dblp.xml.updates"
+NBATCH=0
+for f in "$WORK"/op-*.jsonl; do
+    printf '{"ops":[%s]}' "$(paste -sd, "$f")" > "$WORK/batch-$NBATCH.json"
+    NBATCH=$((NBATCH + 1))
+done
+[ "$NBATCH" -ge "$BATCHES" ] || fail "expected $BATCHES batches, built $NBATCH"
+
+echo "update-soak: starting live xserve on $ADDR"
+"$WORK/xserve" -index "$WORK/dblp.kv" -live -addr "$ADDR" -max-inflight 64 \
+    >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "xserve exited early"
+    sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "xserve never became healthy"
+# Guard against answering a stale server on a shared port: ours must be
+# live-update-enabled at epoch 0.
+BOOT="$(curl -fsS "$BASE/healthz")"
+[[ "$BOOT" == *'"live_updates": true'* || "$BOOT" == *'"live_updates":true'* ]] ||
+    fail "server on $ADDR is not this soak's live server: $BOOT"
+
+echo "update-soak: $READERS readers vs $NBATCH update batches"
+reader() {
+    local queries=("online+databse" "database+query" "keyword+serch" "twig+pattern+matching")
+    while :; do
+        curl -fsS --max-time 10 "$BASE/search?q=${queries[RANDOM % 4]}" >/dev/null || exit 1
+    done
+}
+for i in $(seq 1 "$READERS"); do
+    reader & READER_PIDS="$READER_PIDS $!"
+done
+
+i=0
+while [ "$i" -lt "$NBATCH" ]; do
+    curl -fsS --max-time 30 -X POST --data-binary "@$WORK/batch-$i.json" \
+        "$BASE/update" >"$WORK/apply-$i.json" ||
+        fail "batch $i rejected: $(cat "$WORK/apply-$i.json" 2>/dev/null)"
+    i=$((i + 1))
+done
+for p in $READER_PIDS; do
+    kill -0 "$p" 2>/dev/null || fail "a reader died mid-soak (query path broke under writes)"
+done
+for p in $READER_PIDS; do kill "$p" 2>/dev/null || true; done
+READER_PIDS=""
+
+HEALTH="$(curl -fsS "$BASE/healthz")"
+[[ "$HEALTH" == *"\"epoch\": $NBATCH"* || "$HEALTH" == *"\"epoch\":$NBATCH"* ]] ||
+    fail "healthz epoch != $NBATCH: $HEALTH"
+[[ "$HEALTH" == *'"live_updates": true'* || "$HEALTH" == *'"live_updates":true'* ]] ||
+    fail "healthz does not report live updates: $HEALTH"
+curl -fsS "$BASE/metrics" | grep -q '^xrefine_mutate_applied_batches_total' ||
+    fail "mutate metric families missing from /metrics"
+
+echo "update-soak: restarting to verify durability"
+kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q 'WARNING: DATA RACE' "$WORK/server.log" && fail "race detected in live server"
+
+"$WORK/xstat" -index "$WORK/dblp.kv" >"$WORK/stat.txt" || fail "xstat failed post-soak"
+grep -q "epoch:       $NBATCH" "$WORK/stat.txt" ||
+    fail "store epoch after restart != $NBATCH: $(cat "$WORK/stat.txt")"
+grep -q 'wal:         empty' "$WORK/stat.txt" ||
+    fail "WAL did not drain: $(cat "$WORK/stat.txt")"
+
+echo "update-soak: PASS ($NBATCH batches, $READERS readers)"

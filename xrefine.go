@@ -37,6 +37,7 @@ import (
 	"xrefine/internal/core"
 	"xrefine/internal/kvstore"
 	"xrefine/internal/lexicon"
+	"xrefine/internal/mutate"
 	"xrefine/internal/narrow"
 	"xrefine/internal/obs"
 	"xrefine/internal/rank"
@@ -144,6 +145,49 @@ func OpenStore(path string, readOnly bool) (*Store, error) {
 // keeping snippets and narrowing available.
 func OpenIndex(store *Store, cfg *Config) (*Engine, error) {
 	return core.Open(store, cfg)
+}
+
+// UpdateBatch is an atomic group of insert-subtree / delete-subtree
+// operations for Engine.Apply: all of it commits as one new epoch, or none
+// of it does.
+type UpdateBatch = mutate.Batch
+
+// UpdateOp is one operation inside an UpdateBatch.
+type UpdateOp = mutate.Op
+
+// Update operation kinds.
+const (
+	UpdateInsert = mutate.OpInsert
+	UpdateDelete = mutate.OpDelete
+)
+
+// ApplyResult reports one committed update batch.
+type ApplyResult = core.ApplyResult
+
+// UpdateStats is a snapshot of an engine's live-update state.
+type UpdateStats = core.UpdateStats
+
+// OpenLiveIndex is OpenIndex plus live-update support: Engine.Apply
+// persists batches into the store, write-ahead logged at walPath, and any
+// batch the log holds beyond the store's committed epoch is replayed (the
+// crash-recovery path). The store must have been opened read-write and
+// saved with Engine.SaveIndexWithDocument. The caller still owns closing
+// the store; Engine.Close releases the log.
+func OpenLiveIndex(store *Store, walPath string, cfg *Config) (*Engine, error) {
+	return core.OpenLive(store, walPath, cfg)
+}
+
+// ReadUpdateBatch parses a batch file: one operation per line in the JSON
+// wire form ({"op":"insert","parent":"0","xml":"..."} /
+// {"op":"delete","target":"0.2"}), blank lines and #-comments skipped.
+// This is the format xgen -updates emits and xrefine apply consumes.
+func ReadUpdateBatch(r io.Reader) (*UpdateBatch, error) {
+	return mutate.ReadBatchFile(r)
+}
+
+// WriteUpdateBatch writes a batch in the one-op-per-line wire form.
+func WriteUpdateBatch(w io.Writer, b *UpdateBatch) error {
+	return mutate.WriteBatchFile(w, b)
 }
 
 // Tokenize normalizes a raw keyword query string into query terms, exactly
