@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments examples obs soak clean
+.PHONY: all build vet test race bench cover fuzz experiments examples obs soak clean
 
 all: build vet test
 
@@ -22,7 +22,14 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+# Statement-coverage ratchet: fails if total coverage over ./internal/...
+# drops below the floor in scripts/cover_floor.txt.
+cover:
+	./scripts/cover_gate.sh
+
 # Short fuzz bursts on every fuzz target; lengthen with FUZZTIME=1m.
+# Committed regression corpora live in each package's testdata/fuzz and
+# replay under plain `go test` as well.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/dewey -fuzz FuzzFromBytes -fuzztime $(FUZZTIME)
@@ -30,6 +37,8 @@ fuzz:
 	$(GO) test ./internal/xmltree -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -fuzz FuzzDecodeNode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -fuzz FuzzDecodeMeta -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -fuzz FuzzQueryPipeline -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shard -fuzz FuzzShardMerge -fuzztime $(FUZZTIME)
 
 # Regenerate every table and figure of the paper (takes minutes at scale 1).
 experiments:

@@ -8,7 +8,7 @@
 //	xbench [-scale 1.0] [-reps 3] [-queries 50] <experiment>
 //	paper experiments: tables3-6 fig4 fig5 fig6 table7 table8 table9 table10
 //	extensions:        ablation-decay ablation-searchfor ablation-slca
-//	                   ablation-beam elca parallel obs update
+//	                   ablation-beam elca parallel obs update shard
 //	or: all
 package main
 
@@ -38,7 +38,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -58,6 +58,7 @@ func main() {
 		"parallel":           parallelCompare,
 		"obs":                obsOverhead,
 		"update":             updateBench,
+		"shard":              shardCompare,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -65,7 +66,7 @@ func main() {
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
 			"ablation-slca", "ablation-beam", "elca", "parallel", "obs",
-			"update",
+			"update", "shard",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -403,6 +404,46 @@ func obsOverhead() error {
 	fmt.Fprintln(w, "mode\tbatch avg (ms)\toverhead\tspans/batch")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%.2f%%\t%d\n", r.Mode, r.AvgMS, r.OverheadPct, r.Spans)
+	}
+	return w.Flush()
+}
+
+// shardCompare measures scatter-gather fan-out scaling: the same
+// corruption batch against the monolithic engine and against in-memory
+// shard routers of growing width, with every sharded response checked
+// against the monolithic signature.
+func shardCompare() error {
+	c, err := corpus()
+	if err != nil {
+		return err
+	}
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 555, Queries: 20})
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for n := 2; n <= *maxprocs; n *= 2 {
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		counts = []int{2}
+	}
+	rows, err := experiments.ShardCompare(c, batch, counts, 3, *reps)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(struct {
+			GOMAXPROCS int                    `json:"gomaxprocs"`
+			Scale      float64                `json:"scale"`
+			K          int                    `json:"k"`
+			Rows       []experiments.ShardRow `json:"rows"`
+		}{runtime.GOMAXPROCS(0), *scale, 3, rows})
+	}
+	w := header(fmt.Sprintf("Sharded scatter-gather: batch Top-3 query time vs shard count (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
+	fmt.Fprintln(w, "shards\tbatch avg (ms)\tspeedup\tidentical output")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.3f\t%.2fx\t%v\n", r.Shards, r.AvgMS, r.Speedup, r.Identical)
 	}
 	return w.Flush()
 }

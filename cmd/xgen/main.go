@@ -9,10 +9,19 @@
 //	xgen -kind baseball -teams 30 -out baseball.xml
 //	xgen -kind workload -xml dblp.xml -queries 50 -out queries.txt
 //	xgen -kind updates -xml dblp.xml -updates 40 -out updates.txt
+//	xgen -kind dblp -authors 2000 -shards 4 -shard-dir dblp-shards
+//	xgen -kind shards -xml dblp.xml -shards 4 -shard-mode hash -shard-dir dblp-shards
 //
 // The -updates N flag derives a deterministic batch file of N insert/delete
 // operations valid against the generated (or -xml supplied) document, in
 // the one-op-per-line JSON form consumed by xrefine apply and POST /update.
+//
+// The -shards N flag splits the corpus across N independent shard stores
+// (shard-<i>.kv plus a manifest.json) in -shard-dir, partition-granular,
+// by contiguous range (-shard-mode range, the default) or by ordinal hash
+// (-shard-mode hash). The directory is served scatter-gather by
+// xserve -shards and queried by xrefine -shards, with output byte-identical
+// to a monolithic index over the unsplit corpus.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 
 	"xrefine/internal/datagen"
 	"xrefine/internal/mutate"
+	"xrefine/internal/shard"
 	"xrefine/internal/xmltree"
 )
 
@@ -39,16 +49,19 @@ func main() {
 func run(args []string, defaultOut io.Writer) error {
 	fs := flag.NewFlagSet("xgen", flag.ContinueOnError)
 	var (
-		kind     = fs.String("kind", "dblp", "dataset kind: dblp | baseball | workload | updates")
-		out      = fs.String("out", "", "output file (default stdout)")
-		seed     = fs.Int64("seed", 42, "random seed")
-		authors  = fs.Int("authors", 2000, "dblp: number of authors")
-		teams    = fs.Int("teams", 30, "baseball: number of teams")
-		xmlPath  = fs.String("xml", "", "workload/updates: document to derive from")
-		queries  = fs.Int("queries", 50, "workload: number of queries")
-		ops      = fs.Int("ops", 1, "workload: corruptions per query")
-		updates  = fs.Int("updates", 0, "emit N update operations (with -kind updates, or alongside a generated corpus)")
-		updBatch = fs.Int("update-batch", 4, "operations per update batch")
+		kind      = fs.String("kind", "dblp", "dataset kind: dblp | baseball | workload | updates | shards")
+		out       = fs.String("out", "", "output file (default stdout)")
+		seed      = fs.Int64("seed", 42, "random seed")
+		authors   = fs.Int("authors", 2000, "dblp: number of authors")
+		teams     = fs.Int("teams", 30, "baseball: number of teams")
+		xmlPath   = fs.String("xml", "", "workload/updates: document to derive from")
+		queries   = fs.Int("queries", 50, "workload: number of queries")
+		ops       = fs.Int("ops", 1, "workload: corruptions per query")
+		updates   = fs.Int("updates", 0, "emit N update operations (with -kind updates, or alongside a generated corpus)")
+		updBatch  = fs.Int("update-batch", 4, "operations per update batch")
+		shards    = fs.Int("shards", 0, "split the corpus into N shard stores (with -kind shards, or alongside a generated corpus)")
+		shardDir  = fs.String("shard-dir", "", "directory for the shard stores and manifest (required with -shards)")
+		shardMode = fs.String("shard-mode", "range", "partition placement: range | hash")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,24 +92,46 @@ func run(args []string, defaultOut io.Writer) error {
 		if _, err := io.WriteString(w, corpus.String()); err != nil {
 			return err
 		}
-		if *updates <= 0 {
+		if *updates <= 0 && *shards <= 0 {
 			return nil
-		}
-		// The update workload rides along in <out>.updates, so corpus and
-		// batches derived from it always travel as a pair.
-		if *out == "" {
-			return fmt.Errorf("-updates alongside a corpus needs -out (batches go to <out>.updates)")
 		}
 		doc, err := xmltree.ParseString(corpus.String(), nil)
 		if err != nil {
 			return err
 		}
-		uf, err := os.Create(*out + ".updates")
+		if *updates > 0 {
+			// The update workload rides along in <out>.updates, so corpus
+			// and batches derived from it always travel as a pair.
+			if *out == "" {
+				return fmt.Errorf("-updates alongside a corpus needs -out (batches go to <out>.updates)")
+			}
+			uf, err := os.Create(*out + ".updates")
+			if err != nil {
+				return err
+			}
+			defer uf.Close()
+			if err := writeUpdates(uf, doc, *updates, *updBatch, *seed); err != nil {
+				return err
+			}
+		}
+		if *shards > 0 {
+			return writeShards(doc, *shards, *shardMode, *shardDir)
+		}
+		return nil
+	case "shards":
+		if *xmlPath == "" {
+			return fmt.Errorf("shards needs -xml")
+		}
+		f, err := os.Open(*xmlPath)
 		if err != nil {
 			return err
 		}
-		defer uf.Close()
-		return writeUpdates(uf, doc, *updates, *updBatch, *seed)
+		doc, err := xmltree.Parse(f, nil)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		return writeShards(doc, *shards, *shardMode, *shardDir)
 	case "updates":
 		if *xmlPath == "" {
 			return fmt.Errorf("updates needs -xml")
@@ -147,6 +182,22 @@ func run(args []string, defaultOut io.Writer) error {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
+}
+
+// writeShards splits doc into n shard stores plus a manifest under dir.
+func writeShards(doc *xmltree.Document, n int, mode, dir string) error {
+	if n <= 0 {
+		return fmt.Errorf("shards needs -shards N")
+	}
+	if dir == "" {
+		return fmt.Errorf("-shards needs -shard-dir")
+	}
+	m, err := shard.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	_, err = shard.WriteStores(doc, dir, n, m)
+	return err
 }
 
 // writeUpdates derives n operations in perBatch-sized batches and writes

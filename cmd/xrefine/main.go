@@ -6,6 +6,7 @@
 //	xrefine index  -xml dblp.xml -index dblp.kv -with-doc
 //	xrefine search -xml dblp.xml "online databse"
 //	xrefine search -index dblp.kv -k 5 -strategy sle "efficient key word search"
+//	xrefine search -shards dblp-shards "online databse"
 //	xrefine apply  -index dblp.kv -batch updates.txt
 //	xrefine repl   -xml dblp.xml
 package main
@@ -50,7 +51,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xrefine index  -xml <file> -index <file>      build a persistent index
-  xrefine search [-xml <file> | -index <file>] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
+  xrefine search [-xml <file> | -index <file> | -shards <dir>] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
   xrefine batch  [-xml <file> | -index <file>] [-k N] [-parallel N] -queries <file>   one query per line, TSV out
   xrefine apply  -index <file> [-wal <file>] -batch <file>   apply an update batch as a new epoch
   xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
@@ -95,6 +96,13 @@ func cmdIndex(args []string) {
 		*xmlPath, *indexPath, st.Keys, st.Pages, st.FileSize)
 }
 
+// queryBackend is the slice of the engine surface the answer path needs;
+// *xrefine.Engine and *xrefine.ShardRouter both satisfy it.
+type queryBackend interface {
+	QueryTermsCtx(ctx context.Context, terms []string, strategy xrefine.Strategy, k, parallelism int) (*xrefine.Response, error)
+	Snippet(m xrefine.Match, maxRunes int) (string, bool)
+}
+
 // load builds an engine from either -xml or -index.
 func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
 	xmlPath := fs.Lookup("xml").Value.String()
@@ -126,6 +134,20 @@ func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
 	}
 	fatal(fmt.Errorf("need -xml or -index"))
 	return nil, nil, nil
+}
+
+// loadBackend is load plus -shards: a shard directory opens a
+// scatter-gather router instead of a single engine.
+func loadBackend(fs *flag.FlagSet) (queryBackend, *xrefine.Document, func()) {
+	if f := fs.Lookup("shards"); f != nil && f.Value.String() != "" {
+		r, err := xrefine.OpenShards(f.Value.String(), &xrefine.ShardOptions{Config: engineConfig(fs)})
+		if err != nil {
+			fatal(err)
+		}
+		return r, nil, func() { r.Close() }
+	}
+	eng, doc, closeFn := load(fs)
+	return eng, doc, closeFn
 }
 
 // engineConfig translates the optional -parallel flag into an engine
@@ -160,6 +182,7 @@ func cmdSearch(args []string) {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	fs.String("xml", "", "XML document")
 	fs.String("index", "", "index file")
+	fs.String("shards", "", "shard directory (xgen -shards) to query scatter-gather")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
 	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
@@ -168,7 +191,7 @@ func cmdSearch(args []string) {
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("search needs a query"))
 	}
-	eng, doc, closeFn := load(fs)
+	eng, doc, closeFn := loadBackend(fs)
 	defer closeFn()
 	query := strings.Join(fs.Args(), " ")
 	answer(os.Stdout, eng, doc, query, parseStrategy(*strategy), *k, *explainTrace)
@@ -371,11 +394,12 @@ func cmdREPL(args []string) {
 	fs := flag.NewFlagSet("repl", flag.ExitOnError)
 	fs.String("xml", "", "XML document")
 	fs.String("index", "", "index file")
+	fs.String("shards", "", "shard directory (xgen -shards) to query scatter-gather")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
 	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
 	fs.Parse(args)
-	eng, doc, closeFn := load(fs)
+	eng, doc, closeFn := loadBackend(fs)
 	defer closeFn()
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("xrefine> ")
@@ -389,7 +413,7 @@ func cmdREPL(args []string) {
 	}
 }
 
-func answer(w io.Writer, eng *xrefine.Engine, doc *xrefine.Document, query string, strategy xrefine.Strategy, k int, explainTrace bool) {
+func answer(w io.Writer, eng queryBackend, doc *xrefine.Document, query string, strategy xrefine.Strategy, k int, explainTrace bool) {
 	ctx := context.Background()
 	var root *xrefine.Span
 	if explainTrace {
@@ -420,7 +444,7 @@ func answer(w io.Writer, eng *xrefine.Engine, doc *xrefine.Document, query strin
 	}
 	if !resp.NeedRefine {
 		fmt.Fprintf(w, "query %v matches directly (%d results)\n", resp.Terms, len(resp.Queries[0].Results))
-		printResults(w, doc, resp.Queries[0].Results)
+		printResults(w, eng, doc, resp.Queries[0].Results)
 		return
 	}
 	fmt.Fprintf(w, "query %v has no meaningful result; refinements:\n", resp.Terms)
@@ -434,18 +458,25 @@ func answer(w io.Writer, eng *xrefine.Engine, doc *xrefine.Document, query strin
 		for _, st := range rq.Steps {
 			fmt.Fprintf(w, "     via: %s\n", st)
 		}
-		printResults(w, doc, rq.Results)
+		printResults(w, eng, doc, rq.Results)
 	}
 }
 
-func printResults(w io.Writer, doc *xrefine.Document, results []xrefine.Match) {
+func printResults(w io.Writer, eng queryBackend, doc *xrefine.Document, results []xrefine.Match) {
 	const maxShow = 5
 	for i, m := range results {
 		if i == maxShow {
 			fmt.Fprintf(w, "     ... %d more\n", len(results)-maxShow)
 			break
 		}
-		fmt.Fprintf(w, "     %s\n", xrefine.Snippet(doc, m, 80))
+		// The backend renders against its own stored document (a shard
+		// router asks the owning shard); engines without one fall back to
+		// the bare label via the package helper.
+		if s, ok := eng.Snippet(m, 80); ok {
+			fmt.Fprintf(w, "     %s\n", s)
+		} else {
+			fmt.Fprintf(w, "     %s\n", xrefine.Snippet(doc, m, 80))
+		}
 	}
 }
 

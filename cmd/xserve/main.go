@@ -7,6 +7,8 @@
 //	xserve -index dblp.kv -addr :8080 -parallel 4
 //	xserve -index dblp.kv -timeout 2s -budget 5000000 -max-inflight 64
 //	xserve -index dblp.kv -live
+//	xserve -shards dblp-shards -addr :8080
+//	xserve -shards dblp-shards -live
 //
 // Endpoints:
 //
@@ -34,6 +36,14 @@
 // /debug/slowlog. /healthz, /metrics, and the debug surfaces bypass the
 // admission gate and the per-request timeout, so they answer even while
 // the query path is saturated.
+//
+// With -shards set to a directory written by xgen -shards, the server
+// hosts every shard store behind a scatter-gather router whose responses
+// are byte-identical to a monolithic index over the unsplit corpus.
+// /healthz reports per-shard epochs, /search?explain=1 shows per-shard
+// fan-out spans, and with -live each POST /update batch is routed to the
+// shard owning its target (batches spanning shards are rejected; split
+// them per shard).
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"xrefine"
 	"xrefine/internal/core"
 	"xrefine/internal/server"
+	"xrefine/internal/shard"
 )
 
 func main() {
@@ -68,6 +79,7 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		live        = flag.Bool("live", false, "open -index read-write and accept POST /update (WAL-backed epoch commits)")
 		walPath     = flag.String("wal", "", "write-ahead log file for -live (default <index>.wal)")
+		shardDir    = flag.String("shards", "", "shard directory (xgen -shards) to serve scatter-gather")
 	)
 	flag.Parse()
 
@@ -76,8 +88,22 @@ func main() {
 		Timeout:       *timeout,
 		PostingBudget: *budget,
 	}
+	var backend server.Backend
 	var eng *core.Engine
 	switch {
+	case *shardDir != "":
+		r, err := shard.Open(*shardDir, &shard.Options{Live: *live, Config: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		backend = r
+		epochs := r.ShardEpochs()
+		var sum uint64
+		for _, e := range epochs {
+			sum += e
+		}
+		log.Printf("opened %d shard(s) from %s at epoch %d (live=%v)", r.Shards(), *shardDir, sum, *live)
 	case *xmlPath != "":
 		f, err := os.Open(*xmlPath)
 		if err != nil {
@@ -119,11 +145,14 @@ func main() {
 			log.Printf("opened index %s (read-only)", *indexPath)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "xserve: need -xml or -index")
+		fmt.Fprintln(os.Stderr, "xserve: need -xml, -index, or -shards")
 		os.Exit(2)
 	}
+	if backend == nil {
+		backend = eng
+	}
 
-	h := server.NewWithConfig(eng, server.Config{
+	h := server.NewFromBackend(backend, server.Config{
 		Timeout:          *timeout,
 		MaxInFlight:      *maxInflight,
 		SlowLogThreshold: *slowlog,

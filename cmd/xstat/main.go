@@ -7,6 +7,11 @@
 //
 //	xstat -xml dblp.xml [-top 15]
 //	xstat -index dblp.kv [-top 15]
+//	xstat -shards dblp-shards
+//
+// With -shards, the per-shard layout of a directory written by
+// xgen -shards is tabulated instead: each shard's node and partition
+// counts, committed epoch, store size and WAL state, with totals.
 package main
 
 import (
@@ -14,11 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"text/tabwriter"
 
 	"xrefine/internal/index"
 	"xrefine/internal/kvstore"
+	"xrefine/internal/shard"
 )
 
 func main() {
@@ -33,10 +40,14 @@ func run(args []string, w io.Writer) error {
 	var (
 		xmlPath   = fs.String("xml", "", "XML document to inspect")
 		indexPath = fs.String("index", "", "index file to inspect")
+		shardDir  = fs.String("shards", "", "shard directory (xgen -shards) to inspect")
 		top       = fs.Int("top", 15, "how many top keywords to list")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardDir != "" {
+		return reportShards(w, *shardDir)
 	}
 	var ix *index.Index
 	var storeStats *kvstore.Stats
@@ -73,9 +84,59 @@ func run(args []string, w io.Writer) error {
 			walBytes = fi.Size()
 		}
 	default:
-		return fmt.Errorf("need -xml or -index")
+		return fmt.Errorf("need -xml, -index, or -shards")
 	}
 	return report(w, ix, storeStats, epoch, walBytes, *top)
+}
+
+// reportShards tabulates the layout of a shard directory: one row per
+// shard plus totals. Node totals overcount the shared corpus root (every
+// shard stores it), which is why the monolithic numbers come from
+// xstat -index on the unsplit corpus instead.
+func reportShards(w io.Writer, dir string) error {
+	man, err := shard.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "shards:      %d (mode %s)\n", len(man.Shards), man.Mode)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nshard\tnodes\tpartitions\tepoch\tbytes\twal")
+	var nodes, parts int
+	var epochs uint64
+	var bytes int64
+	for _, e := range man.Shards {
+		store, err := kvstore.Open(filepath.Join(dir, e.Store), &kvstore.Options{ReadOnly: true})
+		if err != nil {
+			return err
+		}
+		ix, err := index.Load(store)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		st := store.Stats()
+		epoch := store.Epoch()
+		if err := store.Close(); err != nil {
+			return err
+		}
+		wal := "none"
+		if fi, err := os.Stat(filepath.Join(dir, e.WAL)); err == nil {
+			switch {
+			case fi.Size() == 0:
+				wal = "empty"
+			default:
+				wal = fmt.Sprintf("%d bytes pending", fi.Size())
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n",
+			e.Store, ix.NodeCount, len(ix.PartitionRoots()), epoch, st.FileSize, wal)
+		nodes += ix.NodeCount
+		parts += len(ix.PartitionRoots())
+		epochs += epoch
+		bytes += st.FileSize
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t\n", nodes, parts, epochs, bytes)
+	return tw.Flush()
 }
 
 func report(w io.Writer, ix *index.Index, store *kvstore.Stats, epoch uint64, walBytes int64, top int) error {

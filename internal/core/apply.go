@@ -160,7 +160,21 @@ func (e *Engine) commitEpoch(staged *mutate.StageResult, next uint64) error {
 // so index-only stores cannot be updated live. The caller still owns
 // closing the store; the engine owns the WAL (Close releases it).
 func OpenLive(store *kvstore.Store, walPath string, cfg *Config) (*Engine, error) {
-	e, err := Open(store, cfg)
+	return openLive(store, walPath, nil, cfg)
+}
+
+// OpenLiveShared is OpenLive against a shared type registry (see
+// OpenShared): the shard router opens live shards through here so fragment
+// types minted by updates intern into the corpus-wide registry.
+func OpenLiveShared(store *kvstore.Store, walPath string, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+	if reg == nil {
+		return nil, errors.New("core: OpenLiveShared needs a registry")
+	}
+	return openLive(store, walPath, reg, cfg)
+}
+
+func openLive(store *kvstore.Store, walPath string, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+	e, err := openStore(store, reg, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"xrefine/internal/datagen"
 	"xrefine/internal/kvstore"
+	"xrefine/internal/testutil"
 )
 
 // TestCancelPromptAtEveryStage cancels a slow query mid-flight and
@@ -73,11 +74,18 @@ func TestCancelPromptAtEveryStage(t *testing.T) {
 			}
 			ctx, cancel := context.WithCancel(context.Background())
 			done := make(chan error, 1)
+			// Cancel only after the query has observably started (the
+			// query counter bumps at QueryTermsCtx entry): a fixed sleep
+			// here raced the goroutine on loaded machines, cancelling
+			// before the query began and asserting nothing.
+			base := eng.Stats().Queries
 			go func() {
 				_, err := eng.QueryTermsCtx(ctx, terms, st.strategy, st.k, 0)
 				done <- err
 			}()
-			time.Sleep(3 * time.Millisecond)
+			testutil.Eventually(t, 5*time.Second, func() bool {
+				return eng.Stats().Queries > base
+			}, "query goroutine never started")
 			cancel()
 			select {
 			case err := <-done:

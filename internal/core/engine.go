@@ -295,7 +295,29 @@ func NewFromXMLStream(r io.Reader, cfg *Config) (*Engine, error) {
 // narrowing keep working. The store stays open for lazy posting-list
 // loads; the caller owns closing it.
 func Open(store *kvstore.Store, cfg *Config) (*Engine, error) {
-	ix, err := index.Load(store)
+	return openStore(store, nil, cfg)
+}
+
+// OpenShared is Open against a shared type registry: the store's persisted
+// types intern into reg instead of a private registry (index.LoadInto), so
+// several engines opened this way agree on type pointer identity. The
+// shard router opens every shard of a corpus through here — the merged
+// index and the cross-shard result merge both compare types by pointer.
+func OpenShared(store *kvstore.Store, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+	if reg == nil {
+		return nil, errors.New("core: OpenShared needs a registry")
+	}
+	return openStore(store, reg, cfg)
+}
+
+func openStore(store *kvstore.Store, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+	var ix *index.Index
+	var err error
+	if reg != nil {
+		ix, err = index.LoadInto(store, reg)
+	} else {
+		ix, err = index.Load(store)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -727,6 +749,42 @@ func (e *Engine) finishTopK(trace *obs.Span, ep *epoch, resp *Response, terms []
 		resp.Queries = resp.Queries[:k]
 	}
 	return resp, nil
+}
+
+// NoteOutcome feeds one exploration outcome into the engine's metric
+// counters — the hook the shard router uses so scatter-gather queries
+// account on the meta engine exactly like local ones.
+func (e *Engine) NoteOutcome(out *refine.TopKOutcome) { e.noteOutcome(out) }
+
+// FinishTopK ranks an exploration outcome into resp against the engine's
+// current snapshot — Formula 10, the original-query short-circuit and the
+// cut to K, plus result expansion when configured — under a "rank" span of
+// ctx's trace. It is the back half of queryUncached, exported for the
+// shard router, whose exploration ran scatter-gather instead of through
+// this engine.
+func (e *Engine) FinishTopK(ctx context.Context, resp *Response, terms []string, out *refine.TopKOutcome, k int) (*Response, error) {
+	if k <= 0 {
+		k = e.cfg.TopK
+	}
+	resp, err := e.finishTopK(obs.SpanFromContext(ctx), e.snapshot(), resp, terms, out, k)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.ExpandResults {
+		expandResponse(resp)
+	}
+	return resp, nil
+}
+
+// Snippet renders a human-readable preview of a match against the source
+// document. ok is false when the engine has no document (loaded from an
+// index-only store) — the serving layer omits the snippet field then.
+func (e *Engine) Snippet(m refine.Match, max int) (string, bool) {
+	doc := e.snapshot().doc
+	if doc == nil {
+		return "", false
+	}
+	return Snippet(doc, m, max), true
 }
 
 // Snippet renders a human-readable preview of a match against the original

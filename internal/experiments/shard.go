@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/datagen"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/shard"
+)
+
+// ShardRow is one line of the monolith-vs-sharded comparison: batch
+// average Top-K query time at a shard count with full fan-out, its
+// speedup over the monolithic engine, and whether every response was
+// identical to the monolithic one (the byte-identity guarantee of the
+// scatter-gather merge).
+type ShardRow struct {
+	Shards    int           `json:"shards"`
+	Avg       time.Duration `json:"avg_ns"`
+	AvgMS     float64       `json:"avg_ms"`
+	Speedup   float64       `json:"speedup"`
+	Identical bool          `json:"identical"`
+}
+
+// ShardCompare times a corruption batch against in-memory shard routers
+// at each shard count, fanning out across all shards per query, and
+// against a monolithic engine over the unsplit corpus. Every sharded
+// response is checked against the monolithic signature — fan-out scaling
+// is only worth reporting if the answers stay exact.
+func ShardCompare(c *Corpus, batch []datagen.Case, shardCounts []int, k, reps int) ([]ShardRow, error) {
+	mono := core.NewFromDocument(c.Doc, &core.Config{DisableMetrics: true})
+	want := make([]string, len(batch))
+	for i, cs := range batch {
+		resp, err := mono.QueryTerms(cs.Corrupted, core.StrategyPartition, k)
+		if err != nil {
+			return nil, fmt.Errorf("shard compare monolith %v: %w", cs.Corrupted, err)
+		}
+		want[i] = shardSig(resp)
+	}
+	base, err := timeIt(reps, func() error {
+		for _, cs := range batch {
+			if _, err := mono.QueryTerms(cs.Corrupted, core.StrategyPartition, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []ShardRow{{Shards: 1, Avg: base, AvgMS: msFloat(base), Speedup: 1, Identical: true}}
+	ctx := context.Background()
+	for _, n := range shardCounts {
+		if n <= 1 {
+			continue
+		}
+		r, cleanup, err := memRouter(c, n)
+		if err != nil {
+			return nil, err
+		}
+		row := ShardRow{Shards: n, Identical: true}
+		for i, cs := range batch {
+			resp, err := r.QueryTermsCtx(ctx, cs.Corrupted, core.StrategyPartition, k, 0)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			if shardSig(resp) != want[i] {
+				row.Identical = false
+			}
+		}
+		row.Avg, err = timeIt(reps, func() error {
+			for _, cs := range batch {
+				if _, err := r.QueryTermsCtx(ctx, cs.Corrupted, core.StrategyPartition, k, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		row.AvgMS = msFloat(row.Avg)
+		if row.Avg > 0 {
+			row.Speedup = float64(base) / float64(row.Avg)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// memRouter splits the corpus into n in-memory shard stores and opens a
+// router over them — the serving topology without the disk. The returned
+// cleanup closes the router and its stores.
+func memRouter(c *Corpus, n int) (*shard.Router, func(), error) {
+	subs, err := shard.SplitDocument(c.Doc, n, shard.ModeRange)
+	if err != nil {
+		return nil, nil, err
+	}
+	stores := make([]*kvstore.Store, n)
+	closeStores := func() {
+		for _, s := range stores {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i, sub := range subs {
+		stores[i] = kvstore.NewMem()
+		eng := core.NewFromDocument(sub, &core.Config{DisableMetrics: true})
+		if err := eng.SaveIndexWithDocument(stores[i]); err != nil {
+			closeStores()
+			return nil, nil, err
+		}
+	}
+	r, err := shard.NewFromStores(stores, nil, &shard.Options{Config: &core.Config{DisableMetrics: true}})
+	if err != nil {
+		closeStores()
+		return nil, nil, err
+	}
+	return r, func() { r.Close(); closeStores() }, nil
+}
+
+// shardSig flattens a response to the fields the server serializes —
+// equal signatures mean byte-identical /search bodies.
+func shardSig(resp *core.Response) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|%s|", resp.NeedRefine, resp.Degraded, resp.DegradedReason)
+	for _, q := range resp.Queries {
+		fmt.Fprintf(&b, "%s|%v|%v|", strings.Join(q.Keywords, ","), q.DSim, q.Score)
+		for _, m := range q.Results {
+			fmt.Fprintf(&b, "%s:%s;", m.ID, m.Type.Path())
+		}
+	}
+	return b.String()
+}

@@ -106,7 +106,11 @@ func (ix *Index) encodeDocMeta() []byte {
 	return b
 }
 
-func decodeDocMeta(ix *Index, b []byte) error {
+// decodeDocMeta fills the document-level statistics from their encoded
+// form. idMap, when non-nil, translates the store's persisted type IDs
+// into the IDs of a shared registry (see LoadInto); nil means the registry
+// is the store's own and IDs match positionally.
+func decodeDocMeta(ix *Index, b []byte, idMap []*xmltree.Type) error {
 	r := bytes.NewReader(b)
 	nodeCount, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -117,24 +121,34 @@ func decodeDocMeta(ix *Index, b []byte) error {
 	if err != nil {
 		return err
 	}
-	if int(nTypes) != ix.Types.Len() {
-		return fmt.Errorf("index: doc meta lists %d types, registry has %d", nTypes, ix.Types.Len())
+	if idMap == nil {
+		if int(nTypes) != ix.Types.Len() {
+			return fmt.Errorf("index: doc meta lists %d types, registry has %d", nTypes, ix.Types.Len())
+		}
+	} else if int(nTypes) != len(idMap) {
+		return fmt.Errorf("index: doc meta lists %d types, store registry has %d", nTypes, len(idMap))
 	}
-	ix.nt = make([]uint32, nTypes)
-	ix.gt = make([]uint32, nTypes)
-	for i := range ix.nt {
+	remap := func(i int) int {
+		if idMap == nil {
+			return i
+		}
+		return idMap[i].ID
+	}
+	ix.nt = make([]uint32, ix.Types.Len())
+	ix.gt = make([]uint32, ix.Types.Len())
+	for i := 0; i < int(nTypes); i++ {
 		v, err := binary.ReadUvarint(r)
 		if err != nil {
 			return err
 		}
-		ix.nt[i] = uint32(v)
+		ix.nt[remap(i)] = uint32(v)
 	}
-	for i := range ix.gt {
+	for i := 0; i < int(nTypes); i++ {
 		v, err := binary.ReadUvarint(r)
 		if err != nil {
 			return err
 		}
-		ix.gt[i] = uint32(v)
+		ix.gt[remap(i)] = uint32(v)
 	}
 	nParts, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -324,7 +338,10 @@ func saveChunks(s *kvstore.Store, term string, l *List) error {
 }
 
 // loadChunks reads and concatenates every chunk of a term's posting list.
-func loadChunks(s *kvstore.Store, types *xmltree.Registry, term string) (*List, error) {
+// resolve maps the store's persisted type IDs to interned types — the
+// registry's own ByID for plain loads, an idMap lookup for shared-registry
+// loads.
+func loadChunks(s *kvstore.Store, resolve func(int) (*xmltree.Type, bool), term string) (*List, error) {
 	prefix := append([]byte(listPrefix), term...)
 	prefix = append(prefix, 0)
 	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
@@ -363,7 +380,7 @@ func loadChunks(s *kvstore.Store, types *xmltree.Registry, term string) (*List, 
 				decodeErr = err
 				return false
 			}
-			t, ok := types.ByID(int(tid))
+			t, ok := resolve(int(tid))
 			if !ok {
 				decodeErr = fmt.Errorf("index: chunk of %q names unknown type %d", term, tid)
 				return false
@@ -389,7 +406,23 @@ func loadChunks(s *kvstore.Store, types *xmltree.Registry, term string) (*List, 
 // Load opens an index previously written with Save. Statistics load
 // eagerly (they are small and every query ranking touches them); posting
 // lists load lazily per keyword on first List call.
-func Load(s *kvstore.Store) (*Index, error) {
+func Load(s *kvstore.Store) (*Index, error) { return load(s, nil) }
+
+// LoadInto is Load against a shared type registry: the store's persisted
+// type paths are interned into reg (in persisted order, parents first) and
+// every statistic and posting is remapped onto the shared IDs. Several
+// stores loaded into one registry therefore agree on type *pointer*
+// identity — the property the sharded merge relies on — even when their
+// persisted registries diverged at the tail under independent live
+// updates.
+func LoadInto(s *kvstore.Store, reg *xmltree.Registry) (*Index, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("index: LoadInto needs a registry")
+	}
+	return load(s, reg)
+}
+
+func load(s *kvstore.Store, reg *xmltree.Registry) (*Index, error) {
 	raw, ok, err := s.Get([]byte(metaTypesKey))
 	if err != nil {
 		return nil, err
@@ -397,9 +430,25 @@ func Load(s *kvstore.Store) (*Index, error) {
 	if !ok {
 		return nil, fmt.Errorf("index: store has no type registry (not an index?)")
 	}
-	types, err := xmltree.UnmarshalRegistry(raw)
+	local, err := xmltree.UnmarshalRegistry(raw)
 	if err != nil {
 		return nil, err
+	}
+	types := local
+	var idMap []*xmltree.Type // persisted local type ID -> shared type
+	if reg != nil {
+		// Persisted order is interning order, parents before children, so
+		// every parent resolves before its children re-intern.
+		locals := local.Types()
+		idMap = make([]*xmltree.Type, len(locals))
+		for i, t := range locals {
+			var parent *xmltree.Type
+			if t.Parent != nil {
+				parent = idMap[t.Parent.ID]
+			}
+			idMap[i] = reg.Intern(parent, t.Tag)
+		}
+		types = reg
 	}
 	ix := &Index{
 		Types:   types,
@@ -415,7 +464,7 @@ func Load(s *kvstore.Store) (*Index, error) {
 	if !ok {
 		return nil, fmt.Errorf("index: store has no document metadata")
 	}
-	if err := decodeDocMeta(ix, docRaw); err != nil {
+	if err := decodeDocMeta(ix, docRaw, idMap); err != nil {
 		return nil, err
 	}
 	// Frequent table: one row per term.
@@ -428,6 +477,17 @@ func Load(s *kvstore.Store) (*Index, error) {
 			rowErr = fmt.Errorf("index: freq row %q: %w", term, err)
 			return false
 		}
+		if idMap != nil {
+			mapped := make(map[int]typeStat, len(stats))
+			for id, st := range stats {
+				if id >= len(idMap) {
+					rowErr = fmt.Errorf("index: freq row %q names unknown type %d", term, id)
+					return false
+				}
+				mapped[idMap[id].ID] = st
+			}
+			stats = mapped
+		}
 		ix.terms[term] = &kwEntry{listLen: listLen, stats: stats}
 		return true
 	})
@@ -437,7 +497,16 @@ func Load(s *kvstore.Store) (*Index, error) {
 	if rowErr != nil {
 		return nil, rowErr
 	}
-	ix.loader = func(term string) (*List, error) { return loadChunks(s, types, term) }
+	resolve := local.ByID
+	if idMap != nil {
+		resolve = func(id int) (*xmltree.Type, bool) {
+			if id < 0 || id >= len(idMap) {
+				return nil, false
+			}
+			return idMap[id], true
+		}
+	}
+	ix.loader = func(term string) (*List, error) { return loadChunks(s, resolve, term) }
 	return ix, nil
 }
 

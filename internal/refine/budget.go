@@ -13,6 +13,13 @@ const (
 	DegradedDeadline = "deadline"
 	// DegradedPostings: the posting budget ran out mid-exploration.
 	DegradedPostings = "posting-budget"
+	// DegradedShardPartial: a shard of a scatter-gather query failed hard
+	// (for example on a storage fault) while the query itself stayed
+	// alive; its contribution is missing from the merged response. Set by
+	// the shard router, which gives it precedence over the budget reasons:
+	// a response missing a whole shard is degraded in a stronger sense
+	// than one that merely stopped scanning early.
+	DegradedShardPartial = "shard-partial"
 )
 
 // Budget bounds one query execution cooperatively: a context (carrying a

@@ -72,7 +72,7 @@ func PartitionTopKParallel(in Input, k, workers int) (*TopKOutcome, error) {
 	}
 
 	var (
-		bound      = newSharedBound()
+		bound      = NewPruneBound()
 		perRange   = make([]*rangeOutcome, ranges)
 		shares     = make([]WorkerShare, workers)
 		jobs       = make(chan int)
@@ -192,24 +192,28 @@ func splitPivots(lists []*index.List, n int) []dewey.ID {
 	return out
 }
 
-// sharedBound publishes the smallest full-local-list worst dissimilarity
+// PruneBound publishes the smallest full-local-list worst dissimilarity
 // any worker has seen — a lower envelope of the sequential 2K-th-candidate
 // bound. Candidates at or above the bound cannot enter the final top-2K, so
-// workers skip their SLCA computations.
-type sharedBound struct {
+// workers skip their SLCA computations. It is shared by the workers of one
+// parallel walk, and by the per-shard scans of one scatter-gather query
+// (see ScanShard): the bound is only ever a work-avoidance hint, so sharing
+// it across any partitioning of the walk preserves exactness.
+type PruneBound struct {
 	bits atomic.Uint64 // math.Float64bits of the current bound
 }
 
-func newSharedBound() *sharedBound {
-	b := &sharedBound{}
+// NewPruneBound returns a bound initialized to +Inf (nothing prunable yet).
+func NewPruneBound() *PruneBound {
+	b := &PruneBound{}
 	b.bits.Store(math.Float64bits(math.Inf(1)))
 	return b
 }
 
-func (b *sharedBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
+func (b *PruneBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
 
 // lower tightens the bound to v if v is smaller, reporting whether it did.
-func (b *sharedBound) lower(v float64) bool {
+func (b *PruneBound) lower(v float64) bool {
 	for {
 		old := b.bits.Load()
 		if math.Float64frombits(old) <= v {
@@ -253,7 +257,7 @@ type rangeOutcome struct {
 // the worker-local list and the shared bound. local persists across the
 // ranges a worker processes — it only ever tightens the bound, and ranges
 // are replayed in document order later, so staleness is harmless.
-func walkRange(in Input, k int, ks []string, lists []*index.List, lo, hi dewey.ID, local *SortedList, bound *sharedBound) (*rangeOutcome, error) {
+func walkRange(in Input, k int, ks []string, lists []*index.List, lo, hi dewey.ID, local *SortedList, bound *PruneBound) (*rangeOutcome, error) {
 	res := &rangeOutcome{}
 	w := newPartitionWalker(ks, lists, lo, hi)
 	for {
@@ -326,35 +330,8 @@ func mergeRanges(in Input, k int, ks []string, lists []*index.List, perRange []*
 		out.BoundUpdates += rng.boundUpdates
 		for _, rec := range rng.partitions {
 			out.Partitions++
-			spansReady := false
-			for _, rr := range rec.rqs {
-				item := sorted.Has(rr.rq)
-				if item == nil && !sorted.Qualifies(rr.rq.DSim) {
-					continue
-				}
-				res := rr.results
-				if !rr.computed {
-					if !spansReady {
-						partitionSpans(lists, rec.pid, spans)
-						spansReady = true
-					}
-					var err error
-					var postings int
-					res, postings, err = partitionSLCA(in, rr.rq, ks, lists, spans, rec.pid)
-					if err != nil {
-						return nil, err
-					}
-					out.SLCACalls++
-					out.SLCAPostings += int64(postings)
-				}
-				if len(res) == 0 {
-					continue
-				}
-				if item != nil {
-					item.Results = append(item.Results, res...)
-				} else {
-					sorted.Insert(rr.rq, res)
-				}
+			if err := replayPartition(in, ks, lists, spans, rec, sorted, out); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -362,6 +339,48 @@ func mergeRanges(in Input, k int, ks []string, lists []*index.List, perRange []*
 		out.Candidates = append(out.Candidates, it)
 	}
 	return out, nil
+}
+
+// replayPartition applies one recorded partition to the merge's SortedList
+// with exactly the sequential admission logic: membership and
+// qualification are judged against the replay list, and SLCA results a
+// recording pass skipped (its bound was a lower envelope of the replay's)
+// are recomputed here from the same partition sublists. Both the
+// intra-document range merge (mergeRanges) and the cross-shard merge
+// (MergeShardScans) funnel through this one function, so the two layers
+// cannot drift apart.
+func replayPartition(in Input, ks []string, lists []*index.List, spans []span, rec partitionRecord, sorted *SortedList, out *TopKOutcome) error {
+	spansReady := false
+	for _, rr := range rec.rqs {
+		item := sorted.Has(rr.rq)
+		if item == nil && !sorted.Qualifies(rr.rq.DSim) {
+			continue
+		}
+		res := rr.results
+		if !rr.computed {
+			if !spansReady {
+				partitionSpans(lists, rec.pid, spans)
+				spansReady = true
+			}
+			var err error
+			var postings int
+			res, postings, err = partitionSLCA(in, rr.rq, ks, lists, spans, rec.pid)
+			if err != nil {
+				return err
+			}
+			out.SLCACalls++
+			out.SLCAPostings += int64(postings)
+		}
+		if len(res) == 0 {
+			continue
+		}
+		if item != nil {
+			item.Results = append(item.Results, res...)
+		} else {
+			sorted.Insert(rr.rq, res)
+		}
+	}
+	return nil
 }
 
 // partitionSpans reconstructs the sublist spans of a partition. Inside the

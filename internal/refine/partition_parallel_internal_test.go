@@ -17,7 +17,7 @@ import (
 )
 
 func TestSharedBoundLowersMonotonically(t *testing.T) {
-	b := newSharedBound()
+	b := NewPruneBound()
 	if got := b.get(); !math.IsInf(got, 1) {
 		t.Fatalf("fresh bound = %v, want +Inf", got)
 	}
@@ -33,7 +33,7 @@ func TestSharedBoundLowersMonotonically(t *testing.T) {
 }
 
 func TestSharedBoundConcurrentLowering(t *testing.T) {
-	b := newSharedBound()
+	b := NewPruneBound()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

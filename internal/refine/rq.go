@@ -177,6 +177,12 @@ type Input struct {
 	Trace *obs.Span
 }
 
+// ScanKeywords returns the scan keyword set KS of Algorithms 1-3. The
+// shard router computes it once against the merged corpus index and hands
+// the same set to every per-shard scan, so all shards walk identical
+// keyword columns even when a term happens to be absent from one shard.
+func (in *Input) ScanKeywords() []string { return in.scanKeywords() }
+
 // scanKeywords returns Q's keywords plus the rule-generated new keywords,
 // restricted to terms that occur in the data — the KS of Algorithms 1-3 —
 // with Q's terms first, in Q order.

@@ -1,0 +1,120 @@
+package refine
+
+import (
+	"xrefine/internal/dewey"
+	"xrefine/internal/index"
+)
+
+// This file is the scatter-gather execution layer for Algorithm 2 over a
+// sharded corpus. Each shard holds a disjoint set of the corpus partitions
+// (with their global Dewey labels preserved), so a shard scan is exactly a
+// walkRange over that shard's lists: it records, per partition, the
+// refined queries it surfaced and the SLCA results it computed, charging
+// the one Budget and tightening the one PruneBound every scan shares.
+// MergeShardScans then replays the records of all shards in global
+// document order — partitions interleave across shards under a k-way merge
+// on their labels — through the sequential admission logic, recomputing
+// any bound-skipped SLCA against the owning shard's lists. The outcome is
+// byte-identical to a monolithic engine walking the concatenated corpus:
+// the same partitions, in the same order, through the same SortedList.
+
+// ShardScan is the record of one shard's partition walk, ready to merge.
+// The input, keyword set and lists are retained because bound-skipped SLCA
+// recomputations during the merge must run against the lists of the shard
+// that owns the partition.
+type ShardScan struct {
+	in    Input
+	ks    []string
+	lists []*index.List
+	rng   *rangeOutcome
+}
+
+// ScanShard walks every partition of one shard. in is the merged-corpus
+// query input with Index swapped for the shard's own index; ks is the scan
+// keyword set computed once against the merged index (Input.ScanKeywords),
+// so every shard scans the same keyword columns; bound is the pruning
+// bound shared across the fan-out. Degradable budget expiry truncates the
+// record (only fully-processed partitions contribute); a hard cancellation
+// or storage fault returns the error.
+func ScanShard(in Input, k int, ks []string, bound *PruneBound) (*ShardScan, error) {
+	if k < 1 {
+		k = 1
+	}
+	lists, err := scanLists(in, ks)
+	if err != nil {
+		return nil, err
+	}
+	local := NewSortedList(2 * k)
+	rng, err := walkRange(in, k, ks, lists, nil, nil, local, bound)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardScan{in: in, ks: ks, lists: lists, rng: rng}, nil
+}
+
+// Partitions reports how many partitions the scan fully processed.
+func (s *ShardScan) Partitions() int { return len(s.rng.partitions) }
+
+// MergeShardScans replays the per-shard partition records in global
+// document order through a fresh SortedList — the exact sequential
+// admission logic — and returns the corpus-wide outcome. in is the
+// merged-corpus input (its Budget supplies the degradation reason). Scans
+// of failed shards are passed as nil and simply contribute nothing; the
+// caller is responsible for tagging the response shard-partial.
+func MergeShardScans(in Input, k int, scans []*ShardScan) (*TopKOutcome, error) {
+	if k < 1 {
+		k = 1
+	}
+	out := &TopKOutcome{Workers: 1}
+	sorted := NewSortedList(2 * k)
+	type cursor struct {
+		s     *ShardScan
+		i     int
+		spans []span
+	}
+	var cur []*cursor
+	for _, s := range scans {
+		if s == nil || s.rng == nil {
+			continue
+		}
+		out.SLCACalls += s.rng.slcaCalls
+		out.SLCAPostings += s.rng.slcaPostings
+		out.RQGenerated += s.rng.rqGenerated
+		out.RQPruned += s.rng.rqPruned
+		out.BoundUpdates += s.rng.boundUpdates
+		if len(s.rng.partitions) > 0 {
+			cur = append(cur, &cursor{s: s, spans: make([]span, len(s.lists))})
+		}
+	}
+	for len(cur) > 0 {
+		// Replay only touches recorded work plus occasional in-memory SLCA
+		// recomputes, so the degradable budget is ignored here — but a
+		// hard cancellation still aborts.
+		if err := in.Budget.Err(); err != nil {
+			return nil, err
+		}
+		best := 0
+		for i := 1; i < len(cur); i++ {
+			a := cur[i].s.rng.partitions[cur[i].i].pid
+			b := cur[best].s.rng.partitions[cur[best].i].pid
+			if dewey.Compare(a, b) < 0 {
+				best = i
+			}
+		}
+		c := cur[best]
+		rec := c.s.rng.partitions[c.i]
+		out.Partitions++
+		if err := replayPartition(c.s.in, c.s.ks, c.s.lists, c.spans, rec, sorted, out); err != nil {
+			return nil, err
+		}
+		c.i++
+		if c.i >= len(c.s.rng.partitions) {
+			cur = append(cur[:best], cur[best+1:]...)
+		}
+	}
+	for _, it := range sorted.Items() {
+		out.Candidates = append(out.Candidates, it)
+	}
+	out.markDegraded(in.Budget)
+	return out, nil
+}

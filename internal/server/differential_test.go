@@ -88,7 +88,8 @@ func TestSearchByteIdenticalAcrossConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		incremental := New(core.NewFromDocument(updDoc, nil))
+		incEng := core.NewFromDocument(updDoc, nil)
+		incremental := New(incEng)
 		batches, err := datagen.Updates(updDoc, datagen.UpdatesConfig{Batches: 6, Ops: 4, Seed: 11})
 		if err != nil {
 			t.Fatal(err)
@@ -105,10 +106,10 @@ func TestSearchByteIdenticalAcrossConfigs(t *testing.T) {
 				t.Fatalf("batch %d: /update = %d %s", i, rec.Code, rec.Body.String())
 			}
 		}
-		if got, want := incremental.eng.Epoch(), uint64(len(batches)); got != want {
+		if got, want := incEng.Epoch(), uint64(len(batches)); got != want {
 			t.Fatalf("epoch after %d batches = %d", want, got)
 		}
-		rebuilt := New(core.NewFromDocument(incremental.eng.Document(), nil))
+		rebuilt := New(core.NewFromDocument(incEng.Document(), nil))
 
 		// Queries mix original corpus vocabulary, inserted-fragment
 		// vocabulary, and misspellings that force refinement through the

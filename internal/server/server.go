@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"xrefine/internal/core"
+	"xrefine/internal/index"
 	"xrefine/internal/mutate"
 	"xrefine/internal/narrow"
 	"xrefine/internal/obs"
@@ -62,12 +63,37 @@ type Config struct {
 // code only keeps access logs honest.
 const statusClientClosedRequest = 499
 
-// Server wraps an engine with HTTP handlers. The engine is read-only and
-// safe for concurrent queries; the server adds the protective edges — a
+// Backend is what the server serves: the query, update and introspection
+// surface of one corpus. *core.Engine implements it directly; the shard
+// router implements it scatter-gather across several engines. Every
+// method must be safe for concurrent use.
+type Backend interface {
+	QueryTermsCtx(ctx context.Context, terms []string, strategy core.Strategy, k, parallelism int) (*core.Response, error)
+	Narrow(q string, opts *narrow.Options) (*narrow.Outcome, error)
+	Complete(partial string, k int) []string
+	Apply(b *mutate.Batch) (*core.ApplyResult, error)
+	Stats() core.EngineStats
+	UpdateStats() core.UpdateStats
+	Index() *index.Index
+	// Snippet renders a match preview; ok is false when no source
+	// document is available and the snippet field should be omitted.
+	Snippet(m refine.Match, max int) (string, bool)
+	Metrics() *obs.Registry
+}
+
+// ShardedBackend is the optional extension a multi-shard backend
+// implements; /healthz surfaces the per-shard epochs when present.
+type ShardedBackend interface {
+	Backend
+	ShardEpochs() []uint64
+}
+
+// Server wraps a backend with HTTP handlers. The backend is safe for
+// concurrent queries; the server adds the protective edges — a
 // per-request deadline, a bounded-concurrency admission gate, and panic
 // containment — so one bad query cannot take the process down.
 type Server struct {
-	eng  *core.Engine
+	eng  Backend
 	mux  *http.ServeMux
 	cfg  Config
 	gate chan struct{} // admission semaphore; nil when unbounded
@@ -88,8 +114,13 @@ type Server struct {
 // New builds a server around an engine with no edge protection.
 func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
 
-// NewWithConfig builds a server with the given edge configuration.
-func NewWithConfig(eng *core.Engine, cfg Config) *Server {
+// NewWithConfig builds a server around an engine with the given edge
+// configuration.
+func NewWithConfig(eng *core.Engine, cfg Config) *Server { return NewFromBackend(eng, cfg) }
+
+// NewFromBackend builds a server around any Backend — a single engine or
+// a shard router — with the given edge configuration.
+func NewFromBackend(eng Backend, cfg Config) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg, reg: eng.Metrics()}
 	if cfg.MaxInFlight > 0 {
 		s.gate = make(chan struct{}, cfg.MaxInFlight)
@@ -493,6 +524,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"max_inflight":     s.cfg.MaxInFlight,
 		"timeout_ms":       s.cfg.Timeout.Milliseconds(),
 	}
+	// Sharded backends surface their per-shard epochs next to the summed
+	// one; single-engine servers omit the keys entirely.
+	if sb, ok := s.eng.(ShardedBackend); ok {
+		epochs := sb.ShardEpochs()
+		body["shards"] = len(epochs)
+		body["shard_epochs"] = epochs
+	}
 	// The full registry snapshot rides along under its own key so the
 	// established top-level fields stay stable for existing probes.
 	if s.reg != nil {
@@ -530,15 +568,15 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// results converts matches to API form, attaching snippets when the engine
-// still holds the source document.
+// results converts matches to API form, attaching snippets when the
+// backend can render them (it still holds a source document — for a shard
+// router, the owning shard's).
 func (s *Server) results(ms []refine.Match) []resultJSON {
 	out := make([]resultJSON, 0, len(ms))
-	doc := s.eng.Document()
 	for _, m := range ms {
 		rj := resultJSON{ID: m.ID.String(), Type: m.Type.Path()}
-		if doc != nil {
-			rj.Snippet = core.Snippet(doc, m, 80)
+		if snip, ok := s.eng.Snippet(m, 80); ok {
+			rj.Snippet = snip
 		}
 		out = append(out, rj)
 	}

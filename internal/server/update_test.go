@@ -181,7 +181,7 @@ func TestUpdateEndpointLivePersists(t *testing.T) {
 // gate with queries: a full gate sheds POST /update with 503 rather than
 // queueing writers behind it.
 func TestUpdateEndpointShedsUnderGate(t *testing.T) {
-	s := NewWithConfig(testServer(t).eng, Config{MaxInFlight: 1})
+	s := NewFromBackend(testServer(t).eng, Config{MaxInFlight: 1})
 	// Occupy the single slot directly; the next request must shed.
 	s.gate <- struct{}{}
 	defer func() { <-s.gate }()

@@ -1,0 +1,622 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/index"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/mutate"
+	"xrefine/internal/narrow"
+	"xrefine/internal/obs"
+	"xrefine/internal/refine"
+	"xrefine/internal/xmltree"
+)
+
+// Options tunes a Router.
+type Options struct {
+	// Live opens every shard with its write-ahead log attached, enabling
+	// Apply. Read-only routers refuse updates like a frozen engine.
+	Live bool
+	// Config is the engine configuration shared by the shards and the
+	// meta engine (strategy, K, budgets, metrics registry). Nil works.
+	Config *core.Config
+}
+
+// metaState is the router's query-time view, rebuilt whole after every
+// committed update and swapped in with one pointer store: the merged
+// corpus index, the meta engine ranking against it, and the partition
+// ownership map. Queries load the pointer once and run entirely against
+// that snapshot.
+type metaState struct {
+	merged *index.Index
+	eng    *core.Engine
+	// owners maps a partition ordinal (the second Dewey component) to the
+	// shard holding it; rootOwner is the shard owning the highest ordinal
+	// — the one whose local root mints the same next-child ordinal the
+	// monolithic corpus root would, so root-level inserts route there.
+	owners    map[uint32]int
+	rootOwner int
+}
+
+// routerMetrics are the scatter-gather families, registered on the shared
+// registry next to the meta engine's.
+type routerMetrics struct {
+	fanout     *obs.Gauge
+	queries    *obs.Counter
+	scans      *obs.CounterVec
+	scanErrors *obs.CounterVec
+	partial    *obs.Counter
+	mergeSecs  *obs.Histogram
+}
+
+// Router hosts one corpus across independent engine shards and serves the
+// whole core.Engine query surface scatter-gather. Partition-strategy
+// queries fan a per-shard scan out under one shared budget and pruning
+// bound and merge the records back in global document order, so responses
+// are byte-identical to a monolithic engine over the concatenated corpus.
+// The other strategies (and ranking, completion, statistics) run on a meta
+// engine built over the merged index.
+type Router struct {
+	cfg         core.Config // as passed, before engine defaulting
+	topK        int
+	parallelism int
+	reg         *xmltree.Registry
+	mreg        *obs.Registry
+	shards      []*core.Engine
+	stores      []*kvstore.Store
+	ownsStores  bool
+
+	// applyMu serializes writers; the meta state swap is the publish.
+	applyMu sync.Mutex
+	meta    atomic.Pointer[metaState]
+
+	m routerMetrics
+	// Scatter-path response counters Stats folds into the meta engine's
+	// (whose own counters only see delegated SLE/stack queries).
+	refined  atomic.Uint64
+	degraded atomic.Uint64
+}
+
+// Open opens the shard directory written by WriteStores and builds a
+// router over it. Live routers attach each shard's WAL (replaying any
+// crash leftovers) and accept updates; read-only routers open the stores
+// read-only. The router owns the stores; Close releases everything.
+func Open(dir string, opts *Options) (*Router, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	stores := make([]*kvstore.Store, 0, len(man.Shards))
+	walPaths := make([]string, 0, len(man.Shards))
+	closeAll := func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}
+	for _, ent := range man.Shards {
+		s, err := kvstore.Open(filepath.Join(dir, ent.Store), &kvstore.Options{ReadOnly: !opts.Live})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		stores = append(stores, s)
+		walPaths = append(walPaths, filepath.Join(dir, ent.WAL))
+	}
+	r, err := NewFromStores(stores, walPaths, opts)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	r.ownsStores = true
+	return r, nil
+}
+
+// NewFromStores builds a router over already-open shard stores (written
+// with WriteStores semantics: disjoint partition subsets of one corpus,
+// global Dewey labels, a shared bare container root). With opts.Live the
+// i-th shard attaches the i-th WAL path. The caller owns the stores
+// unless the router was built through Open.
+func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*Router, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if len(stores) == 0 {
+		return nil, errors.New("shard: no shard stores")
+	}
+	if opts.Live && len(walPaths) != len(stores) {
+		return nil, fmt.Errorf("shard: %d stores but %d wal paths", len(stores), len(walPaths))
+	}
+	cfg := core.Config{}
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	r := &Router{cfg: cfg, topK: cfg.TopK, parallelism: cfg.Parallelism, stores: stores}
+	if r.topK <= 0 {
+		r.topK = 3
+	}
+	if r.parallelism <= 0 {
+		r.parallelism = runtime.GOMAXPROCS(0)
+	}
+	r.mreg = cfg.Metrics
+	if cfg.DisableMetrics {
+		r.mreg = obs.Disabled()
+	} else if r.mreg == nil {
+		r.mreg = obs.NewRegistry()
+	}
+	r.reg = xmltree.NewRegistry()
+	// Shards keep private registries (their metric families would collide
+	// name-for-name on a shared one) and walk sequentially — parallelism
+	// lives in the cross-shard fan-out, not inside one shard.
+	shardCfg := cfg
+	shardCfg.Metrics = nil
+	shardCfg.DisableMetrics = true
+	shardCfg.Parallelism = 1
+	shardCfg.CacheSize = 0
+	for i, s := range stores {
+		var eng *core.Engine
+		var err error
+		if opts.Live {
+			eng, err = core.OpenLiveShared(s, walPaths[i], r.reg, &shardCfg)
+		} else {
+			eng, err = core.OpenShared(s, r.reg, &shardCfg)
+		}
+		if err != nil {
+			r.closeShards()
+			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, eng)
+	}
+	r.m = routerMetrics{
+		fanout: r.mreg.Gauge("xrefine_shard_fanout",
+			"Worker goroutines the last scatter-gather query fanned out to."),
+		queries: r.mreg.Counter("xrefine_shard_queries_total",
+			"Queries executed scatter-gather across the shards."),
+		scans: r.mreg.CounterVec("xrefine_shard_scans_total",
+			"Per-shard partition scans executed.", "shard"),
+		scanErrors: r.mreg.CounterVec("xrefine_shard_scan_errors_total",
+			"Per-shard scans that failed and were dropped from the merge.", "shard"),
+		partial: r.mreg.Counter("xrefine_shard_partial_total",
+			"Responses degraded shard-partial because a shard scan failed."),
+		mergeSecs: r.mreg.Histogram("xrefine_shard_merge_seconds",
+			"Cross-shard merge latency in seconds.", obs.DefBuckets),
+	}
+	r.mreg.GaugeFunc("xrefine_shard_epoch_sum",
+		"Sum of the shard epochs — advances by one per committed batch.",
+		func() float64 {
+			var sum uint64
+			for _, e := range r.ShardEpochs() {
+				sum += e
+			}
+			return float64(sum)
+		})
+	if err := r.rebuild(); err != nil {
+		r.closeShards()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Router) closeShards() {
+	for _, e := range r.shards {
+		e.Close()
+	}
+	if r.ownsStores {
+		for _, s := range r.stores {
+			s.Close()
+		}
+	}
+}
+
+// Close releases the shard WALs and, when the router opened the shard
+// directory itself, the stores.
+func (r *Router) Close() error {
+	var first error
+	for _, e := range r.shards {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if r.ownsStores {
+		for _, s := range r.stores {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Shards returns the number of shards.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// ShardEpochs returns every shard's current epoch, in shard order — the
+// serving layer surfaces them on /healthz.
+func (r *Router) ShardEpochs() []uint64 {
+	out := make([]uint64, len(r.shards))
+	for i, e := range r.shards {
+		out[i] = e.Epoch()
+	}
+	return out
+}
+
+// rebuild merges the shard indexes into a fresh meta state and publishes
+// it. Called at construction and, under applyMu, after every commit.
+func (r *Router) rebuild() error {
+	parts := make([]*index.Index, len(r.shards))
+	for i, e := range r.shards {
+		parts[i] = e.Index()
+	}
+	merged, err := index.Merge(parts)
+	if err != nil {
+		return err
+	}
+	metaCfg := r.cfg
+	metaCfg.Metrics = r.mreg
+	// Rebuilds replace the whole engine but its generation restarts at 0,
+	// so a response cache would serve pre-update answers under reused
+	// keys. The scatter path never consults it anyway.
+	metaCfg.CacheSize = 0
+	ms := &metaState{
+		merged: merged,
+		eng:    core.NewFromIndex(merged, &metaCfg),
+		owners: make(map[uint32]int),
+	}
+	var maxOrd uint32
+	seen := false
+	for i, p := range parts {
+		for _, pid := range p.PartitionRoots() {
+			ord := pid[1]
+			ms.owners[ord] = i
+			if !seen || ord > maxOrd {
+				maxOrd, ms.rootOwner, seen = ord, i, true
+			}
+		}
+	}
+	r.meta.Store(ms)
+	return nil
+}
+
+// state loads the current meta snapshot.
+func (r *Router) state() *metaState { return r.meta.Load() }
+
+// QueryTermsCtx answers a pre-tokenized query — the router half of the
+// core.Engine entry point of the same name. The partition strategy runs
+// scatter-gather: one budget and one pruning bound shared across per-shard
+// scans on a bounded worker pool, records merged in global document order,
+// ranking on the meta engine. SLE and stack-refine walk the merged lists
+// directly on the meta engine — their admission logic is not partitioned,
+// so a per-shard split cannot reproduce it.
+//
+// A failed or fault-injected shard degrades the response to the surviving
+// shards' results, tagged shard-partial, instead of failing the query;
+// hard cancellation still aborts, and when every shard fails the first
+// error is returned.
+func (r *Router) QueryTermsCtx(ctx context.Context, terms []string, strategy core.Strategy, k, parallelism int) (*core.Response, error) {
+	ms := r.state()
+	if strategy != core.StrategyPartition {
+		return ms.eng.QueryTermsCtx(ctx, terms, strategy, k, parallelism)
+	}
+	if len(terms) == 0 {
+		return nil, errors.New("core: query has no keywords")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k <= 0 {
+		k = r.topK
+	}
+	r.m.queries.Inc()
+	if r.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)
+		defer cancel()
+	}
+	root := obs.SpanFromContext(ctx)
+	psp := root.StartChild("prepare")
+	in, cands, err := ms.eng.Prepare(terms)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	in.Budget = refine.NewBudget(ctx, r.cfg.PostingBudget)
+	fan := parallelism
+	if fan <= 0 {
+		fan = r.parallelism
+	}
+	if fan > len(r.shards) {
+		fan = len(r.shards)
+	}
+	if fan < 1 {
+		fan = 1
+	}
+	r.m.fanout.Set(int64(fan))
+	var ssp *obs.Span
+	if root != nil {
+		ssp = root.StartChild("refine:partition")
+		in.Trace = ssp
+	}
+	resp := &core.Response{Terms: terms, SearchFor: cands, Rules: in.Rules.Rules()}
+	out, err := r.scatterGather(in, k, fan, ssp)
+	if ssp != nil {
+		if out != nil {
+			ssp.SetInt("partitions", int64(out.Partitions))
+			ssp.SetInt("slca_calls", int64(out.SLCACalls))
+			ssp.SetInt("workers", int64(out.Workers))
+			if out.Degraded {
+				ssp.SetStr("degraded", out.DegradedReason)
+			}
+		}
+		ssp.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ms.eng.NoteOutcome(out)
+	resp, err = ms.eng.FinishTopK(ctx, resp, terms, out, k)
+	if err != nil {
+		return nil, err
+	}
+	if resp.NeedRefine {
+		r.refined.Add(1)
+	}
+	if resp.Degraded {
+		r.degraded.Add(1)
+	}
+	return resp, nil
+}
+
+// scatterGather runs the shard scans on a bounded worker pool and merges
+// them. in is the merged-corpus input; each worker swaps in the shard's
+// own index before scanning. ssp, when non-nil, collects one "shard-i"
+// child span per scan and a "merge" child.
+func (r *Router) scatterGather(in refine.Input, k, fan int, ssp *obs.Span) (*refine.TopKOutcome, error) {
+	// The scan keyword set is fixed here, against the merged index, so
+	// every shard walks identical keyword columns even when a term is
+	// absent from its slice of the corpus.
+	ks := in.ScanKeywords()
+	if len(ks) == 0 {
+		return &refine.TopKOutcome{Workers: 1}, nil
+	}
+	bound := refine.NewPruneBound()
+	scans := make([]*refine.ShardScan, len(r.shards))
+	errs := make([]error, len(r.shards))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < fan; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sin := in
+				sin.Index = r.shards[i].Index()
+				sin.Parallelism = 1
+				var sp *obs.Span
+				if ssp != nil {
+					sp = ssp.StartChild("shard-" + strconv.Itoa(i))
+					sin.Trace = sp
+				}
+				scans[i], errs[i] = refine.ScanShard(sin, k, ks, bound)
+				if sp != nil {
+					if scans[i] != nil {
+						sp.SetInt("partitions", int64(scans[i].Partitions()))
+					}
+					if errs[i] != nil {
+						sp.SetStr("error", errs[i].Error())
+					}
+					sp.End()
+				}
+				r.m.scans.With(strconv.Itoa(i)).Inc()
+				if errs[i] != nil {
+					r.m.scanErrors.With(strconv.Itoa(i)).Inc()
+				}
+			}
+		}()
+	}
+	for i := range r.shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Classify failures: a hard cancellation aborts the query; a shard
+	// whose scan failed on its own (storage fault) is dropped and the
+	// response degrades to the surviving shards, unless none survived.
+	partial := false
+	var firstErr error
+	ok := 0
+	for i, err := range errs {
+		if err == nil {
+			ok++
+			continue
+		}
+		if in.Budget.Err() != nil || errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		partial = true
+		scans[i] = nil
+	}
+	if ok == 0 {
+		return nil, firstErr
+	}
+	msp := ssp.StartChild("merge")
+	start := time.Now()
+	out, err := refine.MergeShardScans(in, k, scans)
+	r.m.mergeSecs.Observe(time.Since(start).Seconds())
+	msp.End()
+	if err != nil {
+		return nil, err
+	}
+	out.Workers = fan
+	if partial {
+		out.Degraded = true
+		out.DegradedReason = refine.DegradedShardPartial
+		r.m.partial.Inc()
+	}
+	return out, nil
+}
+
+// Complete delegates search-as-you-type to the merged vocabulary.
+func (r *Router) Complete(partial string, k int) []string {
+	return r.state().eng.Complete(partial, k)
+}
+
+// Narrow is unavailable on a router: narrowing verifies suggestions
+// against the source document, and the merged meta engine has none.
+func (r *Router) Narrow(q string, opts *narrow.Options) (*narrow.Outcome, error) {
+	return nil, narrow.ErrNeedsDocument
+}
+
+// Index returns the merged corpus index of the current snapshot.
+func (r *Router) Index() *index.Index { return r.state().merged }
+
+// Metrics returns the shared registry: meta engine, scatter-gather and
+// (through the serving layer) HTTP families in one catalog.
+func (r *Router) Metrics() *obs.Registry { return r.mreg }
+
+// Snippet renders a match by routing to the shard owning its partition.
+func (r *Router) Snippet(m refine.Match, max int) (string, bool) {
+	if len(m.ID) < 2 {
+		return "", false
+	}
+	i, ok := r.state().owners[m.ID[1]]
+	if !ok {
+		return "", false
+	}
+	return r.shards[i].Snippet(m, max)
+}
+
+// Stats merges the meta engine's counters (which see delegated SLE and
+// stack queries) with the router's scatter-path counters into one
+// core.EngineStats snapshot.
+func (r *Router) Stats() core.EngineStats {
+	st := r.state().eng.Stats()
+	st.Queries += r.m.queries.Value()
+	st.Refined += r.refined.Load()
+	st.Degraded += r.degraded.Load()
+	st.Parallelism = r.parallelism
+	return st
+}
+
+// UpdateStats sums the shards' live-update state: Epoch is the epoch sum
+// (one commit anywhere advances it by one), sizes and counts accumulate,
+// Live reports whether any shard accepts updates.
+func (r *Router) UpdateStats() core.UpdateStats {
+	var out core.UpdateStats
+	for _, e := range r.shards {
+		u := e.UpdateStats()
+		out.Live = out.Live || u.Live
+		out.Epoch += u.Epoch
+		out.WALSizeBytes += u.WALSizeBytes
+		out.AppliedBatches += u.AppliedBatches
+		out.AppliedOps += u.AppliedOps
+		out.ReplayedBatches += u.ReplayedBatches
+		out.PinnedQueries += u.PinnedQueries
+	}
+	return out
+}
+
+// ownerOf resolves the shard responsible for one op. Inserts route by the
+// parent's partition — a root-level insert creates a partition and goes to
+// the shard owning the highest ordinal, whose local root mints the same
+// next-child label the monolithic root would. Deletes route by target;
+// deleting the corpus root is refused.
+func (r *Router) ownerOf(ms *metaState, op mutate.Op) (int, error) {
+	var id []uint32
+	switch op.Kind {
+	case mutate.OpInsert:
+		id = op.Parent
+	case mutate.OpDelete:
+		id = op.Target
+	default:
+		return 0, fmt.Errorf("shard: unknown op kind %d", op.Kind)
+	}
+	if len(id) == 0 {
+		return 0, errors.New("shard: op has no target label")
+	}
+	if len(id) == 1 {
+		if op.Kind == mutate.OpDelete {
+			return 0, errors.New("shard: refusing to delete the corpus root")
+		}
+		return ms.rootOwner, nil
+	}
+	owner, ok := ms.owners[id[1]]
+	if !ok {
+		return 0, fmt.Errorf("shard: no shard owns partition %d", id[1])
+	}
+	return owner, nil
+}
+
+// SplitBatch groups a batch's ops by owning shard, preserving op order
+// within each group — the client-side remedy when Apply rejects a batch
+// as spanning shards (each group commits as one epoch on its shard).
+func (r *Router) SplitBatch(b *mutate.Batch) (map[int]*mutate.Batch, error) {
+	ms := r.state()
+	out := make(map[int]*mutate.Batch)
+	for _, op := range b.Ops {
+		owner, err := r.ownerOf(ms, op)
+		if err != nil {
+			return nil, err
+		}
+		g := out[owner]
+		if g == nil {
+			g = &mutate.Batch{}
+			out[owner] = g
+		}
+		g.Ops = append(g.Ops, op)
+	}
+	return out, nil
+}
+
+// Apply routes one update batch to the shard owning its partitions and
+// commits it there, then rebuilds the merged meta state. A batch is one
+// atomic epoch commit, so all its ops must land on one shard; batches
+// spanning shards are rejected whole — SplitBatch turns one into
+// per-shard batches. The returned Epoch is the shard epoch sum, the
+// router-wide generation /healthz and callers observe.
+func (r *Router) Apply(b *mutate.Batch) (*core.ApplyResult, error) {
+	if b == nil || len(b.Ops) == 0 {
+		return nil, errors.New("shard: empty batch")
+	}
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	ms := r.state()
+	owner := -1
+	for _, op := range b.Ops {
+		o, err := r.ownerOf(ms, op)
+		if err != nil {
+			return nil, err
+		}
+		if owner == -1 {
+			owner = o
+		} else if o != owner {
+			return nil, fmt.Errorf("shard: batch spans shards %d and %d; split it per shard (one epoch commit each)", owner, o)
+		}
+	}
+	res, err := r.shards[owner].Apply(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.rebuild(); err != nil {
+		return nil, fmt.Errorf("shard: update committed on shard %d but meta rebuild failed: %w", owner, err)
+	}
+	var sum uint64
+	for _, e := range r.shards {
+		sum += e.Epoch()
+	}
+	res.Epoch = sum
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package testutil
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// The generators below produce small random corpora and queries for
+// property-based differential tests: documents with a bare container root
+// (the shape the index, sharding and SLCA layers all assume for a
+// collection) and queries mixing in-vocabulary terms with misspellings
+// that force refinement.
+
+// genTags label the generated element tree; the root tag is fixed so the
+// container stays a pure structural node.
+var genTags = []string{"item", "entry", "section", "info", "meta", "detail"}
+
+// genVocab is the text vocabulary. It deliberately overlaps the builtin
+// lexicon's domain (database/query/xml/...) so synonym, acronym and stem
+// rules have material to fire on.
+var genVocab = []string{
+	"database", "query", "xml", "keyword", "search", "index",
+	"author", "paper", "title", "system", "web", "data",
+	"pattern", "tree", "node", "rank", "join", "cache",
+}
+
+// genTypos are never written into documents, so a query containing one
+// cannot be satisfied as-is — the refinement trigger.
+var genTypos = []string{"databse", "quary", "serch", "keywrod", "indx"}
+
+// GenXML builds a random collection document: a bare <db> container root
+// with 2..6 partitions, each a random tree a few levels deep, a few dozen
+// nodes in total. Deterministic in r.
+func GenXML(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("<db>")
+	parts := 2 + r.Intn(5)
+	for p := 0; p < parts; p++ {
+		genSubtree(r, &sb, 0)
+	}
+	sb.WriteString("</db>")
+	return sb.String()
+}
+
+func genSubtree(r *rand.Rand, sb *strings.Builder, depth int) {
+	tag := genTags[r.Intn(len(genTags))]
+	sb.WriteString("<" + tag + ">")
+	if depth >= 3 || r.Intn(3) == 0 {
+		// Leaf: one to three vocabulary terms as text.
+		n := 1 + r.Intn(3)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = genVocab[r.Intn(len(genVocab))]
+		}
+		sb.WriteString(strings.Join(words, " "))
+	} else {
+		kids := 1 + r.Intn(3)
+		for k := 0; k < kids; k++ {
+			genSubtree(r, sb, depth+1)
+		}
+	}
+	sb.WriteString("</" + tag + ">")
+}
+
+// GenTerms builds a random keyword query of 2..4 terms. Roughly a third
+// of queries get one term swapped for a misspelling, and occasionally a
+// term no generated document contains — both failure modes refinement
+// exists for.
+func GenTerms(r *rand.Rand) []string {
+	n := 2 + r.Intn(3)
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = genVocab[r.Intn(len(genVocab))]
+	}
+	if r.Intn(3) == 0 {
+		terms[r.Intn(n)] = genTypos[r.Intn(len(genTypos))]
+	}
+	return terms
+}

@@ -1,0 +1,42 @@
+// Package testutil holds helpers shared by test files across packages:
+// polling-with-deadline primitives that replace sleep-based timing
+// assumptions, and seeded random document/query generators for
+// property-based differential tests.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// Eventually polls cond until it returns true or timeout elapses, then
+// fails the test. Use it instead of a bare time.Sleep before an
+// assertion: it converges as fast as the condition allows on fast
+// machines and keeps waiting on slow ones.
+func Eventually(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !WaitFor(timeout, cond) {
+		t.Fatalf("condition not met within "+timeout.String()+": "+format, args...)
+	}
+}
+
+// WaitFor is Eventually without the test dependency: it reports whether
+// cond became true within timeout, polling with a short backoff.
+func WaitFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	interval := 100 * time.Microsecond
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			// One final check: cond may have turned true while we slept
+			// across the deadline.
+			return cond()
+		}
+		time.Sleep(interval)
+		if interval < 5*time.Millisecond {
+			interval *= 2
+		}
+	}
+}

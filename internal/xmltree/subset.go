@@ -1,0 +1,61 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subset returns a new document holding the root plus only the partitions
+// (root children) with the given ordinals. Every copied node keeps its
+// original global Dewey label and its interned Type pointer, and the new
+// document shares the source registry — so an index built over the subset
+// is exactly the restriction of the full document's index to those
+// partitions. This is the primitive corpus sharding is built on: the shard
+// sub-documents of one corpus partition its nodes below a common root.
+//
+// Ordinals are sorted and deduplicated; an ordinal with no partition is an
+// error.
+func (d *Document) Subset(ords []uint32) (*Document, error) {
+	sorted := append([]uint32(nil), ords...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	root := &Node{
+		Tag:  d.Root.Tag,
+		Type: d.Root.Type,
+		ID:   d.Root.ID.Clone(),
+		Text: d.Root.Text,
+	}
+	count := 1
+	var prev uint32
+	for i, ord := range sorted {
+		if i > 0 && ord == prev {
+			continue
+		}
+		prev = ord
+		p, ok := d.Root.ChildByOrd(ord)
+		if !ok {
+			return nil, fmt.Errorf("xmltree: subset: no partition with ordinal %d", ord)
+		}
+		root.Children = append(root.Children, cloneSubtree(p, root, &count))
+	}
+	return &Document{Root: root, Types: d.Types, NodeCount: count}, nil
+}
+
+// cloneSubtree deep-copies a subtree, preserving Dewey labels and sharing
+// the interned Type pointers of the source registry.
+func cloneSubtree(n *Node, parent *Node, count *int) *Node {
+	*count++
+	c := &Node{
+		Tag:    n.Tag,
+		Type:   n.Type,
+		ID:     n.ID.Clone(),
+		Parent: parent,
+		Text:   n.Text,
+	}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = cloneSubtree(ch, c, count)
+		}
+	}
+	return c
+}

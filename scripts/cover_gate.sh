@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# cover_gate.sh — statement-coverage ratchet, run by `make cover` and the
+# CI coverage job.
+#
+# Runs the internal test suites with cross-package coverage over
+# ./internal/... and fails if the total statement coverage drops below
+# the floor recorded in scripts/cover_floor.txt. The floor is set a
+# couple of points under the measured total, so the gate only trips on a
+# real regression — untested new code, or deleted tests — not on noise.
+# Raise the floor when coverage grows; never lower it to make a PR pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+FLOOR="$(tr -d '[:space:]' < scripts/cover_floor.txt)"
+PROFILE="${PROFILE:-$(mktemp)}"
+
+"$GO" test -count=1 -coverprofile="$PROFILE" -coverpkg=./internal/... ./internal/...
+
+TOTAL="$("$GO" tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')"
+echo "coverage: total ${TOTAL}% (floor ${FLOOR}%)"
+# awk handles the float comparison; bash arithmetic is integer-only.
+if ! awk -v t="$TOTAL" -v f="$FLOOR" 'BEGIN { exit !(t >= f) }'; then
+    echo "cover_gate: FAIL — total coverage ${TOTAL}% fell below the ${FLOOR}% floor" >&2
+    echo "cover_gate: add tests for the new code, or remove dead code" >&2
+    exit 1
+fi
+echo "cover_gate: OK"

@@ -44,6 +44,7 @@ import (
 	"xrefine/internal/refine"
 	"xrefine/internal/rules"
 	"xrefine/internal/searchfor"
+	"xrefine/internal/shard"
 	"xrefine/internal/slca"
 	"xrefine/internal/tokenize"
 	"xrefine/internal/xmltree"
@@ -219,6 +220,32 @@ func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
 
 // WriteTrace pretty-prints a span tree for terminals.
 func WriteTrace(w io.Writer, d *SpanData) { obs.WriteTree(w, d) }
+
+// ShardRouter hosts the shards of a split corpus — one independent engine,
+// store and WAL per shard — behind one scatter-gather query surface whose
+// responses are byte-identical to a monolithic engine over the unsplit
+// corpus. It satisfies the HTTP server's Backend, so xserve -shards mounts
+// it directly.
+type ShardRouter = shard.Router
+
+// ShardOptions configures OpenShards.
+type ShardOptions = shard.Options
+
+// WriteShards splits a corpus document into n shard stores plus a manifest
+// under dir (the layout xgen -shards emits); mode is "range" or "hash".
+func WriteShards(doc *Document, dir string, n int, mode string) error {
+	m, err := shard.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	_, err = shard.WriteStores(doc, dir, n, m)
+	return err
+}
+
+// OpenShards opens a shard directory written by WriteShards / xgen -shards.
+func OpenShards(dir string, opts *ShardOptions) (*ShardRouter, error) {
+	return shard.Open(dir, opts)
+}
 
 // NarrowOptions tune Engine.Narrow, the too-many-results extension.
 type NarrowOptions = narrow.Options
