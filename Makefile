@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover fuzz experiments examples obs soak clean
+.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak clean
 
 all: build vet test
 
@@ -27,6 +27,12 @@ bench:
 cover:
 	./scripts/cover_gate.sh
 
+# Posting-storage memory ratchet: fails if the block codec's resident
+# bytes per posting rise above scripts/mem_floor.txt or its compression
+# ratio over materialized postings falls below 3x.
+memgate:
+	./scripts/mem_gate.sh
+
 # Short fuzz bursts on every fuzz target; lengthen with FUZZTIME=1m.
 # Committed regression corpora live in each package's testdata/fuzz and
 # replay under plain `go test` as well.
@@ -39,6 +45,7 @@ fuzz:
 	$(GO) test ./internal/kvstore -fuzz FuzzDecodeMeta -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -fuzz FuzzQueryPipeline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shard -fuzz FuzzShardMerge -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index -fuzz FuzzBlockCodec -fuzztime $(FUZZTIME)
 
 # Regenerate every table and figure of the paper (takes minutes at scale 1).
 experiments:

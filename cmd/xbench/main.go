@@ -8,7 +8,7 @@
 //	xbench [-scale 1.0] [-reps 3] [-queries 50] <experiment>
 //	paper experiments: tables3-6 fig4 fig5 fig6 table7 table8 table9 table10
 //	extensions:        ablation-decay ablation-searchfor ablation-slca
-//	                   ablation-beam elca parallel obs update shard
+//	                   ablation-beam elca parallel obs update shard compress
 //	or: all
 package main
 
@@ -38,7 +38,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|compress|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -59,6 +59,7 @@ func main() {
 		"obs":                obsOverhead,
 		"update":             updateBench,
 		"shard":              shardCompare,
+		"compress":           compressCompare,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -66,7 +67,7 @@ func main() {
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
 			"ablation-slca", "ablation-beam", "elca", "parallel", "obs",
-			"update", "shard",
+			"update", "shard", "compress",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -444,6 +445,44 @@ func shardCompare() error {
 	fmt.Fprintln(w, "shards\tbatch avg (ms)\tspeedup\tidentical output")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%.3f\t%.2fx\t%v\n", r.Shards, r.AvgMS, r.Speedup, r.Identical)
+	}
+	return w.Flush()
+}
+
+// compressCompare reports what the block-compressed posting storage buys
+// (resident bytes per posting, against the modeled materialized form) and
+// what it costs (raw decode rate, end-to-end batch latency in both
+// representations, with output identity checked).
+func compressCompare() error {
+	c, err := corpus()
+	if err != nil {
+		return err
+	}
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 555, Queries: 20})
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.CompressCompare(c, batch, 3, *reps)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(struct {
+			Scale float64 `json:"scale"`
+			K     int     `json:"k"`
+			*experiments.CompressReport
+		}{*scale, 3, rep})
+	}
+	w := header("Succinct postings: block-compressed vs materialized lists")
+	fmt.Fprintf(w, "terms\t%d\n", rep.Terms)
+	fmt.Fprintf(w, "postings\t%d\n", rep.Postings)
+	fmt.Fprintf(w, "blocks\t%d\n", rep.Blocks)
+	fmt.Fprintf(w, "decode ns/posting\t%.1f\n", rep.DecodeNsPerPosting)
+	fmt.Fprintf(w, "compression ratio\t%.2fx\n", rep.Ratio)
+	fmt.Fprintln(w, "mode\tresident bytes\tB/posting\tbatch avg (ms)\tidentical output")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.3f\t%v\n",
+			r.Mode, r.ResidentBytes, r.BytesPerPosting, r.AvgMS, r.Identical)
 	}
 	return w.Flush()
 }

@@ -7,11 +7,16 @@
 //
 //	xstat -xml dblp.xml [-top 15]
 //	xstat -index dblp.kv [-top 15]
+//	xstat -index dblp.kv -blocks
 //	xstat -shards dblp-shards
 //
 // With -shards, the per-shard layout of a directory written by
 // xgen -shards is tabulated instead: each shard's node and partition
 // counts, committed epoch, store size and WAL state, with totals.
+//
+// With -blocks, the physical shape of the block-compressed posting
+// storage is reported: per-term block counts, encoded versus
+// materialized bytes, and a histogram of per-term compression ratios.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"xrefine/internal/index"
@@ -42,6 +48,7 @@ func run(args []string, w io.Writer) error {
 		indexPath = fs.String("index", "", "index file to inspect")
 		shardDir  = fs.String("shards", "", "shard directory (xgen -shards) to inspect")
 		top       = fs.Int("top", 15, "how many top keywords to list")
+		blocks    = fs.Bool("blocks", false, "report block-compressed posting storage instead")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,7 +93,107 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("need -xml, -index, or -shards")
 	}
+	if *blocks {
+		return reportBlocks(w, ix, *top)
+	}
 	return report(w, ix, storeStats, epoch, walBytes, *top)
+}
+
+// reportBlocks tabulates the physical shape of the block-compressed
+// posting storage: the heaviest terms by encoded footprint, corpus-wide
+// totals, and a histogram of per-term compression ratios (materialized
+// bytes over encoded resident bytes). Short lists compress worst — a
+// lone posting pays the full skip-table entry — so the histogram's low
+// buckets are dominated by rare terms and the totals by frequent ones.
+func reportBlocks(w io.Writer, ix *index.Index, top int) error {
+	type row struct {
+		term                   string
+		postings, blocks       int
+		encoded, raw, resident int
+	}
+	rows := make([]row, 0, len(ix.Vocabulary()))
+	var totPost, totBlocks, totEnc, totRaw, totRes int
+	for _, term := range ix.Vocabulary() {
+		l, err := ix.List(term)
+		if err != nil {
+			return fmt.Errorf("list %q: %w", term, err)
+		}
+		r := row{
+			term:     term,
+			postings: l.Len(),
+			blocks:   l.BlockCount(),
+			encoded:  l.EncodedBytes(),
+			raw:      l.LegacyBytes(),
+			resident: l.MemoryBytes(),
+		}
+		rows = append(rows, r)
+		totPost += r.postings
+		totBlocks += r.blocks
+		totEnc += r.encoded
+		totRaw += r.raw
+		totRes += r.resident
+	}
+	fmt.Fprintf(w, "terms:       %d\n", len(rows))
+	fmt.Fprintf(w, "postings:    %d in %d blocks\n", totPost, totBlocks)
+	fmt.Fprintf(w, "encoded:     %d bytes payload, %d resident (payload + skip + types)\n", totEnc, totRes)
+	fmt.Fprintf(w, "raw:         %d bytes materialized\n", totRaw)
+	if totRes > 0 {
+		fmt.Fprintf(w, "compression: %.2fx (%.1f B/posting resident)\n",
+			float64(totRaw)/float64(totRes), float64(totRes)/float64(totPost))
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].encoded != rows[j].encoded {
+			return rows[i].encoded > rows[j].encoded
+		}
+		return rows[i].term < rows[j].term
+	})
+	n := top
+	if n > len(rows) {
+		n = len(rows)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nterm\tpostings\tblocks\tencoded B\traw B\tratio")
+	for _, r := range rows[:n] {
+		ratio := 0.0
+		if r.resident > 0 {
+			ratio = float64(r.raw) / float64(r.resident)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.2fx\n",
+			r.term, r.postings, r.blocks, r.encoded, r.raw, ratio)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Ratio histogram over terms.
+	bounds := []float64{1, 2, 3, 4, 6, 8, 12}
+	labels := []string{"<1x", "1-2x", "2-3x", "3-4x", "4-6x", "6-8x", "8-12x", ">=12x"}
+	counts := make([]int, len(labels))
+	for _, r := range rows {
+		if r.resident == 0 {
+			continue
+		}
+		ratio := float64(r.raw) / float64(r.resident)
+		b := sort.SearchFloat64s(bounds, ratio)
+		if b < len(bounds) && ratio == bounds[b] {
+			b++
+		}
+		counts[b]++
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\ncompression ratio\tterms\t")
+	for i, lab := range labels {
+		bar := strings.Repeat("#", counts[i]*40/max)
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", lab, counts[i], bar)
+	}
+	return tw.Flush()
 }
 
 // reportShards tabulates the layout of a shard directory: one row per

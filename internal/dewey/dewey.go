@@ -26,20 +26,41 @@ type ID []uint32
 func Root() ID { return ID{0} }
 
 // Parse parses a dotted decimal label such as "0.1.2".
-func Parse(s string) (ID, error) {
+func Parse(s string) (ID, error) { return AppendParse(nil, s) }
+
+// AppendParse parses a dotted decimal label into dst (reusing its backing
+// array when capacity allows) and returns the extended slice — the
+// allocation-free form of Parse for hot loops that parse many labels into
+// one scratch buffer. A component-count pre-scan sizes the single grow,
+// and components parse in place without strings.Split's per-call slice of
+// substrings. On error dst is returned unchanged.
+func AppendParse(dst ID, s string) (ID, error) {
 	if s == "" {
-		return nil, errors.New("dewey: empty label")
+		return dst, errors.New("dewey: empty label")
 	}
-	parts := strings.Split(s, ".")
-	id := make(ID, len(parts))
-	for i, p := range parts {
-		v, err := strconv.ParseUint(p, 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("dewey: bad component %q in %q: %w", p, s, err)
+	orig := s
+	n := 1 + strings.Count(s, ".")
+	base := len(dst)
+	if cap(dst)-base < n {
+		grown := make(ID, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst
+	for i := 0; i < n; i++ {
+		part := s
+		if j := strings.IndexByte(s, '.'); j >= 0 {
+			part, s = s[:j], s[j+1:]
+		} else {
+			s = ""
 		}
-		id[i] = uint32(v)
+		v, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return dst[:base], fmt.Errorf("dewey: bad component %q in %q: %w", part, orig, err)
+		}
+		out = append(out, uint32(v))
 	}
-	return id, nil
+	return out, nil
 }
 
 // MustParse is Parse that panics on error, for tests and literals.

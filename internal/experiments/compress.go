@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"xrefine/internal/datagen"
+	"xrefine/internal/index"
+	"xrefine/internal/refine"
+)
+
+// CompressRow is one mode of the posting-storage comparison: the resident
+// footprint of every loaded list in that representation and the batch
+// Top-K latency the engine pays for it. Mode "encoded" is the shipping
+// block-compressed form; mode "legacy" pins every list, materializing the
+// pre-codec []Posting backbone so both its bytes and its latency are
+// measured on the same build.
+type CompressRow struct {
+	Mode            string        `json:"mode"`
+	ResidentBytes   int           `json:"resident_bytes"`
+	BytesPerPosting float64       `json:"bytes_per_posting"`
+	Avg             time.Duration `json:"avg_ns"`
+	AvgMS           float64       `json:"avg_ms"`
+	Identical       bool          `json:"identical"`
+}
+
+// CompressReport aggregates the succinct-posting-list experiment: corpus
+// shape, the compression ratio of encoded vs materialized storage, and
+// the raw block-decode rate measured by full cursor sweeps.
+type CompressReport struct {
+	Terms              int           `json:"terms"`
+	Postings           int           `json:"postings"`
+	Blocks             int           `json:"blocks"`
+	DecodeNsPerPosting float64       `json:"decode_ns_per_posting"`
+	Ratio              float64       `json:"compression_ratio"` // legacy / encoded
+	Rows               []CompressRow `json:"rows"`
+}
+
+// CompressCompare measures what the block codec buys and what it costs.
+// It forces every vocabulary list resident, totals the encoded footprint
+// against the modeled legacy footprint (List.LegacyBytes: 32 B of Posting
+// header plus a size-class-rounded ID allocation per posting), times raw
+// sequential decode with full cursor sweeps, and then runs the corruption
+// batch through refine.PartitionTopK twice — once against the encoded
+// lists and once with every list pinned to its materialized form — with
+// the pinned outcome checked against the encoded signature.
+func CompressCompare(c *Corpus, batch []datagen.Case, k, reps int) (*CompressReport, error) {
+	terms := c.Index.Vocabulary()
+	lists := make([]*index.List, 0, len(terms))
+	rep := &CompressReport{Terms: len(terms)}
+	var encBytes, legacyBytes int
+	for _, t := range terms {
+		l, err := c.Index.List(t)
+		if err != nil {
+			return nil, fmt.Errorf("compress: load %q: %w", t, err)
+		}
+		lists = append(lists, l)
+		rep.Postings += l.Len()
+		rep.Blocks += l.BlockCount()
+		encBytes += l.MemoryBytes()
+		legacyBytes += l.LegacyBytes()
+	}
+	if rep.Postings == 0 {
+		return nil, fmt.Errorf("compress: empty corpus")
+	}
+	if encBytes > 0 {
+		rep.Ratio = float64(legacyBytes) / float64(encBytes)
+	}
+
+	// Raw decode rate: sequential cursor sweeps touch every posting of
+	// every list, so each rep decodes each block exactly once into pooled
+	// scratch.
+	sweep, err := timeIt(reps, func() error {
+		for _, l := range lists {
+			cur := l.NewCursor()
+			for ; cur.Valid(); cur.Next() {
+				_ = cur.Posting()
+			}
+			cur.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.DecodeNsPerPosting = float64(sweep.Nanoseconds()) / float64(rep.Postings)
+
+	// End-to-end: the same prepared batch against both representations,
+	// bypassing the response cache (mirrors ParallelCompare).
+	ins := make([]refine.Input, 0, len(batch))
+	for _, cs := range batch {
+		in, _, err := c.Engine.Prepare(cs.Corrupted)
+		if err != nil {
+			return nil, fmt.Errorf("compress prepare %v: %w", cs.Corrupted, err)
+		}
+		in.Parallelism = 1
+		ins = append(ins, in)
+	}
+	want := make([]string, len(ins))
+	for i := range ins {
+		out, err := refine.PartitionTopK(ins[i], k)
+		if err != nil {
+			return nil, err
+		}
+		want[i] = parallelSig(out)
+	}
+	runBatch := func() error {
+		for i := range ins {
+			if _, err := refine.PartitionTopK(ins[i], k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	encAvg, err := timeIt(reps, runBatch)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, CompressRow{
+		Mode:            "encoded",
+		ResidentBytes:   encBytes,
+		BytesPerPosting: float64(encBytes) / float64(rep.Postings),
+		Avg:             encAvg,
+		AvgMS:           msFloat(encAvg),
+		Identical:       true,
+	})
+
+	// Legacy mode: pinning materializes the full []Posting on each core,
+	// which is exactly the pre-codec backbone; views and cursors serve
+	// from it directly, so the timed walk exercises the old access path.
+	for _, l := range lists {
+		l.Pin()
+	}
+	defer func() {
+		for _, l := range lists {
+			l.Unpin()
+		}
+	}()
+	identical := true
+	for i := range ins {
+		out, err := refine.PartitionTopK(ins[i], k)
+		if err != nil {
+			return nil, err
+		}
+		if parallelSig(out) != want[i] {
+			identical = false
+		}
+	}
+	pinAvg, err := timeIt(reps, runBatch)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, CompressRow{
+		Mode:            "legacy",
+		ResidentBytes:   legacyBytes,
+		BytesPerPosting: float64(legacyBytes) / float64(rep.Postings),
+		Avg:             pinAvg,
+		AvgMS:           msFloat(pinAvg),
+		Identical:       identical,
+	})
+	return rep, nil
+}

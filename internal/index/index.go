@@ -87,6 +87,20 @@ func (ix *Index) OpStats() OpStats {
 	}
 }
 
+// ResidentBytes reports the resident memory cost of every posting-list
+// core currently loaded (encoded payload + skip table + type table, see
+// List.MemoryBytes). Lazily-loadable lists that have not been paged in
+// contribute nothing — this is actual footprint, not potential.
+func (ix *Index) ResidentBytes() int {
+	total := 0
+	for _, e := range ix.terms {
+		if l := e.list.Load(); l != nil {
+			total += l.MemoryBytes()
+		}
+	}
+	return total
+}
+
 type coKey struct {
 	a, b   string
 	typeID int
@@ -354,11 +368,16 @@ func coOccurringRoots(la, lb *List, t *xmltree.Type) int {
 }
 
 // typedRoots maps each posting to its T-typed ancestor root (when its path
-// passes through type t) and dedups consecutive repeats.
+// passes through type t) and dedups consecutive repeats. It scans through
+// a cursor, so the list is decoded one pooled block at a time instead of
+// being materialized.
 func typedRoots(l *List, t *xmltree.Type) []dewey.ID {
 	var roots []dewey.ID
 	depth := t.Depth
-	for _, p := range l.Postings() {
+	c := l.NewCursor()
+	defer c.Close()
+	for ; c.Valid(); c.Next() {
+		p := c.Posting()
 		if p.Type.Depth < depth {
 			continue
 		}
@@ -366,7 +385,7 @@ func typedRoots(l *List, t *xmltree.Type) []dewey.ID {
 		if err != nil || at != t {
 			continue
 		}
-		root := p.ID[:depth+1]
+		root := p.ID[:depth+1] // aliases cursor scratch until the Clone below
 		if len(roots) > 0 && dewey.Equal(roots[len(roots)-1], root) {
 			continue
 		}

@@ -10,6 +10,7 @@ package index
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"xrefine/internal/dewey"
 	"xrefine/internal/xmltree"
@@ -22,70 +23,194 @@ type Posting struct {
 	Type *xmltree.Type
 }
 
-// List is a keyword's inverted list in document order. Lists are immutable
-// after construction and safe for concurrent use.
+// List is a keyword's inverted list in document order, stored
+// block-compressed (see block.go): the resident form is the encoded byte
+// stream plus a skip table, and postings materialize lazily one block at a
+// time. Lists are immutable after construction and safe for concurrent
+// use.
+//
+// A List value is a *window* over a shared immutable core: Sub and View
+// return new windows without copying or re-encoding anything. View gives
+// the window a private decoded-block cache, so concurrent computations
+// that fan out over the same term (the PR-1 worker pool, the PR-5 shard
+// gather) never thrash each other's block locality; Sub shares its
+// parent's cache, because sub-windows (per-partition slices of one
+// query's lists) are visited in document order and want the warm blocks
+// their siblings just paid to decode. Random access (At, LM, RM) reads
+// through that cache; scan loops should prefer NewCursor, which reuses a
+// pooled decode buffer and produces no garbage.
 type List struct {
-	Term     string
-	postings []Posting
+	Term string
+
+	core   *listCore // nil for the empty list of an unindexed term
+	lo, hi int       // window as global posting indexes [lo, hi)
+
+	cache *blockCache
+}
+
+// blockCache holds decoded blocks by block-index parity: block b lives
+// only in slot b&1, so two adjacent blocks never evict each other. That
+// matters for straddling access patterns — the eager SLCA scan holds a
+// frontier postings[c-1] <= x < postings[c] whose two sides can sit in
+// neighboring blocks, and a single-slot cache would re-decode both on
+// every step. A published decodedBlock is immutable, so postings returned
+// by At stay valid after the slot moves on — the GC owns their lifetime.
+type blockCache struct {
+	slots [2]atomic.Pointer[decodedBlock]
 }
 
 // NewList builds a list from postings that must already be in document
 // order; it panics if they are not, because every algorithm downstream
-// silently corrupts otherwise.
+// silently corrupts otherwise. The postings are encoded into block form;
+// the input slice is not retained.
 func NewList(term string, postings []Posting) *List {
-	for i := 1; i < len(postings); i++ {
-		if dewey.Compare(postings[i-1].ID, postings[i].ID) >= 0 {
-			panic("index: postings out of document order for " + term)
-		}
-	}
-	return &List{Term: term, postings: postings}
+	return buildList(term, postings, true)
 }
 
 // NewListUnchecked builds a list without the document-order validation of
-// NewList. It exists for callers that slice postings out of an
-// already-validated list — re-proving order there is an O(n) scan per call
-// on the query hot path. Index build keeps the checked constructor.
+// NewList. It exists for callers that already hold validated,
+// document-ordered postings (mutator re-encodes, merge output) — the
+// encoder's prefix-delta math assumes order, so truly unordered input is
+// still corrupt, just undiagnosed.
 func NewListUnchecked(term string, postings []Posting) *List {
-	return &List{Term: term, postings: postings}
+	return buildList(term, postings, false)
 }
 
-// Sub returns the sublist covering postings [start, end) as a view sharing
-// l's backing array. Order needs no re-validation: a contiguous slice of a
-// document-ordered list is document-ordered.
-func (l *List) Sub(start, end int) *List {
-	return &List{Term: l.Term, postings: l.postings[start:end]}
+func buildList(term string, postings []Posting, check bool) *List {
+	w := newBlockWriter(term, check)
+	for _, p := range postings {
+		if err := w.Append(p.ID, p.Type); err != nil {
+			panic(err.Error())
+		}
+	}
+	return newListFromCore(term, w.Finish())
 }
+
+// newListFromCore wraps a completed core in a full-window List.
+func newListFromCore(term string, core *listCore) *List {
+	if core == nil || core.n == 0 {
+		return &List{Term: term}
+	}
+	return &List{Term: term, core: core, lo: 0, hi: core.n, cache: &blockCache{}}
+}
+
+// Sub returns the sublist covering postings [start, end) as a window
+// sharing l's encoded core AND l's block cache: consecutive sub-windows
+// of one computation walk the document in order, so the block a sibling
+// just decoded is very often the block the next sublist needs. Order
+// needs no re-validation: a contiguous window of a document-ordered list
+// is document-ordered.
+func (l *List) Sub(start, end int) *List {
+	if l == nil || l.core == nil {
+		return &List{Term: l.term()}
+	}
+	return &List{Term: l.Term, core: l.core, lo: l.lo + start, hi: l.lo + end, cache: l.cache}
+}
+
+// View returns a same-window copy of l with a private block cache. Wrap
+// shared lists in View before handing them to an independent computation
+// (a query, a worker) so its block locality is not disturbed by — and does
+// not disturb — anyone else's.
+func (l *List) View() *List {
+	if l == nil || l.core == nil {
+		return &List{Term: l.term()}
+	}
+	return &List{Term: l.Term, core: l.core, lo: l.lo, hi: l.hi, cache: &blockCache{}}
+}
+
+func (l *List) term() string {
+	if l == nil {
+		return ""
+	}
+	return l.Term
+}
+
+// winLo and winHi expose the global window bounds to the cursor.
+func (l *List) winLo() int { return l.lo }
+func (l *List) winHi() int { return l.hi }
 
 // Len returns the number of postings.
 func (l *List) Len() int {
 	if l == nil {
 		return 0
 	}
-	return len(l.postings)
+	return l.hi - l.lo
 }
 
-// At returns the i-th posting in document order.
-func (l *List) At(i int) Posting { return l.postings[i] }
+// block returns decoded block b through the window's parity cache.
+func (l *List) block(b int) *decodedBlock {
+	start := int(l.core.skip[b].start)
+	slot := &l.cache.slots[b&1]
+	if db := slot.Load(); db != nil && db.start == start {
+		return db
+	}
+	db := l.core.decodeBlock(b)
+	slot.Store(db)
+	return db
+}
+
+// At returns the i-th posting in document order. The posting's ID is
+// immutable and remains valid indefinitely (it aliases a cached decoded
+// block that the GC keeps alive as long as the ID is referenced).
+func (l *List) At(i int) Posting {
+	g := l.lo + i
+	if p := l.core.pinned.Load(); p != nil {
+		return (*p)[g]
+	}
+	for s := range l.cache.slots {
+		if db := l.cache.slots[s].Load(); db != nil && g >= db.start && g < db.end {
+			return db.posts[g-db.start]
+		}
+	}
+	db := l.block(l.core.findBlock(g))
+	return db.posts[g-db.start]
+}
+
+// seek returns the window-relative index of the first posting with
+// ID >= d (strict=false) or ID > d (strict=true), or Len(). It binary
+// searches the skip table and decodes at most one block.
+func (l *List) seek(d dewey.ID, strict bool) int {
+	if l == nil || l.core == nil || l.lo >= l.hi {
+		return 0
+	}
+	core := l.core
+	sat := func(id dewey.ID) bool {
+		c := dewey.Compare(id, d)
+		if strict {
+			return c > 0
+		}
+		return c >= 0
+	}
+	var g int
+	if p := core.pinned.Load(); p != nil {
+		s := *p
+		g = sort.Search(core.n, func(i int) bool { return sat(s[i].ID) })
+	} else {
+		// First block whose first posting satisfies; the answer lives in
+		// the block before it (or is that block's first posting).
+		j := sort.Search(len(core.skip), func(b int) bool { return sat(core.skip[b].first) })
+		if j == 0 {
+			g = 0
+		} else {
+			db := l.block(j - 1)
+			k := sort.Search(len(db.posts), func(i int) bool { return sat(db.posts[i].ID) })
+			g = db.start + k
+		}
+	}
+	if g < l.lo {
+		return 0
+	}
+	if g > l.hi {
+		return l.Len()
+	}
+	return g - l.lo
+}
 
 // SeekGE returns the index of the first posting with ID >= d, or Len().
-func (l *List) SeekGE(d dewey.ID) int {
-	if l == nil {
-		return 0
-	}
-	return sort.Search(len(l.postings), func(i int) bool {
-		return dewey.Compare(l.postings[i].ID, d) >= 0
-	})
-}
+func (l *List) SeekGE(d dewey.ID) int { return l.seek(d, false) }
 
 // SeekGT returns the index of the first posting with ID > d, or Len().
-func (l *List) SeekGT(d dewey.ID) int {
-	if l == nil {
-		return 0
-	}
-	return sort.Search(len(l.postings), func(i int) bool {
-		return dewey.Compare(l.postings[i].ID, d) > 0
-	})
-}
+func (l *List) SeekGT(d dewey.ID) int { return l.seek(d, true) }
 
 // Range returns the half-open index interval [start, end) of postings whose
 // IDs fall in the Dewey interval [lo, hi).
@@ -106,12 +231,30 @@ func (l *List) HasInSubtree(root dewey.ID) bool {
 	return s < e
 }
 
-// Slice returns a view of the postings in [start, end). The backing array
-// is shared; callers must not mutate postings.
-func (l *List) Slice(start, end int) []Posting { return l.postings[start:end] }
+// Slice materializes the postings in [start, end) into a fresh slice with
+// owned IDs. It decodes every covered block, so it belongs on mutation and
+// test paths, not query hot paths — scans should use NewCursor.
+func (l *List) Slice(start, end int) []Posting {
+	if l == nil || l.core == nil || start >= end {
+		return nil
+	}
+	if p := l.core.pinned.Load(); p != nil {
+		return (*p)[l.lo+start : l.lo+end]
+	}
+	out := make([]Posting, 0, end-start)
+	c := l.NewCursor()
+	defer c.Close()
+	c.Seek(start)
+	for c.Pos() < end {
+		p := c.Posting()
+		out = append(out, Posting{ID: p.ID.Clone(), Type: p.Type})
+		c.Next()
+	}
+	return out
+}
 
-// Postings returns the whole list under the same sharing contract as Slice.
-func (l *List) Postings() []Posting { return l.postings }
+// Postings materializes the whole list under the same contract as Slice.
+func (l *List) Postings() []Posting { return l.Slice(0, l.Len()) }
 
 // LM returns the rightmost posting with ID <= d (the paper's lm(v,S) match
 // function from XKSearch) and false when no posting precedes d.
@@ -120,15 +263,76 @@ func (l *List) LM(d dewey.ID) (Posting, bool) {
 	if i == 0 {
 		return Posting{}, false
 	}
-	return l.postings[i-1], true
+	return l.At(i - 1), true
 }
 
 // RM returns the leftmost posting with ID >= d (the rm(v,S) match function)
 // and false when no posting follows d.
 func (l *List) RM(d dewey.ID) (Posting, bool) {
 	i := l.SeekGE(d)
-	if i == len(l.postings) {
+	if i == l.Len() {
 		return Posting{}, false
 	}
-	return l.postings[i], true
+	return l.At(i), true
+}
+
+// Pin fully materializes the core's postings and keeps them resident,
+// making every read bypass block decode. This restores the pre-codec
+// representation — the xbench compress experiment uses it as the "legacy"
+// baseline, and byte-identity tests use it to diff the two read paths.
+// Production code never pins. Pinning is core-wide: all windows over the
+// same core see it.
+func (l *List) Pin() {
+	if l == nil || l.core == nil || l.core.pinned.Load() != nil {
+		return
+	}
+	core := l.core
+	posts := make([]Posting, 0, core.n)
+	for b := range core.skip {
+		db := core.decodeBlock(b)
+		posts = append(posts, db.posts...)
+	}
+	core.pinned.Store(&posts)
+}
+
+// Unpin drops the pinned materialization, returning reads to block decode.
+func (l *List) Unpin() {
+	if l != nil && l.core != nil {
+		l.core.pinned.Store(nil)
+	}
+}
+
+// MemoryBytes reports the resident cost of the list's encoded core:
+// compressed payload, skip table, and type table. Windows share one core;
+// the figure is for the whole core, not the window.
+func (l *List) MemoryBytes() int {
+	if l == nil {
+		return 0
+	}
+	return l.core.memoryBytes()
+}
+
+// LegacyBytes estimates what the same core cost resident before the block
+// codec: a materialized []Posting plus one heap allocation per Dewey ID.
+func (l *List) LegacyBytes() int {
+	if l == nil {
+		return 0
+	}
+	return l.core.legacyBytes()
+}
+
+// BlockCount returns the number of encoded blocks in the core.
+func (l *List) BlockCount() int {
+	if l == nil || l.core == nil {
+		return 0
+	}
+	return len(l.core.skip)
+}
+
+// EncodedBytes returns the size of the core's encoded payload alone.
+func (l *List) EncodedBytes() int {
+	if l == nil || l.core == nil {
+		return 0
+	}
+	return len(l.core.enc)
 }

@@ -131,13 +131,15 @@ func Merge(parts []*Index) (*Index, error) {
 	return ix, nil
 }
 
-// mergeLists materializes the corpus-wide posting list of term as a k-way
-// merge of the shard lists. Shard partitions are disjoint, so the only IDs
-// appearing in more than one list are the replicated root postings of the
-// root tag term; equal IDs deduplicate to one.
+// mergeLists builds the corpus-wide posting list of term as a k-way merge
+// of the shard lists, streamed through cursors straight into a block
+// encoder — the merged list is never materialized as []Posting. Shard
+// partitions are disjoint, so the only IDs appearing in more than one
+// list are the replicated root postings of the root tag term; equal IDs
+// deduplicate to one (the encoder's strict-order input comes from
+// skipping them, plus the shards' own document order).
 func mergeLists(term string, parts []*Index) (*List, error) {
 	var lists []*List
-	total := 0
 	for _, p := range parts {
 		if !p.HasTerm(term) {
 			continue
@@ -148,30 +150,46 @@ func mergeLists(term string, parts []*Index) (*List, error) {
 		}
 		if l.Len() > 0 {
 			lists = append(lists, l)
-			total += l.Len()
 		}
 	}
-	out := make([]Posting, 0, total)
-	pos := make([]int, len(lists))
+	curs := make([]*Cursor, len(lists))
+	for i, l := range lists {
+		curs[i] = l.NewCursor()
+	}
+	defer func() {
+		for _, c := range curs {
+			c.Close()
+		}
+	}()
+	w := newBlockWriter(term, false)
+	var last dewey.ID // owned copy of the last appended ID, for dedup
+	haveLast := false
 	for {
 		best := -1
-		for i, l := range lists {
-			if pos[i] >= l.Len() {
+		var bestID dewey.ID
+		for i, c := range curs {
+			if !c.Valid() {
 				continue
 			}
-			if best < 0 || dewey.Compare(l.At(pos[i]).ID, lists[best].At(pos[best]).ID) < 0 {
-				best = i
+			// id aliases cursor i's scratch; it is only read before any
+			// cursor advances, so no decode can recycle it underneath us.
+			id := c.ID()
+			if best < 0 || dewey.Compare(id, bestID) < 0 {
+				best, bestID = i, id
 			}
 		}
 		if best < 0 {
 			break
 		}
-		p := lists[best].At(pos[best])
-		pos[best]++
-		if len(out) > 0 && dewey.Equal(out[len(out)-1].ID, p.ID) {
-			continue
+		if !haveLast || !dewey.Equal(last, bestID) {
+			p := curs[best].Posting()
+			if err := w.Append(p.ID, p.Type); err != nil {
+				return nil, err
+			}
+			last = append(last[:0], bestID...)
+			haveLast = true
 		}
-		out = append(out, p)
+		curs[best].Next()
 	}
-	return NewListUnchecked(term, out), nil
+	return newListFromCore(term, w.Finish()), nil
 }

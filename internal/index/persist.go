@@ -17,10 +17,23 @@ import (
 //	M\x00types                  node-type registry
 //	M\x00doc                    document-level stats (N_T, G_T, partitions)
 //	F\x00<term>                 frequent-table row: list length + per-type df/tf
-//	L\x00<term>\x00<chunk BE32> posting-list chunk, delta-encoded
+//	L\x00<term>\x00<chunk BE32> posting-list chunk (see below)
 //
-// Posting lists are chunked to respect the store's quarter-page cell bound;
-// chunks load lazily and concatenate in key order, which is chunk order.
+// A term's chunks, concatenated in key order (which is chunk order), form
+// one byte stream: [uvarint typeCount][typeCount × uvarint global type ID]
+// followed by the list's block-encoded payload exactly as it lives in RAM
+// (block.go) — the encoded form IS the persisted form, so loading a list
+// is a concatenation plus a skip-table walk, never a re-encode, and disk
+// shrinks with memory. Chunk boundaries are arbitrary byte splits sized to
+// the store's quarter-page cell bound; blocks need not align with chunks.
+//
+// Stores written before the block codec used one delta-encoded posting
+// per cell with each chunk self-contained, so their first payload byte is
+// always 0x00 (first cell's shared-prefix length). The new stream starts
+// with the type count, a uvarint >= 1 for any non-empty list, so the
+// first byte distinguishes the formats per term: legacy terms load via
+// the decode-and-re-encode fallback and upgrade in place the next time a
+// mutation batch rewrites them (SaveDelta always writes the new format).
 const (
 	metaTypesKey = "M\x00types"
 	metaDocKey   = "M\x00doc"
@@ -288,110 +301,59 @@ func decodeFreqRow(b []byte) (uint32, map[int]typeStat, error) {
 	return uint32(listLen), stats, nil
 }
 
-// saveChunks writes a posting list as delta-encoded chunks.
+// saveChunks writes a posting list as its block-encoded stream — type
+// table header plus the core's payload bytes verbatim — split into
+// cell-sized chunks.
 func saveChunks(s *kvstore.Store, term string, l *List) error {
-	var buf []byte
-	chunk := uint32(0)
-	var prev dewey.ID
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		if err := s.Put(listChunkKey(term, chunk), buf); err != nil {
-			return fmt.Errorf("index: save chunk %d of %q: %w", chunk, term, err)
-		}
-		chunk++
-		buf = buf[:0]
-		prev = nil // each chunk is self-contained
+	if l == nil || l.core == nil || l.core.n == 0 {
 		return nil
 	}
-	for i := 0; i < l.Len(); i++ {
-		p := l.At(i)
-		shared := 0
-		if prev != nil {
-			shared = dewey.LCALen(prev, p.ID)
-		}
-		var cell []byte
-		cell = binary.AppendUvarint(cell, uint64(shared))
-		cell = binary.AppendUvarint(cell, uint64(len(p.ID)-shared))
-		for _, c := range p.ID[shared:] {
-			cell = binary.AppendUvarint(cell, uint64(c))
-		}
-		cell = binary.AppendUvarint(cell, uint64(p.Type.ID))
-		if len(buf)+len(cell) > chunkBudget {
-			if err := flush(); err != nil {
-				return err
-			}
-			// Re-encode without delta against the flushed chunk.
-			cell = cell[:0]
-			cell = binary.AppendUvarint(cell, 0)
-			cell = binary.AppendUvarint(cell, uint64(len(p.ID)))
-			for _, c := range p.ID {
-				cell = binary.AppendUvarint(cell, uint64(c))
-			}
-			cell = binary.AppendUvarint(cell, uint64(p.Type.ID))
-		}
-		buf = append(buf, cell...)
-		prev = p.ID
+	core := l.core
+	stream := make([]byte, 0, 16+2*len(core.types)+len(core.enc))
+	stream = binary.AppendUvarint(stream, uint64(len(core.types)))
+	for _, t := range core.types {
+		stream = binary.AppendUvarint(stream, uint64(t.ID))
 	}
-	return flush()
+	stream = append(stream, core.enc...)
+	for chunk, off := uint32(0), 0; off < len(stream); chunk++ {
+		end := off + chunkBudget
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := s.Put(listChunkKey(term, chunk), stream[off:end]); err != nil {
+			return fmt.Errorf("index: save chunk %d of %q: %w", chunk, term, err)
+		}
+		off = end
+	}
+	return nil
 }
 
-// loadChunks reads and concatenates every chunk of a term's posting list.
-// resolve maps the store's persisted type IDs to interned types — the
-// registry's own ByID for plain loads, an idMap lookup for shared-registry
-// loads.
+// loadChunks reads and concatenates every chunk of a term's posting list
+// into the resident encoded core (or, for a legacy-format term, decodes
+// the old per-cell stream and re-encodes). resolve maps the store's
+// persisted type IDs to interned types — the registry's own ByID for
+// plain loads, an idMap lookup for shared-registry loads.
 func loadChunks(s *kvstore.Store, resolve func(int) (*xmltree.Type, bool), term string) (*List, error) {
 	prefix := append([]byte(listPrefix), term...)
 	prefix = append(prefix, 0)
 	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
-	var postings []Posting
+	var stream []byte
+	legacy := false
+	var legacyPostings []Posting
 	var decodeErr error
+	first := true
 	err := s.Range(prefix, end, func(k, v []byte) bool {
-		var prev dewey.ID
-		r := bytes.NewReader(v)
-		for r.Len() > 0 {
-			shared, err := binary.ReadUvarint(r)
-			if err != nil {
-				decodeErr = err
-				return false
-			}
-			extra, err := binary.ReadUvarint(r)
-			if err != nil {
-				decodeErr = err
-				return false
-			}
-			if int(shared) > len(prev) {
-				decodeErr = fmt.Errorf("index: chunk of %q: shared %d > prev %d", term, shared, len(prev))
-				return false
-			}
-			id := make(dewey.ID, 0, int(shared)+int(extra))
-			id = append(id, prev[:shared]...)
-			for i := 0; i < int(extra); i++ {
-				c, err := binary.ReadUvarint(r)
-				if err != nil {
-					decodeErr = err
-					return false
-				}
-				id = append(id, uint32(c))
-			}
-			tid, err := binary.ReadUvarint(r)
-			if err != nil {
-				decodeErr = err
-				return false
-			}
-			t, ok := resolve(int(tid))
-			if !ok {
-				decodeErr = fmt.Errorf("index: chunk of %q names unknown type %d", term, tid)
-				return false
-			}
-			if len(postings) > 0 && dewey.Compare(postings[len(postings)-1].ID, id) >= 0 {
-				decodeErr = fmt.Errorf("index: chunk of %q out of document order", term)
-				return false
-			}
-			postings = append(postings, Posting{ID: id, Type: t})
-			prev = id
+		if first {
+			first = false
+			// Legacy chunks open with a self-contained cell (shared == 0);
+			// the block stream opens with its type count (>= 1).
+			legacy = len(v) > 0 && v[0] == 0
 		}
+		if legacy {
+			legacyPostings, decodeErr = decodeLegacyChunk(v, term, resolve, legacyPostings)
+			return decodeErr == nil
+		}
+		stream = append(stream, v...)
 		return true
 	})
 	if err != nil {
@@ -400,7 +362,77 @@ func loadChunks(s *kvstore.Store, resolve func(int) (*xmltree.Type, bool), term 
 	if decodeErr != nil {
 		return nil, decodeErr
 	}
-	return NewList(term, postings), nil
+	if legacy {
+		return NewList(term, legacyPostings), nil
+	}
+	if len(stream) == 0 {
+		return &List{Term: term}, nil
+	}
+	r := bytes.NewReader(stream)
+	nTypes, err := binary.ReadUvarint(r)
+	if err != nil || nTypes == 0 {
+		return nil, fmt.Errorf("index: chunks of %q: bad type table header", term)
+	}
+	types := make([]*xmltree.Type, nTypes)
+	for i := range types {
+		tid, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("index: chunks of %q: truncated type table", term)
+		}
+		t, ok := resolve(int(tid))
+		if !ok {
+			return nil, fmt.Errorf("index: chunks of %q name unknown type %d", term, tid)
+		}
+		types[i] = t
+	}
+	core, err := parseCore(stream[len(stream)-r.Len():], types)
+	if err != nil {
+		return nil, fmt.Errorf("index: chunks of %q: %w", term, err)
+	}
+	return newListFromCore(term, core), nil
+}
+
+// decodeLegacyChunk decodes one pre-codec chunk (one delta-coded posting
+// per cell, chunk self-contained) and appends its postings.
+func decodeLegacyChunk(v []byte, term string, resolve func(int) (*xmltree.Type, bool), postings []Posting) ([]Posting, error) {
+	var prev dewey.ID
+	r := bytes.NewReader(v)
+	for r.Len() > 0 {
+		shared, err := binary.ReadUvarint(r)
+		if err != nil {
+			return postings, err
+		}
+		extra, err := binary.ReadUvarint(r)
+		if err != nil {
+			return postings, err
+		}
+		if int(shared) > len(prev) {
+			return postings, fmt.Errorf("index: chunk of %q: shared %d > prev %d", term, shared, len(prev))
+		}
+		id := make(dewey.ID, 0, int(shared)+int(extra))
+		id = append(id, prev[:shared]...)
+		for i := 0; i < int(extra); i++ {
+			c, err := binary.ReadUvarint(r)
+			if err != nil {
+				return postings, err
+			}
+			id = append(id, uint32(c))
+		}
+		tid, err := binary.ReadUvarint(r)
+		if err != nil {
+			return postings, err
+		}
+		t, ok := resolve(int(tid))
+		if !ok {
+			return postings, fmt.Errorf("index: chunk of %q names unknown type %d", term, tid)
+		}
+		if len(postings) > 0 && dewey.Compare(postings[len(postings)-1].ID, id) >= 0 {
+			return postings, fmt.Errorf("index: chunk of %q out of document order", term)
+		}
+		postings = append(postings, Posting{ID: id, Type: t})
+		prev = id
+	}
+	return postings, nil
 }
 
 // Load opens an index previously written with Save. Statistics load

@@ -188,7 +188,10 @@ func (o *Op) UnmarshalJSON(b []byte) error {
 		if w.Parent == "" || w.XML == "" {
 			return fmt.Errorf("mutate: insert op needs parent and xml")
 		}
-		parent, err := dewey.Parse(w.Parent)
+		// AppendParse pre-sizes from a component count, skipping Parse's
+		// per-call strings.Split garbage — this runs once per WAL record
+		// on update replay.
+		parent, err := dewey.AppendParse(nil, w.Parent)
 		if err != nil {
 			return fmt.Errorf("mutate: insert parent: %w", err)
 		}
@@ -197,7 +200,7 @@ func (o *Op) UnmarshalJSON(b []byte) error {
 		if w.Target == "" {
 			return fmt.Errorf("mutate: delete op needs target")
 		}
-		target, err := dewey.Parse(w.Target)
+		target, err := dewey.AppendParse(nil, w.Target)
 		if err != nil {
 			return fmt.Errorf("mutate: delete target: %w", err)
 		}

@@ -126,7 +126,9 @@ func scanLists(in Input, ks []string) ([]*index.List, error) {
 			loaded++
 		}
 		postings += int64(l.Len())
-		lists[i] = l
+		// A private view per query: block-cache locality of this scan is
+		// isolated from every other query sharing the resident list.
+		lists[i] = l.View()
 	}
 	if sp != nil {
 		sp.SetInt("lists", int64(len(ks)))
@@ -145,6 +147,7 @@ func partitionTopKSeq(in Input, k int, ks []string, lists []*index.List) (*TopKO
 	out := &TopKOutcome{Workers: 1}
 	sorted := NewSortedList(2 * k)
 	w := newPartitionWalker(ks, lists, nil, nil)
+	defer w.close()
 	for {
 		pid, ok := w.next()
 		if !ok {
@@ -197,16 +200,20 @@ type span struct{ start, end int }
 
 // partitionWalker advances a cursor set over the keyword lists one document
 // partition at a time (the getKLPartition loop of Algorithm 2, lines 5-8),
-// restricted to the Dewey interval [lo, hi) when bounds are given. Its
-// spans slice and avail map are reused across partitions so the hot loop
-// does not allocate per partition visited.
+// restricted to the Dewey interval [lo, hi) when bounds are given. Each
+// list is read through a pooled block cursor, so the walk decodes each
+// compressed block at most once per list and produces no per-posting
+// garbage; close() must run when the walk ends to recycle the decode
+// buffers. Its spans slice and avail map are likewise reused across
+// partitions so the hot loop does not allocate per partition visited.
 type partitionWalker struct {
-	ks      []string
-	lists   []*index.List
-	cursors []int
-	limits  []int
-	spans   []span
-	avail   map[string]bool
+	ks     []string
+	lists  []*index.List
+	curs   []*index.Cursor
+	limits []int
+	spans  []span
+	avail  map[string]bool
+	v      dewey.ID // owned copy of the current minimum head (reused)
 }
 
 // newPartitionWalker positions cursors at the first posting >= lo (or the
@@ -215,27 +222,37 @@ type partitionWalker struct {
 // partition straddles two walkers.
 func newPartitionWalker(ks []string, lists []*index.List, lo, hi dewey.ID) *partitionWalker {
 	w := &partitionWalker{
-		ks:      ks,
-		lists:   lists,
-		cursors: make([]int, len(lists)),
-		limits:  make([]int, len(lists)),
-		spans:   make([]span, len(lists)),
-		avail:   make(map[string]bool, len(lists)),
+		ks:     ks,
+		lists:  lists,
+		curs:   make([]*index.Cursor, len(lists)),
+		limits: make([]int, len(lists)),
+		spans:  make([]span, len(lists)),
+		avail:  make(map[string]bool, len(lists)),
 	}
 	for i, l := range lists {
+		c := l.NewCursor()
+		w.curs[i] = c
 		if lo != nil {
-			w.cursors[i] = l.SeekGE(lo)
+			c.SeekGE(lo)
 		}
 		if hi != nil {
 			w.limits[i] = l.SeekGE(hi)
 		} else {
 			w.limits[i] = l.Len()
 		}
-		if w.limits[i] < w.cursors[i] {
-			w.limits[i] = w.cursors[i]
+		if w.limits[i] < c.Pos() {
+			w.limits[i] = c.Pos()
 		}
 	}
 	return w
+}
+
+// close recycles the walker's cursor decode buffers; the walker (and any
+// ID it handed out by alias) must not be used afterwards.
+func (w *partitionWalker) close() {
+	for _, c := range w.curs {
+		c.Close()
+	}
 }
 
 // spanPostings returns the posting mass of the current partition — what
@@ -255,43 +272,47 @@ func (w *partitionWalker) spanPostings() int {
 // meaningful result).
 func (w *partitionWalker) next() (dewey.ID, bool) {
 	for {
-		// Smallest unconsumed node across lists (paper line 5).
-		var v dewey.ID
-		for i, l := range w.lists {
-			if w.cursors[i] >= w.limits[i] {
+		// Smallest unconsumed node across lists (paper line 5). The IDs a
+		// cursor yields alias its reusable decode buffer, so the running
+		// minimum is copied into w.v — a later read that decodes a new
+		// block would otherwise recycle the memory under the comparison.
+		found := false
+		for i, c := range w.curs {
+			if c.Pos() >= w.limits[i] {
 				continue
 			}
-			if id := l.At(w.cursors[i]).ID; v == nil || dewey.Compare(id, v) < 0 {
-				v = id
+			if id := c.ID(); !found || dewey.Compare(id, w.v) < 0 {
+				w.v = append(w.v[:0], id...)
+				found = true
 			}
 		}
-		if v == nil {
+		if !found {
 			return nil, false
 		}
+		v := w.v
 		pid, ok := v.Partition()
 		if !ok {
-			for i, l := range w.lists {
-				if w.cursors[i] < w.limits[i] && dewey.Equal(l.At(w.cursors[i]).ID, v) {
-					w.cursors[i]++
+			for i, c := range w.curs {
+				if c.Pos() < w.limits[i] && dewey.Equal(c.ID(), v) {
+					c.Next()
 				}
 			}
 			continue
 		}
 		pidEnd := pid.Next()
 		clear(w.avail)
-		for i, l := range w.lists {
-			end := l.SeekGE(pidEnd)
+		for i, c := range w.curs {
+			start := c.Pos()
+			end := c.SeekGE(pidEnd)
 			if end > w.limits[i] {
+				// The cursor overshot this walker's range bound; the list
+				// is exhausted for this walk, so it is never read again.
 				end = w.limits[i]
 			}
-			if end < w.cursors[i] {
-				end = w.cursors[i]
-			}
-			w.spans[i] = span{start: w.cursors[i], end: end}
-			if end > w.cursors[i] {
+			w.spans[i] = span{start: start, end: end}
+			if end > start {
 				w.avail[w.ks[i]] = true
 			}
-			w.cursors[i] = end
 		}
 		return pid, true
 	}

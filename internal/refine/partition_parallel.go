@@ -260,6 +260,7 @@ type rangeOutcome struct {
 func walkRange(in Input, k int, ks []string, lists []*index.List, lo, hi dewey.ID, local *SortedList, bound *PruneBound) (*rangeOutcome, error) {
 	res := &rangeOutcome{}
 	w := newPartitionWalker(ks, lists, lo, hi)
+	defer w.close()
 	for {
 		pid, ok := w.next()
 		if !ok {

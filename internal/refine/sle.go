@@ -43,7 +43,9 @@ func ShortListEager(in Input, k int) (*TopKOutcome, error) {
 				loaded++
 			}
 			postings += int64(l.Len())
-			lists[kw] = l
+			// A private view per query: the random-access probes below
+			// keep their block locality to themselves.
+			lists[kw] = l.View()
 		}
 		if sp != nil {
 			sp.SetInt("lists", int64(len(ks)))

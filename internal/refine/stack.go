@@ -138,6 +138,7 @@ func Stack(in Input) (*StackOutcome, error) {
 	}
 
 	merge := newMergeScan(lists)
+	defer merge.close()
 	steps := 0
 	for {
 		id, mask, typ, ok := merge.next()
@@ -183,37 +184,55 @@ func Stack(in Input) (*StackOutcome, error) {
 }
 
 // mergeScan yields (dewey, keyword mask, node type) triples in document
-// order across the keyword lists.
+// order across the keyword lists, reading each list through a pooled
+// block cursor. The yielded ID is owned by the scan and valid only until
+// the next call; close() must run when the merge ends to recycle the
+// cursors' decode buffers.
 type mergeScan struct {
-	lists []*index.List
-	pos   []int
+	curs []*index.Cursor
+	cur  dewey.ID // owned copy of the yielded minimum (reused per call)
 }
 
 func newMergeScan(lists []*index.List) *mergeScan {
-	return &mergeScan{lists: lists, pos: make([]int, len(lists))}
+	m := &mergeScan{curs: make([]*index.Cursor, len(lists))}
+	for i, l := range lists {
+		m.curs[i] = l.NewCursor()
+	}
+	return m
+}
+
+func (m *mergeScan) close() {
+	for _, c := range m.curs {
+		c.Close()
+	}
 }
 
 func (m *mergeScan) next() (dewey.ID, uint64, *xmltree.Type, bool) {
-	var min dewey.ID
+	// The minimum is copied into m.cur before any cursor advances: the
+	// heads alias per-cursor decode buffers that the mask loop's reads
+	// below (and the next call) may recycle.
 	var typ *xmltree.Type
-	for i, l := range m.lists {
-		if m.pos[i] >= l.Len() {
+	found := false
+	for _, c := range m.curs {
+		if !c.Valid() {
 			continue
 		}
-		p := l.At(m.pos[i])
-		if min == nil || dewey.Compare(p.ID, min) < 0 {
-			min, typ = p.ID, p.Type
+		p := c.Posting()
+		if !found || dewey.Compare(p.ID, m.cur) < 0 {
+			m.cur = append(m.cur[:0], p.ID...)
+			typ = p.Type
+			found = true
 		}
 	}
-	if min == nil {
+	if !found {
 		return nil, 0, nil, false
 	}
 	var mask uint64
-	for i, l := range m.lists {
-		if m.pos[i] < l.Len() && dewey.Equal(l.At(m.pos[i]).ID, min) {
+	for i, c := range m.curs {
+		if c.Valid() && dewey.Equal(c.ID(), m.cur) {
 			mask |= 1 << i
-			m.pos[i]++
+			c.Next()
 		}
 	}
-	return min, mask, typ, true
+	return m.cur, mask, typ, true
 }

@@ -19,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -524,6 +525,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"max_inflight":     s.cfg.MaxInFlight,
 		"timeout_ms":       s.cfg.Timeout.Milliseconds(),
 	}
+	// Memory pressure observables: resident bytes of loaded posting-list
+	// cores (the block-compressed index payload) next to the Go heap, so
+	// an operator can see both what the index costs and what the process
+	// holds overall.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	body["index_resident_bytes"] = s.eng.Index().ResidentBytes()
+	body["go_heap_alloc_bytes"] = ms.HeapAlloc
+	body["go_heap_sys_bytes"] = ms.HeapSys
 	// Sharded backends surface their per-shard epochs next to the summed
 	// one; single-engine servers omit the keys entirely.
 	if sb, ok := s.eng.(ShardedBackend); ok {

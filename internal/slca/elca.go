@@ -32,6 +32,7 @@ func ELCA(lists []*index.List) []dewey.ID {
 	}
 	full := uint64(1)<<len(lists) - 1
 	merge := newMergeScan(lists)
+	defer merge.close()
 
 	type entry struct {
 		all uint64

@@ -79,6 +79,11 @@ func Compute(algo Algorithm, lists []*index.List) []dewey.ID {
 // output is identical to Compute.
 func ComputeCtx(ctx context.Context, algo Algorithm, lists []*index.List) ([]dewey.ID, error) {
 	c := newCanceler(ctx)
+	// Lists arrive with whatever block cache the caller's window carries:
+	// the refinement paths hand in Sub-windows of per-query views, so
+	// successive SLCA calls over one query reuse each other's decoded
+	// blocks. Callers fanning a shared resident list across goroutines
+	// should View-wrap once per goroutine, not per call.
 	var ids []dewey.ID
 	switch algo {
 	case AlgoIndexedLookupEager:
@@ -365,6 +370,7 @@ func stack(c *canceler, lists []*index.List) []dewey.ID {
 	}
 	full := uint64(1)<<len(lists) - 1
 	merge := newMergeScan(lists)
+	defer merge.close()
 
 	type entry struct {
 		component uint32
@@ -421,38 +427,53 @@ func stack(c *canceler, lists []*index.List) []dewey.ID {
 }
 
 // mergeScan yields (dewey, keywordMask) pairs in document order, combining
-// the masks of lists that contain the same node.
+// the masks of lists that contain the same node. Each list is read
+// through a pooled block cursor; the yielded ID is owned by the scan and
+// valid only until the next call, and close() must run when the merge
+// ends to recycle the cursors' decode buffers.
 type mergeScan struct {
-	lists []*index.List
-	pos   []int
+	curs []*index.Cursor
+	cur  dewey.ID // owned copy of the yielded minimum (reused per call)
 }
 
 func newMergeScan(lists []*index.List) *mergeScan {
-	return &mergeScan{lists: lists, pos: make([]int, len(lists))}
+	m := &mergeScan{curs: make([]*index.Cursor, len(lists))}
+	for i, l := range lists {
+		m.curs[i] = l.NewCursor()
+	}
+	return m
+}
+
+func (m *mergeScan) close() {
+	for _, c := range m.curs {
+		c.Close()
+	}
 }
 
 func (m *mergeScan) next() (dewey.ID, uint64, bool) {
-	var min dewey.ID
-	for i, l := range m.lists {
-		if m.pos[i] >= l.Len() {
+	// The minimum is copied into m.cur before any cursor advances: the
+	// heads alias per-cursor decode buffers that later reads recycle.
+	found := false
+	for _, c := range m.curs {
+		if !c.Valid() {
 			continue
 		}
-		id := l.At(m.pos[i]).ID
-		if min == nil || dewey.Compare(id, min) < 0 {
-			min = id
+		if id := c.ID(); !found || dewey.Compare(id, m.cur) < 0 {
+			m.cur = append(m.cur[:0], id...)
+			found = true
 		}
 	}
-	if min == nil {
+	if !found {
 		return nil, 0, false
 	}
 	var mask uint64
-	for i, l := range m.lists {
-		if m.pos[i] < l.Len() && dewey.Equal(l.At(m.pos[i]).ID, min) {
+	for i, c := range m.curs {
+		if c.Valid() && dewey.Equal(c.ID(), m.cur) {
 			mask |= 1 << i
-			m.pos[i]++
+			c.Next()
 		}
 	}
-	return min, mask, true
+	return m.cur, mask, true
 }
 
 // Naive is the brute-force reference: materialize every node that contains

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# mem_gate.sh — posting-storage memory ratchet, run by `make memgate` and
+# the CI memory job.
+#
+# Runs the xbench compress experiment in JSON mode and fails if the
+# encoded representation's resident bytes per posting rise above the
+# ceiling recorded in scripts/mem_floor.txt, or if its compression ratio
+# over the modeled materialized form falls below 3x (the tentpole claim
+# of the succinct posting-list work). The ceiling is set a little above
+# the measured figure, so the gate only trips on a real regression — a
+# codec change that bloats blocks, a skip-table field that grew — not on
+# corpus noise. Lower the ceiling when the encoding improves; never raise
+# it to make a PR pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+CEILING="$(tr -d '[:space:]' < scripts/mem_floor.txt)"
+SCALE="${SCALE:-0.5}"
+
+OUT="$("$GO" run ./cmd/xbench -scale "$SCALE" -reps 1 -json compress)"
+
+BPP="$(printf '%s' "$OUT" | sed -n 's/.*"mode":"encoded","resident_bytes":[0-9]*,"bytes_per_posting":\([0-9.]*\).*/\1/p')"
+RATIO="$(printf '%s' "$OUT" | sed -n 's/.*"compression_ratio":\([0-9.]*\).*/\1/p')"
+if [ -z "$BPP" ] || [ -z "$RATIO" ]; then
+    echo "mem_gate: FAIL — could not parse xbench compress output:" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+echo "memory: encoded ${BPP} B/posting (ceiling ${CEILING}), compression ${RATIO}x (floor 3.0)"
+# awk handles the float comparisons; bash arithmetic is integer-only.
+if ! awk -v b="$BPP" -v c="$CEILING" 'BEGIN { exit !(b <= c) }'; then
+    echo "mem_gate: FAIL — encoded postings cost ${BPP} B each, above the ${CEILING} B ceiling" >&2
+    echo "mem_gate: the block codec regressed; check blockWriter and the skip table" >&2
+    exit 1
+fi
+if ! awk -v r="$RATIO" 'BEGIN { exit !(r >= 3.0) }'; then
+    echo "mem_gate: FAIL — compression ratio ${RATIO}x fell below the 3x floor" >&2
+    exit 1
+fi
+echo "mem_gate: OK"
