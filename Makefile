@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak clean
+.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak replicas clean
 
 all: build vet test
 
@@ -63,6 +63,13 @@ obs:
 # batches, ending in a durability-across-restart check.
 soak:
 	./scripts/update_soak.sh
+
+# Replica fault-matrix soak: the in-tree replica suites under -race
+# (byte-identity, hedging, failover, epoch reconciliation), then a
+# race-built replicated xserve (2 shards x 2 replicas, chaos armed)
+# diffed request-by-request against a monolith — zero result divergence.
+replicas:
+	./scripts/replica_soak.sh
 
 examples:
 	$(GO) run ./examples/quickstart

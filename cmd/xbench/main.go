@@ -433,18 +433,36 @@ func shardCompare() error {
 	if err != nil {
 		return err
 	}
+	// Tail latency with one slow replica per shard: each page read on
+	// replica 0 pays 1ms, the selector starts cold before every query, and
+	// hedging (250µs delay) races the fast replica against it.
+	tail, err := experiments.ShardTailLatency(c, batch[:10], 2, 3, *reps,
+		time.Millisecond, 250*time.Microsecond)
+	if err != nil {
+		return err
+	}
 	if *jsonOut {
 		return json.NewEncoder(os.Stdout).Encode(struct {
 			GOMAXPROCS int                    `json:"gomaxprocs"`
 			Scale      float64                `json:"scale"`
 			K          int                    `json:"k"`
 			Rows       []experiments.ShardRow `json:"rows"`
-		}{runtime.GOMAXPROCS(0), *scale, 3, rows})
+			Tail       []experiments.TailRow  `json:"tail"`
+		}{runtime.GOMAXPROCS(0), *scale, 3, rows, tail})
 	}
 	w := header(fmt.Sprintf("Sharded scatter-gather: batch Top-3 query time vs shard count (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)))
 	fmt.Fprintln(w, "shards\tbatch avg (ms)\tspeedup\tidentical output")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%.3f\t%.2fx\t%v\n", r.Shards, r.AvgMS, r.Speedup, r.Identical)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = header("Replica tail latency: 2 shards x 2 replicas, replica 0 slow (1ms/page read), cold selector per query")
+	fmt.Fprintln(w, "mode\tsamples\tp50 (ms)\tp99 (ms)\tavg (ms)\thedges\tidentical output")
+	for _, r := range tail {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%.3f\t%d\t%v\n",
+			r.Mode, r.Samples, r.P50MS, r.P99MS, r.AvgMS, r.Hedges, r.Identical)
 	}
 	return w.Flush()
 }

@@ -11,6 +11,7 @@
 //	xgen -kind updates -xml dblp.xml -updates 40 -out updates.txt
 //	xgen -kind dblp -authors 2000 -shards 4 -shard-dir dblp-shards
 //	xgen -kind shards -xml dblp.xml -shards 4 -shard-mode hash -shard-dir dblp-shards
+//	xgen -kind shards -xml dblp.xml -shards 2 -replicas 3 -shard-dir dblp-shards
 //
 // The -updates N flag derives a deterministic batch file of N insert/delete
 // operations valid against the generated (or -xml supplied) document, in
@@ -19,9 +20,12 @@
 // The -shards N flag splits the corpus across N independent shard stores
 // (shard-<i>.kv plus a manifest.json) in -shard-dir, partition-granular,
 // by contiguous range (-shard-mode range, the default) or by ordinal hash
-// (-shard-mode hash). The directory is served scatter-gather by
-// xserve -shards and queried by xrefine -shards, with output byte-identical
-// to a monolithic index over the unsplit corpus.
+// (-shard-mode hash). With -replicas R every shard is written as R
+// identical stores (shard-<i>.kv plus shard-<i>.r<j>.kv), each with its
+// own WAL, so the router can serve each shard from an R-way replica set
+// with hedged reads and failover. The directory is served scatter-gather
+// by xserve -shards and queried by xrefine -shards, with output
+// byte-identical to a monolithic index over the unsplit corpus.
 package main
 
 import (
@@ -62,6 +66,7 @@ func run(args []string, defaultOut io.Writer) error {
 		shards    = fs.Int("shards", 0, "split the corpus into N shard stores (with -kind shards, or alongside a generated corpus)")
 		shardDir  = fs.String("shard-dir", "", "directory for the shard stores and manifest (required with -shards)")
 		shardMode = fs.String("shard-mode", "range", "partition placement: range | hash")
+		replicas  = fs.Int("replicas", 1, "replicas per shard: each shard is written as R identical stores with their own WALs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,7 +120,7 @@ func run(args []string, defaultOut io.Writer) error {
 			}
 		}
 		if *shards > 0 {
-			return writeShards(doc, *shards, *shardMode, *shardDir)
+			return writeShards(doc, *shards, *shardMode, *shardDir, *replicas)
 		}
 		return nil
 	case "shards":
@@ -131,7 +136,7 @@ func run(args []string, defaultOut io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return writeShards(doc, *shards, *shardMode, *shardDir)
+		return writeShards(doc, *shards, *shardMode, *shardDir, *replicas)
 	case "updates":
 		if *xmlPath == "" {
 			return fmt.Errorf("updates needs -xml")
@@ -184,19 +189,23 @@ func run(args []string, defaultOut io.Writer) error {
 	}
 }
 
-// writeShards splits doc into n shard stores plus a manifest under dir.
-func writeShards(doc *xmltree.Document, n int, mode, dir string) error {
+// writeShards splits doc into n shard stores (R replica copies each) plus
+// a manifest under dir.
+func writeShards(doc *xmltree.Document, n int, mode, dir string, replicas int) error {
 	if n <= 0 {
 		return fmt.Errorf("shards needs -shards N")
 	}
 	if dir == "" {
 		return fmt.Errorf("-shards needs -shard-dir")
 	}
+	if replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1")
+	}
 	m, err := shard.ParseMode(mode)
 	if err != nil {
 		return err
 	}
-	_, err = shard.WriteStores(doc, dir, n, m)
+	_, err = shard.WriteReplicatedStores(doc, dir, n, m, replicas)
 	return err
 }
 

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"xrefine"
 )
@@ -51,7 +52,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xrefine index  -xml <file> -index <file>      build a persistent index
-  xrefine search [-xml <file> | -index <file> | -shards <dir>] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
+  xrefine search [-xml <file> | -index <file> | -shards <dir> [-replicas N] [-hedge-after D]] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
   xrefine batch  [-xml <file> | -index <file>] [-k N] [-parallel N] -queries <file>   one query per line, TSV out
   xrefine apply  -index <file> [-wal <file>] -batch <file>   apply an update batch as a new epoch
   xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
@@ -137,10 +138,22 @@ func load(fs *flag.FlagSet) (*xrefine.Engine, *xrefine.Document, func()) {
 }
 
 // loadBackend is load plus -shards: a shard directory opens a
-// scatter-gather router instead of a single engine.
+// scatter-gather router instead of a single engine. -replicas bounds how
+// many replicas per shard attach and -hedge-after enables hedged reads.
 func loadBackend(fs *flag.FlagSet) (queryBackend, *xrefine.Document, func()) {
 	if f := fs.Lookup("shards"); f != nil && f.Value.String() != "" {
-		r, err := xrefine.OpenShards(f.Value.String(), &xrefine.ShardOptions{Config: engineConfig(fs)})
+		opts := &xrefine.ShardOptions{Config: engineConfig(fs)}
+		if rf := fs.Lookup("replicas"); rf != nil {
+			if n, err := strconv.Atoi(rf.Value.String()); err == nil && n > 0 {
+				opts.Replicas = n
+			}
+		}
+		if hf := fs.Lookup("hedge-after"); hf != nil {
+			if d, err := time.ParseDuration(hf.Value.String()); err == nil && d > 0 {
+				opts.HedgeAfter = d
+			}
+		}
+		r, err := xrefine.OpenShards(f.Value.String(), opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -183,6 +196,8 @@ func cmdSearch(args []string) {
 	fs.String("xml", "", "XML document")
 	fs.String("index", "", "index file")
 	fs.String("shards", "", "shard directory (xgen -shards) to query scatter-gather")
+	fs.Int("replicas", 0, "replicas per shard to attach from the manifest (0 = all)")
+	fs.Duration("hedge-after", 0, "hedge a slow shard scan onto the next replica after this delay (0 = off)")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
 	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
@@ -395,6 +410,8 @@ func cmdREPL(args []string) {
 	fs.String("xml", "", "XML document")
 	fs.String("index", "", "index file")
 	fs.String("shards", "", "shard directory (xgen -shards) to query scatter-gather")
+	fs.Int("replicas", 0, "replicas per shard to attach from the manifest (0 = all)")
+	fs.Duration("hedge-after", 0, "hedge a slow shard scan onto the next replica after this delay (0 = off)")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
 	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")

@@ -44,6 +44,19 @@
 // fan-out spans, and with -live each POST /update batch is routed to the
 // shard owning its target (batches spanning shards are rejected; split
 // them per shard).
+//
+// A replicated directory (xgen -replicas R) serves each shard from an
+// R-way replica set: scans pick the healthiest replica (EWMA latency +
+// circuit breaker), -hedge-after races a second replica against a slow
+// primary, failed attempts retry across the set, and -live writes route
+// to every replica with epoch reconciliation quarantining and catching up
+// any copy that misses a commit. /healthz gains a per-replica health
+// table. -chaos arms seeded probabilistic store faults (error rate and/or
+// latency jitter) on every replica — the soak mode the replica fault
+// matrix in CI runs against.
+//
+//	xserve -shards dblp-shards -replicas 2 -hedge-after 20ms -live
+//	xserve -shards dblp-shards -chaos rate=0.002,jitter=1ms-3ms
 package main
 
 import (
@@ -80,6 +93,9 @@ func main() {
 		live        = flag.Bool("live", false, "open -index read-write and accept POST /update (WAL-backed epoch commits)")
 		walPath     = flag.String("wal", "", "write-ahead log file for -live (default <index>.wal)")
 		shardDir    = flag.String("shards", "", "shard directory (xgen -shards) to serve scatter-gather")
+		replicas    = flag.Int("replicas", 0, "replicas per shard to attach from the manifest (0 = all available)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "hedge a slow shard scan onto the next replica after this delay (0 = off)")
+		chaosSpec   = flag.String("chaos", "", "arm probabilistic store faults on every replica, e.g. rate=0.01,jitter=1ms-5ms,seed=7")
 	)
 	flag.Parse()
 
@@ -92,7 +108,21 @@ func main() {
 	var eng *core.Engine
 	switch {
 	case *shardDir != "":
-		r, err := shard.Open(*shardDir, &shard.Options{Live: *live, Config: cfg})
+		opts := &shard.Options{
+			Live:       *live,
+			Config:     cfg,
+			Replicas:   *replicas,
+			HedgeAfter: *hedgeAfter,
+		}
+		if *chaosSpec != "" {
+			c, err := shard.ParseChaos(*chaosSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Chaos = c
+			log.Printf("chaos armed: %s", *chaosSpec)
+		}
+		r, err := shard.Open(*shardDir, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,7 +133,8 @@ func main() {
 		for _, e := range epochs {
 			sum += e
 		}
-		log.Printf("opened %d shard(s) from %s at epoch %d (live=%v)", r.Shards(), *shardDir, sum, *live)
+		log.Printf("opened %d shard(s) x %d replica(s) from %s at epoch %d (live=%v hedge=%v)",
+			r.Shards(), r.Replicas(), *shardDir, sum, *live, *hedgeAfter)
 	case *xmlPath != "":
 		f, err := os.Open(*xmlPath)
 		if err != nil {

@@ -1,0 +1,31 @@
+package core
+
+// Replica health states, as surfaced on /healthz. They live in core (the
+// package every serving layer already depends on) so the HTTP server can
+// type its replica table without importing the shard router.
+const (
+	// ReplicaHealthy: the replica serves reads and accepts routed writes.
+	ReplicaHealthy = "healthy"
+	// ReplicaBreakerOpen: consecutive scan errors tripped the circuit
+	// breaker; the replica is held out of primary read selection until the
+	// cooldown expires. Writes still route to it — the breaker is a read
+	// availability device, not a consistency one.
+	ReplicaBreakerOpen = "breaker-open"
+	// ReplicaQuarantined: the replica's epoch lags its group (a routed
+	// write failed on it). It serves no reads until epoch reconciliation
+	// replays the missed WAL batches and it rejoins.
+	ReplicaQuarantined = "quarantined"
+)
+
+// ReplicaStatus is one row of the /healthz replica table: the health of
+// one replica of one shard.
+type ReplicaStatus struct {
+	Shard             int     `json:"shard"`
+	Replica           int     `json:"replica"`
+	State             string  `json:"state"`
+	Epoch             uint64  `json:"epoch"`
+	EpochLag          uint64  `json:"epoch_lag"`
+	EWMAMillis        float64 `json:"ewma_ms"`
+	ConsecutiveErrors int     `json:"consecutive_errors"`
+	BreakerTrips      uint64  `json:"breaker_trips"`
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"xrefine/internal/datagen"
+)
+
+func TestShardCompare(t *testing.T) {
+	c := testCorpus(t)
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 8, Queries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ShardCompare(c, batch, []int{2}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (monolith + 2 shards)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("shards=%d: output diverged from monolith", r.Shards)
+		}
+		if r.Avg <= 0 {
+			t.Errorf("shards=%d: avg = %v", r.Shards, r.Avg)
+		}
+	}
+	if rows[0].Shards != 1 || rows[0].Speedup != 1 {
+		t.Errorf("baseline row malformed: %+v", rows[0])
+	}
+}
+
+func TestShardTailLatency(t *testing.T) {
+	c := testCorpus(t)
+	batch, err := c.Workload(datagen.WorkloadConfig{Seed: 8, Queries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ShardTailLatency(c, batch, 2, 3, 2, 200*time.Microsecond, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (hedging off + on)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: output diverged from monolith", r.Mode)
+		}
+		if r.Samples != len(batch)*2 {
+			t.Errorf("%s: samples = %d, want %d", r.Mode, r.Samples, len(batch)*2)
+		}
+		if r.P50MS <= 0 || r.P99MS < r.P50MS {
+			t.Errorf("%s: p50 %v / p99 %v malformed", r.Mode, r.P50MS, r.P99MS)
+		}
+	}
+	if rows[0].Mode != "hedging off" || rows[0].Hedges != 0 {
+		t.Errorf("hedging-off row fired %d hedges", rows[0].Hedges)
+	}
+	if rows[1].Mode != "hedging on" {
+		t.Errorf("second row is %q", rows[1].Mode)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3}
+	if got := percentile(samples, 50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := percentile(samples, 99); got != 5 {
+		t.Errorf("p99 = %v, want 5", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}

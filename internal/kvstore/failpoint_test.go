@@ -222,3 +222,110 @@ func TestCorruptionFlips(t *testing.T) {
 		}()
 	}
 }
+
+// TestFaultsErrorRate checks the probabilistic failpoint's endpoints and a
+// mid-range rate: p=0 never fires, p=1 always fires, p=0.5 fires roughly
+// half the time under the fixed default seed.
+func TestFaultsErrorRate(t *testing.T) {
+	f := &Faults{}
+	s := NewMemWithFaults(f)
+	defer s.Close()
+	fillStore(t, s, 200)
+
+	// p=0 (disarmed): everything succeeds.
+	s.DropCaches()
+	for i := 0; i < 200; i++ {
+		if _, ok, err := s.Get([]byte(fmt.Sprintf("key-%05d", i))); err != nil || !ok {
+			t.Fatalf("disarmed read failed: ok=%v err=%v", ok, err)
+		}
+	}
+
+	// p=1: the first pager read fails, typed.
+	f.SetErrorRate(1)
+	s.DropCaches()
+	if _, _, err := s.Get([]byte("key-00000")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("p=1 read error = %v, want ErrInjected", err)
+	}
+
+	// p=0.5: out of many pager reads, both outcomes occur, and the
+	// injected share is nowhere near the endpoints.
+	f.Clear()
+	f.SetErrorRate(0.5)
+	f.Seed(12345)
+	var okReads, failed int
+	for i := 0; i < 200; i++ {
+		s.DropCaches()
+		if _, _, err := s.Get([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("want ErrInjected, got %v", err)
+			}
+			failed++
+		} else {
+			okReads++
+		}
+	}
+	if failed == 0 || okReads == 0 {
+		t.Fatalf("p=0.5 over 200 reads: %d failed, %d ok — want both outcomes", failed, okReads)
+	}
+	f.Clear()
+	s.DropCaches()
+	if _, ok, err := s.Get([]byte("key-00042")); err != nil || !ok {
+		t.Fatalf("store did not heal after Clear: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestFaultsJitter checks the latency-jitter failpoint: a read through an
+// armed range takes at least the minimum, and Clear disarms it.
+func TestFaultsJitter(t *testing.T) {
+	f := &Faults{}
+	s := NewMemWithFaults(f)
+	defer s.Close()
+	fillStore(t, s, 50)
+
+	const min = 2 * time.Millisecond
+	f.SetJitter(min, 4*time.Millisecond)
+	s.DropCaches()
+	start := time.Now()
+	if _, ok, err := s.Get([]byte("key-00000")); err != nil || !ok {
+		t.Fatalf("jittered read failed: ok=%v err=%v", ok, err)
+	}
+	if el := time.Since(start); el < min {
+		t.Errorf("jittered read took %v, want >= %v", el, min)
+	}
+	f.Clear()
+	if f.jitterMax.Load() != 0 {
+		t.Error("Clear left the jitter range armed")
+	}
+}
+
+// TestFaultsSeedReproducible: the same seed yields the same injection
+// pattern over the same operation sequence.
+func TestFaultsSeedReproducible(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		f := &Faults{}
+		f.SetErrorRate(0.3)
+		f.Seed(seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = f.flaky()
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 64-op pattern")
+	}
+}

@@ -34,7 +34,15 @@ const (
 // outcome*; an explicit cancellation means "the caller is gone" and the
 // algorithms abandon the work with the context error.
 type Budget struct {
-	ctx     context.Context
+	ctx context.Context
+	s   *budgetShared
+}
+
+// budgetShared is the accounting all derived views of one budget share:
+// hedged scan attempts each carry their own cancelable context
+// (WithContext) but charge one posting pool, so a replica race never
+// doubles the query's allowance.
+type budgetShared struct {
 	limit   int64        // posting budget; <= 0 means unlimited
 	used    atomic.Int64 // postings consumed so far
 	tripped atomic.Bool  // sticky: some check already failed
@@ -52,7 +60,22 @@ func NewBudget(ctx context.Context, postingLimit int) *Budget {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Budget{ctx: ctx, limit: int64(postingLimit)}
+	return &Budget{ctx: ctx, s: &budgetShared{limit: int64(postingLimit)}}
+}
+
+// WithContext derives a budget that shares b's posting accounting but
+// observes ctx for cancellation and deadline — the hedged-read hook: the
+// router gives every scan attempt its own cancelable context (so the loser
+// of a replica race stops promptly) while all attempts draw on the one
+// query-wide posting pool. A nil receiver stays nil: unlimited either way.
+func (b *Budget) WithContext(ctx context.Context) *Budget {
+	if b == nil {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Budget{ctx: ctx, s: b.s}
 }
 
 // Context returns the budget's context (context.Background for nil
@@ -71,12 +94,12 @@ func (b *Budget) Charge(n int) bool {
 	if b == nil {
 		return true
 	}
-	if b.limit > 0 && b.used.Add(int64(n)) > b.limit {
-		b.tripped.Store(true)
+	if b.s.limit > 0 && b.s.used.Add(int64(n)) > b.s.limit {
+		b.s.tripped.Store(true)
 		return false
 	}
 	if b.ctx.Err() != nil {
-		b.tripped.Store(true)
+		b.s.tripped.Store(true)
 		return false
 	}
 	return true
@@ -91,7 +114,7 @@ func (b *Budget) Used() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.used.Load()
+	return b.s.used.Load()
 }
 
 // Err returns the non-degradable stop cause: the context error when the
@@ -111,7 +134,7 @@ func (b *Budget) Err() error {
 // the Degraded* constants, or "" when the budget has not tripped (or the
 // stop cause is a hard cancellation, which Err reports instead).
 func (b *Budget) Reason() string {
-	if b == nil || !b.tripped.Load() {
+	if b == nil || !b.s.tripped.Load() {
 		return ""
 	}
 	if err := b.ctx.Err(); err != nil {
@@ -120,7 +143,7 @@ func (b *Budget) Reason() string {
 		}
 		return "" // hard cancel: Err carries it
 	}
-	if b.limit > 0 && b.used.Load() > b.limit {
+	if b.s.limit > 0 && b.s.used.Load() > b.s.limit {
 		return DegradedPostings
 	}
 	return ""

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"time"
 
+	"math/rand"
+
 	"xrefine/internal/core"
 	"xrefine/internal/index"
 	"xrefine/internal/mutate"
@@ -87,6 +89,13 @@ type Backend interface {
 type ShardedBackend interface {
 	Backend
 	ShardEpochs() []uint64
+}
+
+// ReplicatedBackend is the optional extension a replicated backend
+// implements; /healthz surfaces the replica health table when present.
+type ReplicatedBackend interface {
+	Backend
+	ReplicaTable() []core.ReplicaStatus
 }
 
 // Server wraps a backend with HTTP handlers. The backend is safe for
@@ -227,9 +236,13 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 				defer func() { <-s.gate }()
 			default:
 				// Shed immediately: under overload a bounded, fast "no"
-				// beats an unbounded queue of slow yeses.
+				// beats an unbounded queue of slow yeses. The Retry-After
+				// hint is randomized (1–3s) so a fleet of shed clients does
+				// not retry in lockstep and re-saturate the gate on the
+				// same tick — the jitter half of retry-with-jitter, served
+				// by the party that can see the thundering herd forming.
 				s.mShed.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(1+rand.Intn(3)))
 				httpError(w, http.StatusServiceUnavailable, errors.New("server at capacity"))
 				return
 			}
@@ -540,6 +553,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		epochs := sb.ShardEpochs()
 		body["shards"] = len(epochs)
 		body["shard_epochs"] = epochs
+	}
+	// Replicated backends additionally surface one health row per replica
+	// — state, epoch lag, EWMA latency, breaker state — so an operator can
+	// see a quarantined or breaker-open replica at a glance.
+	if rb, ok := s.eng.(ReplicatedBackend); ok {
+		table := rb.ReplicaTable()
+		body["replicas"] = table
+		healthy := 0
+		for _, row := range table {
+			if row.State == core.ReplicaHealthy {
+				healthy++
+			}
+		}
+		body["replicas_healthy"] = healthy
+		body["replicas_total"] = len(table)
 	}
 	// The full registry snapshot rides along under its own key so the
 	// established top-level fields stay stable for existing probes.

@@ -1,0 +1,479 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/kvstore"
+	"xrefine/internal/mutate"
+	"xrefine/internal/refine"
+	"xrefine/internal/server"
+)
+
+// The tests here extend the differential suite to replicated serving: a
+// router whose shards are R-way replica sets must stay byte-identical to
+// the monolith no matter which replica serves each scan — with hedging on
+// or off, under slow, flaky, dead and epoch-lagged replicas — and must
+// fail over rather than degrade whenever any replica of a shard survives.
+
+// memReplicatedRouter splits a generated corpus across n shards of rs
+// in-memory replica stores each and routers them. faults, when non-nil, is
+// indexed faults[shard][replica]; nil entries leave that store unfaulted.
+// With opts.Live each replica gets its own WAL file under a test temp dir.
+func memReplicatedRouter(t *testing.T, authors int, seed int64, n, rs int, opts *Options, faults [][]*kvstore.Faults) *Router {
+	t.Helper()
+	doc := corpusDoc(t, authors, seed)
+	subs, err := SplitDocument(doc, n, ModeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	stores := make([][]*kvstore.Store, n)
+	var walPaths [][]string
+	if opts.Live {
+		walPaths = make([][]string, n)
+	}
+	walDir := t.TempDir()
+	for i, sub := range subs {
+		eng := core.NewFromDocument(sub, &core.Config{DisableMetrics: true})
+		for j := 0; j < rs; j++ {
+			var f *kvstore.Faults
+			if faults != nil && faults[i] != nil {
+				f = faults[i][j]
+			}
+			s := kvstore.NewMemWithFaults(f)
+			if err := eng.SaveIndexWithDocument(s); err != nil {
+				t.Fatal(err)
+			}
+			stores[i] = append(stores[i], s)
+			if opts.Live {
+				walPaths[i] = append(walPaths[i], filepath.Join(walDir, fmt.Sprintf("s%d-r%d.wal", i, j)))
+			}
+		}
+	}
+	r, err := NewReplicated(stores, walPaths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		r.Close()
+		for _, grp := range stores {
+			for _, s := range grp {
+				s.Close()
+			}
+		}
+	})
+	return r
+}
+
+// TestReplicaByteIdentity is the replicated conformance claim: for every
+// replica count and with hedging off or aggressive, scatter-gather output
+// stays byte-identical to the monolith — whichever replica wins a race
+// serves the same bytes.
+func TestReplicaByteIdentity(t *testing.T) {
+	doc := corpusDoc(t, 32, 11)
+	mono := server.New(core.NewFromDocument(doc, nil))
+	for _, rs := range []int{1, 2, 3} {
+		for _, hedge := range []time.Duration{0, 50 * time.Microsecond} {
+			r := memReplicatedRouter(t, 32, 11, 2, rs, &Options{HedgeAfter: hedge}, nil)
+			srv := server.NewFromBackend(r, server.Config{})
+			for _, q := range diffQueries {
+				want := fetchSearch(t, mono, q, "partition", 1, 3)
+				for _, parallel := range []int{1, 2} {
+					got := fetchSearch(t, srv, q, "partition", parallel, 3)
+					if got != want {
+						t.Errorf("replicas=%d hedge=%v parallel=%d q=%q diverged:\n got: %s\nwant: %s",
+							rs, hedge, parallel, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaFaultMatrix drives the router through the replica fault
+// profiles: a slow replica (hedged around), a flaky replica (retried
+// over), a dead replica (failed over, breaker opened) and a fully dead
+// shard (degraded shard-partial, never a lie).
+func TestReplicaFaultMatrix(t *testing.T) {
+	doc := corpusDoc(t, 32, 5)
+	mono := server.New(core.NewFromDocument(doc, nil))
+	want := fetchSearch(t, mono, "database query", "partition", 1, 3)
+
+	t.Run("slow-replica-hedged", func(t *testing.T) {
+		faults := [][]*kvstore.Faults{{{}, nil}, {nil, nil}}
+		r := memReplicatedRouter(t, 32, 5, 2, 2, &Options{HedgeAfter: 100 * time.Microsecond}, faults)
+		srv := server.NewFromBackend(r, server.Config{})
+		// Arm after construction so only query-time reads pay the latency.
+		faults[0][0].ReadLatency = 2 * time.Millisecond
+		r.groups[0].reps[0].store.DropCaches()
+		for i := 0; i < 3; i++ {
+			if got := fetchSearch(t, srv, "database query", "partition", 2, 3); got != want {
+				t.Fatalf("slow-replica query %d diverged:\n got: %s\nwant: %s", i, got, want)
+			}
+		}
+		if r.m.hedges.Value() == 0 {
+			t.Error("no hedge fired against a 2ms/page replica with a 100µs hedge delay")
+		}
+		if got := r.m.partial.Value(); got != 0 {
+			t.Errorf("slow replica degraded %d responses; hedging should have absorbed it", got)
+		}
+	})
+
+	t.Run("flaky-replica-retried", func(t *testing.T) {
+		faults := [][]*kvstore.Faults{{{}, nil}, {nil, nil}}
+		r := memReplicatedRouter(t, 32, 5, 2, 2, nil, faults)
+		srv := server.NewFromBackend(r, server.Config{})
+		faults[0][0].Seed(99)
+		faults[0][0].SetErrorRate(0.3)
+		r.groups[0].reps[0].store.DropCaches()
+		for i := 0; i < 8; i++ {
+			if got := fetchSearch(t, srv, "database query", "partition", 2, 3); got != want {
+				t.Fatalf("flaky-replica query %d diverged:\n got: %s\nwant: %s", i, got, want)
+			}
+		}
+		if got := r.m.partial.Value(); got != 0 {
+			t.Errorf("flaky replica degraded %d responses; failover should have absorbed it", got)
+		}
+	})
+
+	t.Run("dead-replica-failover", func(t *testing.T) {
+		faults := [][]*kvstore.Faults{{{}, nil}, {nil, nil}}
+		r := memReplicatedRouter(t, 32, 5, 2, 2, nil, faults)
+		srv := server.NewFromBackend(r, server.Config{})
+		faults[0][0].FailReads(1)
+		r.groups[0].reps[0].store.DropCaches()
+		for i := 0; i < 5; i++ {
+			if got := fetchSearch(t, srv, "database query", "partition", 2, 3); got != want {
+				t.Fatalf("dead-replica query %d diverged:\n got: %s\nwant: %s", i, got, want)
+			}
+		}
+		if got := r.m.partial.Value(); got != 0 {
+			t.Errorf("dead replica with a live sibling degraded %d responses, want 0", got)
+		}
+		if r.m.replicaErrors.Sum() == 0 {
+			t.Error("dead replica recorded no attempt errors; the failpoint never fired")
+		}
+		// Dead long enough for the error streak: the breaker opens and the
+		// health table says so.
+		if r.m.breakerTrips.Value() == 0 {
+			t.Error("breaker never tripped after repeated replica failures")
+		}
+		found := false
+		for _, row := range r.ReplicaTable() {
+			if row.Shard == 0 && row.Replica == 0 && row.State == StateBreakerOpen {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("replica table missing breaker-open row: %+v", r.ReplicaTable())
+		}
+	})
+
+	t.Run("all-replicas-dead", func(t *testing.T) {
+		faults := [][]*kvstore.Faults{{{}, {}}, {nil, nil}}
+		r := memReplicatedRouter(t, 32, 5, 2, 2, nil, faults)
+		for j, rp := range r.groups[0].reps {
+			rp.store.DropCaches()
+			faults[0][j].FailReads(1)
+		}
+		resp, err := r.QueryTermsCtx(nil, []string{"database", "query"}, core.StrategyPartition, 3, 2)
+		if err != nil {
+			t.Fatalf("query with one fully dead shard: %v", err)
+		}
+		if !resp.Degraded || resp.DegradedReason != refine.DegradedShardPartial {
+			t.Fatalf("degraded=%v reason=%q, want shard-partial", resp.Degraded, resp.DegradedReason)
+		}
+		if got := r.m.partial.Value(); got != 1 {
+			t.Errorf("xrefine_shard_partial_total = %d, want 1", got)
+		}
+		if got := r.m.scanErrors.Sum(); got != 1 {
+			t.Errorf("xrefine_shard_scan_errors_total = %d, want 1 (job-granular)", got)
+		}
+		// Healing every replica heals the shard.
+		faults[0][0].Clear()
+		faults[0][1].Clear()
+		resp2, err := r.QueryTermsCtx(nil, []string{"database", "query"}, core.StrategyPartition, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp2.Degraded {
+			t.Errorf("recovered query still degraded: %q", resp2.DegradedReason)
+		}
+	})
+}
+
+// TestReplicaEpochReconcile is the routed-write half: a write fault on one
+// replica leaves it epoch-lagged; the router quarantines it from reads
+// (answers stay byte-identical to the monolith), keeps accepting writes on
+// the surviving replica, and once the store heals catches the straggler up
+// by WAL-batch replay and rejoins it.
+func TestReplicaEpochReconcile(t *testing.T) {
+	doc := corpusDoc(t, 24, 9)
+	faults := [][]*kvstore.Faults{{nil, {}}, {nil, nil}}
+	r := memReplicatedRouter(t, 24, 9, 2, 2, &Options{Live: true}, faults)
+	srv := server.NewFromBackend(r, server.Config{})
+	mono := core.NewFromDocument(doc, nil)
+	monoSrv := server.New(mono)
+
+	parts := doc.Partitions()
+	frag := "<paper><title>replica reconcile probe</title></paper>"
+	apply := func(i int) {
+		t.Helper()
+		b := &mutate.Batch{Ops: []mutate.Op{{Kind: mutate.OpInsert, Parent: parts[0].ID, XML: frag}}}
+		if _, err := mono.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Apply(b); err != nil {
+			t.Fatalf("routed apply %d: %v", i, err)
+		}
+	}
+
+	// Break replica 1 of shard 0 for writes, then commit twice: both land
+	// on replica 0 only, replica 1 falls two epochs behind.
+	faults[0][1].FailWrites(1)
+	apply(1)
+	apply(2)
+
+	if got := r.m.quarantines.Value(); got != 1 {
+		t.Errorf("quarantines = %d, want 1 (quarantined once, stays quarantined)", got)
+	}
+	var lagged *core.ReplicaStatus
+	for _, row := range r.ReplicaTable() {
+		if row.Shard == 0 && row.Replica == 1 {
+			row := row
+			lagged = &row
+		}
+	}
+	if lagged == nil || lagged.State != StateQuarantined || lagged.EpochLag != 2 {
+		t.Fatalf("shard 0 replica 1 = %+v, want quarantined with epoch lag 2", lagged)
+	}
+
+	// Reads while quarantined: byte-identical to the post-update monolith —
+	// the lagged replica serves nothing.
+	for _, q := range diffQueries[:2] {
+		want := fetchSearch(t, monoSrv, q, "partition", 1, 3)
+		if got := fetchSearch(t, srv, q, "partition", 2, 3); got != want {
+			t.Fatalf("query %q diverged while a replica lagged:\n got: %s\nwant: %s", q, got, want)
+		}
+	}
+
+	// Heal the store; reconciliation replays the two missed batches through
+	// the replica's own WAL-logged Apply and rejoins it.
+	faults[0][1].Clear()
+	if n := r.Reconcile(); n != 1 {
+		t.Fatalf("Reconcile rejoined %d replicas, want 1", n)
+	}
+	for _, row := range r.ReplicaTable() {
+		if row.Shard == 0 && row.Replica == 1 {
+			if row.State != StateHealthy || row.EpochLag != 0 {
+				t.Fatalf("rejoined replica = %+v, want healthy at lag 0", row)
+			}
+		}
+	}
+
+	// The next write lands on both replicas again and epochs stay equal.
+	apply(3)
+	for _, rp := range r.groups[0].reps {
+		if e := rp.eng.Epoch(); e != 3 {
+			t.Errorf("shard 0 replica %d epoch = %d, want 3", rp.id, e)
+		}
+	}
+	for _, q := range diffQueries[:2] {
+		want := fetchSearch(t, monoSrv, q, "partition", 1, 3)
+		if got := fetchSearch(t, srv, q, "partition", 2, 3); got != want {
+			t.Fatalf("query %q diverged after rejoin:\n got: %s\nwant: %s", q, got, want)
+		}
+	}
+}
+
+// TestReplicaWriteRejectionNoQuarantine: a batch that no replica accepts
+// (bad target) is the caller's error — it advances no epoch and must not
+// quarantine anything.
+func TestReplicaWriteRejectionNoQuarantine(t *testing.T) {
+	r := memReplicatedRouter(t, 24, 9, 2, 2, &Options{Live: true}, nil)
+	bad := &mutate.Batch{Ops: []mutate.Op{{Kind: mutate.OpInsert, Parent: []uint32{0, 2}, XML: "<unclosed"}}}
+	if _, err := r.Apply(bad); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	for _, row := range r.ReplicaTable() {
+		if row.State != StateHealthy || row.EpochLag != 0 {
+			t.Errorf("replica %+v unhealthy after a rejected batch", row)
+		}
+	}
+	if got := r.m.quarantines.Value(); got != 0 {
+		t.Errorf("quarantines = %d after a rejected batch, want 0", got)
+	}
+}
+
+// TestReplicaHedgeCancelPromptness stresses the hedge race under the race
+// detector: many queries against a slow primary with an aggressive hedge
+// delay must neither leak loser goroutines nor corrupt shared state, and
+// every response must match the monolith.
+func TestReplicaHedgeCancelPromptness(t *testing.T) {
+	doc := corpusDoc(t, 24, 3)
+	mono := server.New(core.NewFromDocument(doc, nil))
+	want := fetchSearch(t, mono, "database query", "partition", 1, 3)
+	faults := [][]*kvstore.Faults{{{}, nil}, {{}, nil}}
+	r := memReplicatedRouter(t, 24, 3, 2, 2, &Options{HedgeAfter: 50 * time.Microsecond}, faults)
+	srv := server.NewFromBackend(r, server.Config{})
+	for i := range faults {
+		faults[i][0].ReadLatency = time.Millisecond
+		r.groups[i].reps[0].store.DropCaches()
+	}
+	base := runtime.NumGoroutine()
+	done := make(chan string, 8)
+	const clients, rounds = 4, 8
+	for c := 0; c < clients; c++ {
+		go func() {
+			for i := 0; i < rounds; i++ {
+				done <- fetchSearchQuiet(srv, "database query", 2, 3)
+			}
+		}()
+	}
+	for i := 0; i < clients*rounds; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("hedged query diverged:\n got: %s\nwant: %s", got, want)
+		}
+	}
+	// Losers must unwind promptly once cancelled: the goroutine count
+	// settles back near the pre-stress baseline.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base+clients+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now vs %d baseline — hedge losers leaked",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if r.m.hedges.Value() == 0 {
+		t.Error("stress run fired no hedges; the race was never exercised")
+	}
+}
+
+// TestReplicatedStoreLayout checks the on-disk replicated format round
+// trip: WriteReplicatedStores emits R stores and WAL names per shard, Open
+// honors the Replicas bound, and a live replicated directory serves and
+// accepts writes.
+func TestReplicatedStoreLayout(t *testing.T) {
+	doc := corpusDoc(t, 24, 7)
+	dir := t.TempDir()
+	man, err := WriteReplicatedStores(doc, dir, 2, ModeRange, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Shards) != 2 {
+		t.Fatalf("manifest shards = %d, want 2", len(man.Shards))
+	}
+	for i, ent := range man.Shards {
+		if len(ent.Replicas) != 2 {
+			t.Fatalf("shard %d extra replicas = %d, want 2", i, len(ent.Replicas))
+		}
+	}
+
+	full, err := Open(dir, &Options{Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Replicas(); got != 3 {
+		t.Errorf("Open attached %d replicas, want 3", got)
+	}
+	if rows := full.ReplicaTable(); len(rows) != 6 {
+		t.Errorf("replica table rows = %d, want 6", len(rows))
+	}
+	parts := doc.Partitions()
+	b := &mutate.Batch{Ops: []mutate.Op{{Kind: mutate.OpInsert, Parent: parts[0].ID,
+		XML: "<paper><title>layout probe</title></paper>"}}}
+	if _, err := full.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	full.Close()
+
+	// Reopened bounded to the primary only, the directory still serves and
+	// the committed epoch is visible.
+	one, err := Open(dir, &Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	if got := one.Replicas(); got != 1 {
+		t.Errorf("Open -replicas 1 attached %d replicas, want 1", got)
+	}
+	if got := one.ShardEpochs()[0]; got != 1 {
+		t.Errorf("reopened shard 0 epoch = %d, want 1", got)
+	}
+	if _, err := one.QueryTermsCtx(nil, []string{"layout", "probe"}, core.StrategyPartition, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fetchSearchQuiet is fetchSearch without the testing.T plumbing, for use
+// inside stress goroutines (t.Fatal must not be called off the test
+// goroutine); a non-200 body diverges from `want` and fails the compare.
+func fetchSearchQuiet(h http.Handler, q string, parallel, k int) string {
+	v := url.Values{"q": {q}, "strategy": {"partition"}, "k": {fmt.Sprint(k)}, "parallel": {fmt.Sprint(parallel)}}
+	req := httptest.NewRequest(http.MethodGet, "/search?"+v.Encode(), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Body.String()
+}
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("rate=0.01,jitter=200us-1ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate != 0.01 || c.JitterMin != 200*time.Microsecond || c.JitterMax != time.Millisecond || c.Seed != 7 {
+		t.Errorf("parsed %+v", c)
+	}
+	c, err = ParseChaos("jitter=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.JitterMin != 0 || c.JitterMax != 2*time.Millisecond {
+		t.Errorf("single-value jitter parsed %+v", c)
+	}
+	for _, bad := range []string{
+		"",               // arms nothing
+		"rate=0",         // arms nothing
+		"rate=1.5",       // out of range
+		"rate=x",         // not a float
+		"jitter=5ms-1ms", // inverted range
+		"jitter=zzz",     // not a duration
+		"seed=-1",        // not a uint
+		"flaky",          // not key=value
+		"explode=always", // unknown key
+	} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+func TestChaosArm(t *testing.T) {
+	c := &Chaos{Rate: 1} // every page IO fails
+	f := &kvstore.Faults{}
+	c.arm(f, 0, 1)
+	s := kvstore.NewMemWithFaults(f)
+	defer s.Close()
+	doc := corpusDoc(t, 8, 3)
+	eng := core.NewFromDocument(doc, &core.Config{DisableMetrics: true})
+	if err := eng.SaveIndexWithDocument(s); err == nil {
+		t.Error("rate=1 chaos let a write through")
+	}
+	// Nil spec and nil fault set are both no-ops, matching an unchaosed Open.
+	(*Chaos)(nil).arm(f, 0, 0)
+	c.arm(nil, 0, 0)
+}

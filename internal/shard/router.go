@@ -23,13 +23,50 @@ import (
 
 // Options tunes a Router.
 type Options struct {
-	// Live opens every shard with its write-ahead log attached, enabling
+	// Live opens every replica with its write-ahead log attached, enabling
 	// Apply. Read-only routers refuse updates like a frozen engine.
 	Live bool
 	// Config is the engine configuration shared by the shards and the
 	// meta engine (strategy, K, budgets, metrics registry). Nil works.
 	Config *core.Config
+
+	// Replicas bounds how many replicas per shard Open attaches from the
+	// manifest: 0 opens every replica the directory carries, 1 opens the
+	// primary only, R opens min(R, available).
+	Replicas int
+	// HedgeAfter is the delay after which a shard scan still outstanding
+	// on its primary replica is hedged onto the next-best replica; the
+	// first scan to finish wins and the loser is cancelled. 0 disables
+	// hedging (the single-replica behavior).
+	HedgeAfter time.Duration
+	// Retries is the number of extra scan attempts a shard gets beyond
+	// one per readable replica before the scan fails and the response
+	// degrades shard-partial. 0 means the default (1); negative disables
+	// retries entirely.
+	Retries int
+	// RetryBackoff is the base delay between sequential retry rounds,
+	// doubling per round. 0 means the default (2ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive scan errors open a
+	// replica's circuit breaker. 0 means the default (3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker holds the replica out
+	// of primary read selection. 0 means the default (3s).
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, arms a seeded probabilistic fault injector
+	// (error rate and/or latency jitter) on every replica store Open
+	// opens — the xserve -chaos soak mode. Ignored by the NewFromStores
+	// constructors, whose callers own the stores.
+	Chaos *Chaos
 }
+
+// Defaults for the zero-valued Options knobs.
+const (
+	defaultRetries          = 1
+	defaultRetryBackoff     = 2 * time.Millisecond
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 3 * time.Second
+)
 
 // metaState is the router's query-time view, rebuilt whole after every
 // committed update and swapped in with one pointer store: the merged
@@ -47,8 +84,8 @@ type metaState struct {
 	rootOwner int
 }
 
-// routerMetrics are the scatter-gather families, registered on the shared
-// registry next to the meta engine's.
+// routerMetrics are the scatter-gather and replica families, registered on
+// the shared registry next to the meta engine's.
 type routerMetrics struct {
 	fanout     *obs.Gauge
 	queries    *obs.Counter
@@ -56,28 +93,55 @@ type routerMetrics struct {
 	scanErrors *obs.CounterVec
 	partial    *obs.Counter
 	mergeSecs  *obs.Histogram
+
+	replicaScans  *obs.CounterVec
+	replicaErrors *obs.CounterVec
+	hedges        *obs.Counter
+	hedgeWins     *obs.Counter
+	retries       *obs.Counter
+	breakerTrips  *obs.Counter
+	quarantines   *obs.Counter
+	reconciles    *obs.Counter
 }
 
-// Router hosts one corpus across independent engine shards and serves the
-// whole core.Engine query surface scatter-gather. Partition-strategy
-// queries fan a per-shard scan out under one shared budget and pruning
-// bound and merge the records back in global document order, so responses
-// are byte-identical to a monolithic engine over the concatenated corpus.
-// The other strategies (and ranking, completion, statistics) run on a meta
-// engine built over the merged index.
+// Router hosts one corpus across independent engine shards — each shard an
+// R-way replica set with its own store, WAL and epoch per replica — and
+// serves the whole core.Engine query surface scatter-gather.
+// Partition-strategy queries fan a per-shard scan out under one shared
+// budget and pruning bound and merge the records back in global document
+// order, so responses are byte-identical to a monolithic engine over the
+// concatenated corpus no matter which replica serves each scan. The other
+// strategies (and ranking, completion, statistics) run on a meta engine
+// built over the merged index.
+//
+// Each shard scan picks the healthiest replica (EWMA latency, circuit
+// breaker state); with HedgeAfter set, a scan still outstanding past the
+// delay is hedged onto the next replica and the loser is cancelled through
+// the context plumbing. Transient faults retry with backoff across the
+// replica set before the shard is declared failed. Writes route to every
+// replica of the owning shard; a replica that misses a commit is detected
+// by epoch mismatch, quarantined from reads, and caught up by replaying
+// the missed WAL batches before it rejoins.
 type Router struct {
 	cfg         core.Config // as passed, before engine defaulting
 	topK        int
 	parallelism int
 	reg         *xmltree.Registry
 	mreg        *obs.Registry
-	shards      []*core.Engine
-	stores      []*kvstore.Store
+	groups      []*replicaGroup
 	ownsStores  bool
 
-	// applyMu serializes writers; the meta state swap is the publish.
+	hedgeAfter       time.Duration
+	retries          int
+	retryBackoff     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	// applyMu serializes writers; the meta state swap is the publish. The
+	// per-shard catch-up logs are guarded by it too.
 	applyMu sync.Mutex
 	meta    atomic.Pointer[metaState]
+	catchup []*catchupLog
 
 	m routerMetrics
 	// Scatter-path response counters Stats folds into the meta engine's
@@ -86,10 +150,11 @@ type Router struct {
 	degraded atomic.Uint64
 }
 
-// Open opens the shard directory written by WriteStores and builds a
-// router over it. Live routers attach each shard's WAL (replaying any
-// crash leftovers) and accept updates; read-only routers open the stores
-// read-only. The router owns the stores; Close releases everything.
+// Open opens the shard directory written by WriteStores /
+// WriteReplicatedStores and builds a router over it. Live routers attach
+// each replica's WAL (replaying any crash leftovers) and accept updates;
+// read-only routers open the stores read-only. The router owns the stores;
+// Close releases everything.
 func Open(dir string, opts *Options) (*Router, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -98,37 +163,84 @@ func Open(dir string, opts *Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	stores := make([]*kvstore.Store, 0, len(man.Shards))
-	walPaths := make([]string, 0, len(man.Shards))
+	var stores [][]*kvstore.Store
+	var walPaths [][]string
+	var faults [][]*kvstore.Faults
 	closeAll := func() {
-		for _, s := range stores {
-			s.Close()
+		for _, grp := range stores {
+			for _, s := range grp {
+				s.Close()
+			}
 		}
 	}
 	for _, ent := range man.Shards {
-		s, err := kvstore.Open(filepath.Join(dir, ent.Store), &kvstore.Options{ReadOnly: !opts.Live})
-		if err != nil {
-			closeAll()
-			return nil, err
+		files := []ReplicaFiles{{Store: ent.Store, WAL: ent.WAL}}
+		files = append(files, ent.Replicas...)
+		if opts.Replicas > 0 && len(files) > opts.Replicas {
+			files = files[:opts.Replicas]
 		}
-		stores = append(stores, s)
-		walPaths = append(walPaths, filepath.Join(dir, ent.WAL))
+		var grp []*kvstore.Store
+		var wals []string
+		var fs []*kvstore.Faults
+		for _, rf := range files {
+			var f *kvstore.Faults
+			if opts.Chaos != nil {
+				f = &kvstore.Faults{} // attached now, armed after load
+			}
+			s, err := kvstore.Open(filepath.Join(dir, rf.Store), &kvstore.Options{ReadOnly: !opts.Live, Faults: f})
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			grp = append(grp, s)
+			wals = append(wals, filepath.Join(dir, rf.WAL))
+			fs = append(fs, f)
+		}
+		stores = append(stores, grp)
+		walPaths = append(walPaths, wals)
+		faults = append(faults, fs)
 	}
-	r, err := NewFromStores(stores, walPaths, opts)
+	r, err := NewReplicated(stores, walPaths, opts)
 	if err != nil {
 		closeAll()
 		return nil, err
+	}
+	for i, g := range r.groups {
+		for j, rp := range g.reps {
+			rp.faults = faults[i][j]
+			opts.Chaos.arm(rp.faults, i, j)
+		}
 	}
 	r.ownsStores = true
 	return r, nil
 }
 
-// NewFromStores builds a router over already-open shard stores (written
-// with WriteStores semantics: disjoint partition subsets of one corpus,
-// global Dewey labels, a shared bare container root). With opts.Live the
-// i-th shard attaches the i-th WAL path. The caller owns the stores
-// unless the router was built through Open.
+// NewFromStores builds a single-replica router over already-open shard
+// stores (written with WriteStores semantics: disjoint partition subsets
+// of one corpus, global Dewey labels, a shared bare container root). With
+// opts.Live the i-th shard attaches the i-th WAL path. The caller owns the
+// stores unless the router was built through Open.
 func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*Router, error) {
+	grp := make([][]*kvstore.Store, len(stores))
+	for i, s := range stores {
+		grp[i] = []*kvstore.Store{s}
+	}
+	var wals [][]string
+	if walPaths != nil {
+		wals = make([][]string, len(walPaths))
+		for i, w := range walPaths {
+			wals[i] = []string{w}
+		}
+	}
+	return NewReplicated(grp, wals, opts)
+}
+
+// NewReplicated builds a router over already-open replica store groups:
+// stores[i][j] is replica j of shard i, every replica of a shard holding
+// an identical copy of that shard's subset. With opts.Live, walPaths must
+// mirror the store layout. The caller owns the stores unless the router
+// was built through Open.
+func NewReplicated(stores [][]*kvstore.Store, walPaths [][]string, opts *Options) (*Router, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -136,18 +248,42 @@ func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*
 		return nil, errors.New("shard: no shard stores")
 	}
 	if opts.Live && len(walPaths) != len(stores) {
-		return nil, fmt.Errorf("shard: %d stores but %d wal paths", len(stores), len(walPaths))
+		return nil, fmt.Errorf("shard: %d store groups but %d wal groups", len(stores), len(walPaths))
 	}
 	cfg := core.Config{}
 	if opts.Config != nil {
 		cfg = *opts.Config
 	}
-	r := &Router{cfg: cfg, topK: cfg.TopK, parallelism: cfg.Parallelism, stores: stores}
+	r := &Router{
+		cfg:              cfg,
+		topK:             cfg.TopK,
+		parallelism:      cfg.Parallelism,
+		hedgeAfter:       opts.HedgeAfter,
+		retries:          opts.Retries,
+		retryBackoff:     opts.RetryBackoff,
+		breakerThreshold: opts.BreakerThreshold,
+		breakerCooldown:  opts.BreakerCooldown,
+	}
 	if r.topK <= 0 {
 		r.topK = 3
 	}
 	if r.parallelism <= 0 {
 		r.parallelism = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case r.retries == 0:
+		r.retries = defaultRetries
+	case r.retries < 0:
+		r.retries = 0
+	}
+	if r.retryBackoff <= 0 {
+		r.retryBackoff = defaultRetryBackoff
+	}
+	if r.breakerThreshold <= 0 {
+		r.breakerThreshold = defaultBreakerThreshold
+	}
+	if r.breakerCooldown <= 0 {
+		r.breakerCooldown = defaultBreakerCooldown
 	}
 	r.mreg = cfg.Metrics
 	if cfg.DisableMetrics {
@@ -156,27 +292,40 @@ func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*
 		r.mreg = obs.NewRegistry()
 	}
 	r.reg = xmltree.NewRegistry()
-	// Shards keep private registries (their metric families would collide
-	// name-for-name on a shared one) and walk sequentially — parallelism
-	// lives in the cross-shard fan-out, not inside one shard.
+	// Replica engines keep private registries (their metric families would
+	// collide name-for-name on a shared one) and walk sequentially —
+	// parallelism lives in the cross-shard fan-out, not inside one shard.
 	shardCfg := cfg
 	shardCfg.Metrics = nil
 	shardCfg.DisableMetrics = true
 	shardCfg.Parallelism = 1
 	shardCfg.CacheSize = 0
-	for i, s := range stores {
-		var eng *core.Engine
-		var err error
-		if opts.Live {
-			eng, err = core.OpenLiveShared(s, walPaths[i], r.reg, &shardCfg)
-		} else {
-			eng, err = core.OpenShared(s, r.reg, &shardCfg)
-		}
-		if err != nil {
+	for i, grp := range stores {
+		if len(grp) == 0 {
 			r.closeShards()
-			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+			return nil, fmt.Errorf("shard: shard %d has no replica stores", i)
 		}
-		r.shards = append(r.shards, eng)
+		if opts.Live && len(walPaths[i]) != len(grp) {
+			r.closeShards()
+			return nil, fmt.Errorf("shard: shard %d has %d stores but %d wal paths", i, len(grp), len(walPaths[i]))
+		}
+		g := &replicaGroup{shard: i}
+		for j, s := range grp {
+			var eng *core.Engine
+			var err error
+			if opts.Live {
+				eng, err = core.OpenLiveShared(s, walPaths[i][j], r.reg, &shardCfg)
+			} else {
+				eng, err = core.OpenShared(s, r.reg, &shardCfg)
+			}
+			if err != nil {
+				r.closeShards()
+				return nil, fmt.Errorf("shard: open shard %d replica %d: %w", i, j, err)
+			}
+			g.reps = append(g.reps, &replica{shard: i, id: j, eng: eng, store: s})
+		}
+		r.groups = append(r.groups, g)
+		r.catchup = append(r.catchup, &catchupLog{})
 	}
 	r.m = routerMetrics{
 		fanout: r.mreg.Gauge("xrefine_shard_fanout",
@@ -186,11 +335,27 @@ func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*
 		scans: r.mreg.CounterVec("xrefine_shard_scans_total",
 			"Per-shard partition scans executed.", "shard"),
 		scanErrors: r.mreg.CounterVec("xrefine_shard_scan_errors_total",
-			"Per-shard scans that failed and were dropped from the merge.", "shard"),
+			"Per-shard scans whose every replica attempt failed and were dropped from the merge.", "shard"),
 		partial: r.mreg.Counter("xrefine_shard_partial_total",
 			"Responses degraded shard-partial because a shard scan failed."),
 		mergeSecs: r.mreg.Histogram("xrefine_shard_merge_seconds",
 			"Cross-shard merge latency in seconds.", obs.DefBuckets),
+		replicaScans: r.mreg.CounterVec("xrefine_replica_scans_total",
+			"Scan attempts dispatched, by shard and replica.", "shard", "replica"),
+		replicaErrors: r.mreg.CounterVec("xrefine_replica_errors_total",
+			"Scan attempts that failed, by shard and replica.", "shard", "replica"),
+		hedges: r.mreg.Counter("xrefine_replica_hedges_total",
+			"Hedge scans fired because the primary replica was slow."),
+		hedgeWins: r.mreg.Counter("xrefine_replica_hedge_wins_total",
+			"Hedge scans that finished before the primary attempt."),
+		retries: r.mreg.Counter("xrefine_replica_retries_total",
+			"Sequential scan retries after a failed attempt."),
+		breakerTrips: r.mreg.Counter("xrefine_replica_breaker_trips_total",
+			"Circuit-breaker openings after consecutive replica errors."),
+		quarantines: r.mreg.Counter("xrefine_replica_quarantines_total",
+			"Replicas quarantined from reads on an epoch mismatch."),
+		reconciles: r.mreg.Counter("xrefine_replica_reconciles_total",
+			"Quarantined replicas caught up by WAL-batch replay and rejoined."),
 	}
 	r.mreg.GaugeFunc("xrefine_shard_epoch_sum",
 		"Sum of the shard epochs — advances by one per committed batch.",
@@ -201,6 +366,47 @@ func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*
 			}
 			return float64(sum)
 		})
+	r.mreg.GaugeFunc("xrefine_replica_quarantined",
+		"Replicas currently quarantined from reads (epoch-lagged).",
+		func() float64 {
+			n := 0
+			for _, g := range r.groups {
+				for _, rp := range g.reps {
+					if rp.quarantined.Load() {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+	r.mreg.GaugeFunc("xrefine_replica_breaker_open",
+		"Replicas whose circuit breaker is currently open.",
+		func() float64 {
+			now := time.Now().UnixNano()
+			n := 0
+			for _, g := range r.groups {
+				for _, rp := range g.reps {
+					if rp.breakerOpen(now) {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+	r.mreg.GaugeFunc("xrefine_replica_epoch_lag_max",
+		"Largest epoch lag of any replica behind its group.",
+		func() float64 {
+			var max uint64
+			for _, g := range r.groups {
+				top := g.maxEpoch()
+				for _, rp := range g.reps {
+					if e := rp.eng.Epoch(); top-e > max {
+						max = top - e
+					}
+				}
+			}
+			return float64(max)
+		})
 	if err := r.rebuild(); err != nil {
 		r.closeShards()
 		return nil, err
@@ -209,29 +415,29 @@ func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*
 }
 
 func (r *Router) closeShards() {
-	for _, e := range r.shards {
-		e.Close()
-	}
-	if r.ownsStores {
-		for _, s := range r.stores {
-			s.Close()
+	for _, g := range r.groups {
+		for _, rp := range g.reps {
+			rp.eng.Close()
+			if r.ownsStores {
+				rp.store.Close()
+			}
 		}
 	}
 }
 
-// Close releases the shard WALs and, when the router opened the shard
+// Close releases every replica's WAL and, when the router opened the shard
 // directory itself, the stores.
 func (r *Router) Close() error {
 	var first error
-	for _, e := range r.shards {
-		if err := e.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	if r.ownsStores {
-		for _, s := range r.stores {
-			if err := s.Close(); err != nil && first == nil {
+	for _, g := range r.groups {
+		for _, rp := range g.reps {
+			if err := rp.eng.Close(); err != nil && first == nil {
 				first = err
+			}
+			if r.ownsStores {
+				if err := rp.store.Close(); err != nil && first == nil {
+					first = err
+				}
 			}
 		}
 	}
@@ -239,24 +445,64 @@ func (r *Router) Close() error {
 }
 
 // Shards returns the number of shards.
-func (r *Router) Shards() int { return len(r.shards) }
+func (r *Router) Shards() int { return len(r.groups) }
 
-// ShardEpochs returns every shard's current epoch, in shard order — the
-// serving layer surfaces them on /healthz.
+// Replicas returns the replica count of the widest shard.
+func (r *Router) Replicas() int {
+	max := 0
+	for _, g := range r.groups {
+		if len(g.reps) > max {
+			max = len(g.reps)
+		}
+	}
+	return max
+}
+
+// ShardEpochs returns every shard's current epoch (its primary replica's),
+// in shard order — the serving layer surfaces them on /healthz.
 func (r *Router) ShardEpochs() []uint64 {
-	out := make([]uint64, len(r.shards))
-	for i, e := range r.shards {
-		out[i] = e.Epoch()
+	out := make([]uint64, len(r.groups))
+	for i, g := range r.groups {
+		out[i] = g.primary().eng.Epoch()
 	}
 	return out
 }
 
-// rebuild merges the shard indexes into a fresh meta state and publishes
-// it. Called at construction and, under applyMu, after every commit.
+// ResetReplicaHealth forgets every replica's learned health — EWMA
+// latency, error streaks, breaker state — so read selection starts cold,
+// the state right after a restart or deploy. Quarantine flags are kept:
+// they record an epoch fact, not a latency estimate. Benchmarks use this
+// to measure hedging against a selector that has not yet learned which
+// replica is slow — exactly the queries hedging exists to protect.
+func (r *Router) ResetReplicaHealth() {
+	for _, g := range r.groups {
+		for _, rp := range g.reps {
+			rp.ewmaNS.Store(0)
+			rp.consecErrs.Store(0)
+			rp.breakerUntil.Store(0)
+		}
+	}
+}
+
+// ReplicaTable returns one health row per replica, in shard then replica
+// order — the /healthz replica table.
+func (r *Router) ReplicaTable() []ReplicaStatus {
+	var out []ReplicaStatus
+	for _, g := range r.groups {
+		out = append(out, g.statuses()...)
+	}
+	return out
+}
+
+// rebuild merges the primary shard indexes into a fresh meta state and
+// publishes it. Called at construction and, under applyMu, after every
+// commit. Replicas of one shard hold identical content at equal epochs, so
+// any non-quarantined replica's index is a valid merge input; the primary
+// is used for determinism.
 func (r *Router) rebuild() error {
-	parts := make([]*index.Index, len(r.shards))
-	for i, e := range r.shards {
-		parts[i] = e.Index()
+	parts := make([]*index.Index, len(r.groups))
+	for i, g := range r.groups {
+		parts[i] = g.primary().eng.Index()
 	}
 	merged, err := index.Merge(parts)
 	if err != nil {
@@ -299,10 +545,10 @@ func (r *Router) state() *metaState { return r.meta.Load() }
 // directly on the meta engine — their admission logic is not partitioned,
 // so a per-shard split cannot reproduce it.
 //
-// A failed or fault-injected shard degrades the response to the surviving
-// shards' results, tagged shard-partial, instead of failing the query;
-// hard cancellation still aborts, and when every shard fails the first
-// error is returned.
+// A shard whose every replica attempt failed degrades the response to the
+// surviving shards' results, tagged shard-partial, instead of failing the
+// query; hard cancellation still aborts, and when every shard fails the
+// first error is returned.
 func (r *Router) QueryTermsCtx(ctx context.Context, terms []string, strategy core.Strategy, k, parallelism int) (*core.Response, error) {
 	ms := r.state()
 	if strategy != core.StrategyPartition {
@@ -335,8 +581,8 @@ func (r *Router) QueryTermsCtx(ctx context.Context, terms []string, strategy cor
 	if fan <= 0 {
 		fan = r.parallelism
 	}
-	if fan > len(r.shards) {
-		fan = len(r.shards)
+	if fan > len(r.groups) {
+		fan = len(r.groups)
 	}
 	if fan < 1 {
 		fan = 1
@@ -378,9 +624,10 @@ func (r *Router) QueryTermsCtx(ctx context.Context, terms []string, strategy cor
 }
 
 // scatterGather runs the shard scans on a bounded worker pool and merges
-// them. in is the merged-corpus input; each worker swaps in the shard's
-// own index before scanning. ssp, when non-nil, collects one "shard-i"
-// child span per scan and a "merge" child.
+// them. in is the merged-corpus input; each shard job resolves against its
+// replica set (hedging, failover, retry) before contributing a scan. ssp,
+// when non-nil, collects one "shard-i" child span per attempt and a
+// "merge" child.
 func (r *Router) scatterGather(in refine.Input, k, fan int, ssp *obs.Span) (*refine.TopKOutcome, error) {
 	// The scan keyword set is fixed here, against the merged index, so
 	// every shard walks identical keyword columns even when a term is
@@ -390,8 +637,8 @@ func (r *Router) scatterGather(in refine.Input, k, fan int, ssp *obs.Span) (*ref
 		return &refine.TopKOutcome{Workers: 1}, nil
 	}
 	bound := refine.NewPruneBound()
-	scans := make([]*refine.ShardScan, len(r.shards))
-	errs := make([]error, len(r.shards))
+	scans := make([]*refine.ShardScan, len(r.groups))
+	errs := make([]error, len(r.groups))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < fan; w++ {
@@ -399,24 +646,7 @@ func (r *Router) scatterGather(in refine.Input, k, fan int, ssp *obs.Span) (*ref
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				sin := in
-				sin.Index = r.shards[i].Index()
-				sin.Parallelism = 1
-				var sp *obs.Span
-				if ssp != nil {
-					sp = ssp.StartChild("shard-" + strconv.Itoa(i))
-					sin.Trace = sp
-				}
-				scans[i], errs[i] = refine.ScanShard(sin, k, ks, bound)
-				if sp != nil {
-					if scans[i] != nil {
-						sp.SetInt("partitions", int64(scans[i].Partitions()))
-					}
-					if errs[i] != nil {
-						sp.SetStr("error", errs[i].Error())
-					}
-					sp.End()
-				}
+				scans[i], errs[i] = r.scanShardReplicated(in, k, ks, bound, i, ssp)
 				r.m.scans.With(strconv.Itoa(i)).Inc()
 				if errs[i] != nil {
 					r.m.scanErrors.With(strconv.Itoa(i)).Inc()
@@ -424,14 +654,14 @@ func (r *Router) scatterGather(in refine.Input, k, fan int, ssp *obs.Span) (*ref
 			}
 		}()
 	}
-	for i := range r.shards {
+	for i := range r.groups {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 	// Classify failures: a hard cancellation aborts the query; a shard
-	// whose scan failed on its own (storage fault) is dropped and the
-	// response degrades to the surviving shards, unless none survived.
+	// whose every replica attempt failed (storage fault) is dropped and
+	// the response degrades to the surviving shards, unless none survived.
 	partial := false
 	var firstErr error
 	ok := 0
@@ -469,6 +699,140 @@ func (r *Router) scatterGather(in refine.Input, k, fan int, ssp *obs.Span) (*ref
 	return out, nil
 }
 
+// attemptResult is one replica scan attempt's outcome.
+type attemptResult struct {
+	rp    *replica
+	scan  *refine.ShardScan
+	err   error
+	dur   time.Duration
+	hedge bool
+}
+
+// scanShardReplicated resolves one shard's scan against its replica set:
+// the scan starts on the best replica by health order; if HedgeAfter
+// passes before it finishes, a hedge fires on the next replica and the
+// first success wins (the loser is cancelled through its attempt context,
+// which shares the query's posting budget but not its lifetime). A failed
+// attempt fails over to the next replica with doubling backoff, up to one
+// attempt per readable replica plus the configured retries, before the
+// shard is declared failed.
+func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound *refine.PruneBound, si int, ssp *obs.Span) (*refine.ShardScan, error) {
+	g := r.groups[si]
+	order := g.readOrder()
+	if len(order) == 0 {
+		return nil, fmt.Errorf("shard: shard %d has no readable replica", si)
+	}
+	maxAttempts := len(order) + r.retries
+	baseCtx := in.Budget.Context()
+	resCh := make(chan attemptResult, maxAttempts)
+	var cancels []context.CancelFunc
+	defer func() {
+		// Cancel every attempt context on exit: losers stop promptly, and
+		// the winner's scan no longer consults its context (the merge
+		// replay runs on the query-level budget).
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	launched := 0
+	launch := func(hedge bool) {
+		rp := order[launched%len(order)]
+		launched++
+		actx, cancel := context.WithCancel(baseCtx)
+		cancels = append(cancels, cancel)
+		r.m.replicaScans.With(strconv.Itoa(si), strconv.Itoa(rp.id)).Inc()
+		go func() {
+			start := time.Now()
+			sin := in
+			sin.Index = rp.eng.Index()
+			sin.Parallelism = 1
+			sin.Budget = in.Budget.WithContext(actx)
+			var sp *obs.Span
+			if ssp != nil {
+				sp = ssp.StartChild("shard-" + strconv.Itoa(si))
+				sp.SetInt("replica", int64(rp.id))
+				if hedge {
+					sp.SetInt("hedge", 1)
+				}
+				sin.Trace = sp
+			}
+			scan, err := refine.ScanShard(sin, k, ks, bound)
+			if sp != nil {
+				if scan != nil {
+					sp.SetInt("partitions", int64(scan.Partitions()))
+				}
+				if err != nil {
+					sp.SetStr("error", err.Error())
+				}
+				sp.End()
+			}
+			resCh <- attemptResult{rp: rp, scan: scan, err: err, dur: time.Since(start), hedge: hedge}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+	var hedgeC <-chan time.Time
+	if r.hedgeAfter > 0 && len(order) > 1 {
+		t := time.NewTimer(r.hedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	backoff := r.retryBackoff
+	var firstErr error
+	for {
+		select {
+		case res := <-resCh:
+			outstanding--
+			if res.err == nil {
+				res.rp.noteSuccess(res.dur)
+				if res.hedge {
+					r.m.hedgeWins.Inc()
+				}
+				return res.scan, nil
+			}
+			r.m.replicaErrors.With(strconv.Itoa(si), strconv.Itoa(res.rp.id)).Inc()
+			if res.rp.noteError(r.breakerThreshold, r.breakerCooldown) {
+				r.m.breakerTrips.Inc()
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if err := in.Budget.Err(); err != nil {
+				return nil, err // the whole query was cancelled
+			}
+			if outstanding > 0 {
+				continue // a hedge is still racing; wait for it
+			}
+			if launched >= maxAttempts {
+				return nil, firstErr
+			}
+			r.m.retries.Inc()
+			if backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-baseCtx.Done():
+					t.Stop()
+					if err := in.Budget.Err(); err != nil {
+						return nil, err
+					}
+					return nil, firstErr
+				}
+				backoff *= 2
+			}
+			launch(false)
+			outstanding++
+		case <-hedgeC:
+			hedgeC = nil
+			if outstanding > 0 && launched < maxAttempts {
+				r.m.hedges.Inc()
+				launch(true)
+				outstanding++
+			}
+		}
+	}
+}
+
 // Complete delegates search-as-you-type to the merged vocabulary.
 func (r *Router) Complete(partial string, k int) []string {
 	return r.state().eng.Complete(partial, k)
@@ -496,7 +860,7 @@ func (r *Router) Snippet(m refine.Match, max int) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return r.shards[i].Snippet(m, max)
+	return r.groups[i].primary().eng.Snippet(m, max)
 }
 
 // Stats merges the meta engine's counters (which see delegated SLE and
@@ -511,13 +875,14 @@ func (r *Router) Stats() core.EngineStats {
 	return st
 }
 
-// UpdateStats sums the shards' live-update state: Epoch is the epoch sum
-// (one commit anywhere advances it by one), sizes and counts accumulate,
-// Live reports whether any shard accepts updates.
+// UpdateStats sums the shards' live-update state over the primary
+// replicas: Epoch is the epoch sum (one commit anywhere advances it by
+// one), sizes and counts accumulate, Live reports whether any shard
+// accepts updates.
 func (r *Router) UpdateStats() core.UpdateStats {
 	var out core.UpdateStats
-	for _, e := range r.shards {
-		u := e.UpdateStats()
+	for _, g := range r.groups {
+		u := g.primary().eng.UpdateStats()
 		out.Live = out.Live || u.Live
 		out.Epoch += u.Epoch
 		out.WALSizeBytes += u.WALSizeBytes
@@ -581,11 +946,18 @@ func (r *Router) SplitBatch(b *mutate.Batch) (map[int]*mutate.Batch, error) {
 	return out, nil
 }
 
-// Apply routes one update batch to the shard owning its partitions and
-// commits it there, then rebuilds the merged meta state. A batch is one
-// atomic epoch commit, so all its ops must land on one shard; batches
-// spanning shards are rejected whole — SplitBatch turns one into
-// per-shard batches. The returned Epoch is the shard epoch sum, the
+// Apply routes one update batch to every replica of the shard owning its
+// partitions, then rebuilds the merged meta state. A batch is one atomic
+// epoch commit, so all its ops must land on one shard; batches spanning
+// shards are rejected whole — SplitBatch turns one into per-shard batches.
+//
+// Replica divergence is handled by epoch reconciliation: a replica whose
+// commit failed while a sibling's succeeded is left epoch-lagged, detected
+// by the mismatch, quarantined from reads, and caught up by replaying the
+// missed batches from the shard's catch-up log (each replay is a WAL-backed
+// epoch commit on the replica) before it rejoins. A batch that fails on
+// every replica commits nowhere, advances no epoch, and is returned as the
+// caller's error. The returned Epoch is the shard epoch sum, the
 // router-wide generation /healthz and callers observe.
 func (r *Router) Apply(b *mutate.Batch) (*core.ApplyResult, error) {
 	if b == nil || len(b.Ops) == 0 {
@@ -606,17 +978,107 @@ func (r *Router) Apply(b *mutate.Batch) (*core.ApplyResult, error) {
 			return nil, fmt.Errorf("shard: batch spans shards %d and %d; split it per shard (one epoch commit each)", owner, o)
 		}
 	}
-	res, err := r.shards[owner].Apply(b)
-	if err != nil {
-		return nil, err
+	g := r.groups[owner]
+	// Give previously-quarantined replicas a chance to rejoin first, so a
+	// healed store takes this batch on the normal path instead of lagging
+	// one epoch further behind.
+	r.reconcileLocked(owner)
+	var res *core.ApplyResult
+	var firstErr error
+	for _, rp := range g.reps {
+		if rp.quarantined.Load() {
+			continue // still lagging; the catch-up log covers this batch
+		}
+		rres, err := rp.eng.Apply(b)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if res == nil {
+			res = rres
+		}
 	}
+	if res == nil {
+		// No replica committed: the batch was rejected (bad target,
+		// malformed fragment) or every store failed. Either way no epoch
+		// moved, so the group is still consistent and nothing quarantines.
+		return nil, firstErr
+	}
+	r.catchup[owner].add(res.Epoch, b)
+	// Epoch reconciliation, detection half: any replica now behind the
+	// group missed this commit. Quarantine it from reads until replay
+	// catches it up.
+	max := g.maxEpoch()
+	for _, rp := range g.reps {
+		if rp.eng.Epoch() < max && !rp.quarantined.Load() {
+			rp.quarantined.Store(true)
+			r.m.quarantines.Inc()
+		}
+	}
+	// A transient write fault may already have passed: try to catch the
+	// straggler up immediately so a one-shot fault costs no read capacity.
+	r.reconcileLocked(owner)
 	if err := r.rebuild(); err != nil {
 		return nil, fmt.Errorf("shard: update committed on shard %d but meta rebuild failed: %w", owner, err)
 	}
 	var sum uint64
-	for _, e := range r.shards {
-		sum += e.Epoch()
+	for _, gg := range r.groups {
+		sum += gg.primary().eng.Epoch()
 	}
 	res.Epoch = sum
 	return res, nil
+}
+
+// Reconcile attempts to catch up every quarantined replica by WAL-batch
+// replay and reports how many rejoined. The serving layer may call it on a
+// health probe; Apply calls it automatically around each commit.
+func (r *Router) Reconcile() int {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	before := r.m.reconciles.Value()
+	for i := range r.groups {
+		r.reconcileLocked(i)
+	}
+	return int(r.m.reconciles.Value() - before)
+}
+
+// reconcileLocked replays missed batches into shard si's quarantined
+// replicas. A replica rejoins when the catch-up log covers every epoch it
+// missed and each replay commits; one that lags beyond the log's retention
+// window, or whose store still faults, stays quarantined. Caller holds
+// applyMu.
+func (r *Router) reconcileLocked(si int) {
+	g := r.groups[si]
+	target := g.maxEpoch()
+	for _, rp := range g.reps {
+		if !rp.quarantined.Load() {
+			continue
+		}
+		e := rp.eng.Epoch()
+		if e > target {
+			continue // ahead of the group? leave it out — should not happen
+		}
+		if e < target {
+			entries := r.catchup[si].from(e, target)
+			if entries == nil {
+				continue // log no longer reaches back far enough
+			}
+			ok := true
+			for _, ent := range entries {
+				if _, err := rp.eng.Apply(ent.batch); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok || rp.eng.Epoch() != target {
+				continue
+			}
+		}
+		rp.quarantined.Store(false)
+		rp.consecErrs.Store(0)
+		rp.breakerUntil.Store(0)
+		r.m.reconciles.Inc()
+	}
 }

@@ -51,8 +51,19 @@ type Manifest struct {
 	Shards  []ManifestEntry `json:"shards"`
 }
 
-// ManifestEntry names one shard's files, relative to the directory.
+// ManifestEntry names one shard's files, relative to the directory. Store
+// and WAL are the primary replica; Replicas lists the additional copies a
+// replicated directory carries (absent for R=1 directories, which keeps
+// version-1 manifests readable both ways).
 type ManifestEntry struct {
+	Store    string         `json:"store"`
+	WAL      string         `json:"wal"`
+	Replicas []ReplicaFiles `json:"replicas,omitempty"`
+}
+
+// ReplicaFiles names one additional replica's store and WAL, relative to
+// the directory.
+type ReplicaFiles struct {
 	Store string `json:"store"`
 	WAL   string `json:"wal"`
 }
@@ -122,6 +133,18 @@ func SplitDocument(doc *xmltree.Document, n int, mode string) ([]*xmltree.Docume
 // so shards serve snippets and accept live updates) plus the manifest.
 // The directory is created if missing.
 func WriteStores(doc *xmltree.Document, dir string, n int, mode string) (*Manifest, error) {
+	return WriteReplicatedStores(doc, dir, n, mode, 1)
+}
+
+// WriteReplicatedStores is WriteStores with R copies of every shard: each
+// shard's sub-document is saved into replicas identical stores
+// (shard-<i>.kv plus shard-<i>.r<j>.kv), each with its own WAL path, so a
+// router can open an R-way replica set where every replica holds its own
+// store, WAL and epoch world.
+func WriteReplicatedStores(doc *xmltree.Document, dir string, n int, mode string, replicas int) (*Manifest, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
 	docs, err := SplitDocument(doc, n, mode)
 	if err != nil {
 		return nil, err
@@ -131,20 +154,35 @@ func WriteStores(doc *xmltree.Document, dir string, n int, mode string) (*Manife
 	}
 	man := &Manifest{Version: 1, Mode: mode}
 	for i, sub := range docs {
-		name := fmt.Sprintf("shard-%d.kv", i)
-		store, err := kvstore.Open(filepath.Join(dir, name), nil)
-		if err != nil {
-			return nil, err
-		}
 		eng := core.NewFromDocument(sub, &core.Config{DisableMetrics: true})
-		err = eng.SaveIndexWithDocument(store)
-		if cerr := store.Close(); err == nil {
-			err = cerr
+		ent := ManifestEntry{
+			Store: fmt.Sprintf("shard-%d.kv", i),
+			WAL:   fmt.Sprintf("shard-%d.wal", i),
 		}
-		if err != nil {
-			return nil, fmt.Errorf("shard: write %s: %w", name, err)
+		for j := 1; j < replicas; j++ {
+			ent.Replicas = append(ent.Replicas, ReplicaFiles{
+				Store: fmt.Sprintf("shard-%d.r%d.kv", i, j),
+				WAL:   fmt.Sprintf("shard-%d.r%d.wal", i, j),
+			})
 		}
-		man.Shards = append(man.Shards, ManifestEntry{Store: name, WAL: fmt.Sprintf("shard-%d.wal", i)})
+		names := append([]string{ent.Store}, make([]string, 0, len(ent.Replicas))...)
+		for _, rf := range ent.Replicas {
+			names = append(names, rf.Store)
+		}
+		for _, name := range names {
+			store, err := kvstore.Open(filepath.Join(dir, name), nil)
+			if err != nil {
+				return nil, err
+			}
+			err = eng.SaveIndexWithDocument(store)
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, fmt.Errorf("shard: write %s: %w", name, err)
+			}
+		}
+		man.Shards = append(man.Shards, ent)
 	}
 	raw, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
