@@ -47,6 +47,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("malformed exposition: %w", err))
 	}
+	// Histogram shape checks: cumulative bucket monotonicity, a terminal
+	// +Inf bucket per series, and well-formed exemplars (trace_id label,
+	// value inside the bucket's range). These hold for both the default
+	// exposition and the OpenMetrics form with exemplars.
+	if err := exp.CheckHistograms(); err != nil {
+		fatal(fmt.Errorf("bad histogram: %w", err))
+	}
 	fams := exp.Families()
 	if len(fams) < *minFamilies {
 		sort.Strings(fams)

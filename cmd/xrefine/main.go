@@ -14,15 +14,18 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"xrefine"
+	"xrefine/internal/obs"
 )
 
 func main() {
@@ -44,6 +47,8 @@ func main() {
 		cmdExplain(os.Args[2:])
 	case "narrow":
 		cmdNarrow(os.Args[2:])
+	case "slo":
+		cmdSLO(os.Args[2:])
 	default:
 		usage()
 	}
@@ -57,6 +62,7 @@ func usage() {
   xrefine apply  -index <file> [-wal <file>] -batch <file>   apply an update batch as a new epoch
   xrefine explain [-xml <file> | -index <file>] <query>   full decision trace
   xrefine narrow [-xml <file>] [-max N] [-k N] <query>    too-many-results suggestions
+  xrefine slo    -url <http://host:port>        burn-rate report from a running xserve
   xrefine repl   [-xml <file> | -index <file>]  interactive session`)
 	os.Exit(2)
 }
@@ -504,4 +510,39 @@ func tokenizeArg(q string) []string { return xrefine.Tokenize(q) }
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xrefine:", err)
 	os.Exit(1)
+}
+
+// cmdSLO fetches a running server's /healthz and renders the SLO burn-rate
+// report under its "slo" key.
+func cmdSLO(args []string) {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "base URL of a running xserve")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	fs.Parse(args)
+	if err := sloReport(os.Stdout, *url, *timeout); err != nil {
+		fatal(err)
+	}
+}
+
+func sloReport(w io.Writer, base string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz: %s", resp.Status)
+	}
+	var body struct {
+		SLO *obs.SLOReport `json:"slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decode /healthz: %w", err)
+	}
+	if body.SLO == nil {
+		return fmt.Errorf("server reports no SLO data (older build?)")
+	}
+	obs.WriteSLOReport(w, *body.SLO)
+	return nil
 }

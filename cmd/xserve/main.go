@@ -73,6 +73,7 @@ import (
 
 	"xrefine"
 	"xrefine/internal/core"
+	"xrefine/internal/obs"
 	"xrefine/internal/server"
 	"xrefine/internal/shard"
 )
@@ -96,6 +97,11 @@ func main() {
 		replicas    = flag.Int("replicas", 0, "replicas per shard to attach from the manifest (0 = all available)")
 		hedgeAfter  = flag.Duration("hedge-after", 0, "hedge a slow shard scan onto the next replica after this delay (0 = off)")
 		chaosSpec   = flag.String("chaos", "", "arm probabilistic store faults on every replica, e.g. rate=0.01,jitter=1ms-5ms,seed=7")
+		traceSample = flag.Int("trace-sample", 0, "retain every n-th query's trace at /debug/trace/<id> with histogram exemplars (0 = every 64th, negative = off)")
+		traceCap    = flag.Int("trace-cap", 0, "retained-trace ring capacity (0 = 512)")
+		sloAvail    = flag.Float64("slo-availability", 0, "availability objective as a fraction, e.g. 0.999 (0 = default 0.999)")
+		sloLatObj   = flag.Float64("slo-latency", 0, "latency objective as a fraction, e.g. 0.99 (0 = default 0.99)")
+		sloTarget   = flag.Duration("slo-target", 0, "latency objective threshold (0 = default 250ms)")
 	)
 	flag.Parse()
 
@@ -184,11 +190,18 @@ func main() {
 	}
 
 	h := server.NewFromBackend(backend, server.Config{
-		Timeout:          *timeout,
-		MaxInFlight:      *maxInflight,
-		SlowLogThreshold: *slowlog,
-		SlowLogCapacity:  *slowlogCap,
-		EnablePprof:      *pprofOn,
+		Timeout:            *timeout,
+		MaxInFlight:        *maxInflight,
+		SlowLogThreshold:   *slowlog,
+		SlowLogCapacity:    *slowlogCap,
+		EnablePprof:        *pprofOn,
+		TraceSampleEvery:   *traceSample,
+		TraceStoreCapacity: *traceCap,
+		SLO: obs.SLOOptions{
+			AvailabilityObjective: *sloAvail,
+			LatencyObjective:      *sloLatObj,
+			LatencyTarget:         *sloTarget,
+		},
 	})
 	// WriteTimeout leaves headroom over the query deadline so degraded
 	// responses still get written rather than cut off mid-body.

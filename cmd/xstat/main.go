@@ -20,17 +20,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"xrefine/internal/index"
 	"xrefine/internal/kvstore"
+	"xrefine/internal/obs"
 	"xrefine/internal/shard"
 )
 
@@ -49,9 +53,17 @@ func run(args []string, w io.Writer) error {
 		shardDir  = fs.String("shards", "", "shard directory (xgen -shards) to inspect")
 		top       = fs.Int("top", 15, "how many top keywords to list")
 		blocks    = fs.Bool("blocks", false, "report block-compressed posting storage instead")
+		slo       = fs.Bool("slo", false, "report a running server's SLO burn rates instead (needs -url)")
+		url       = fs.String("url", "", "base URL of a running xserve, e.g. http://localhost:8080")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *slo {
+		if *url == "" {
+			return fmt.Errorf("-slo needs -url pointing at a running server")
+		}
+		return reportSLO(w, *url)
 	}
 	if *shardDir != "" {
 		return reportShards(w, *shardDir)
@@ -297,4 +309,29 @@ func report(w io.Writer, ix *index.Index, store *kvstore.Stats, epoch uint64, wa
 		fmt.Fprintf(tw, "%s\t%d\t%d\n", ty.Path(), ix.NT(ty), ix.GT(ty))
 	}
 	return tw.Flush()
+}
+
+// reportSLO fetches a running server's /healthz and renders the burn-rate
+// report under its "slo" key — the remote half of `xrefine slo`.
+func reportSLO(w io.Writer, base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz: %s", resp.Status)
+	}
+	var body struct {
+		SLO *obs.SLOReport `json:"slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decode /healthz: %w", err)
+	}
+	if body.SLO == nil {
+		return fmt.Errorf("server reports no SLO data (older build?)")
+	}
+	obs.WriteSLOReport(w, *body.SLO)
+	return nil
 }

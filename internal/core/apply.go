@@ -6,6 +6,7 @@ import (
 
 	"xrefine/internal/kvstore"
 	"xrefine/internal/mutate"
+	"xrefine/internal/obs"
 	"xrefine/internal/xmltree"
 )
 
@@ -116,6 +117,9 @@ func (e *Engine) applyLocked(b *mutate.Batch, replay bool) (*ApplyResult, error)
 	e.m.appliedBatches.Inc()
 	e.m.appliedOps.With("insert").Add(int64(staged.InsertOps))
 	e.m.appliedOps.With("delete").Add(int64(staged.DeleteOps))
+	if e.live != nil {
+		e.flight.Record(obs.Event{Kind: obs.EvWALCommit, Shard: -1, Replica: -1, N: int64(next)})
+	}
 	return res, nil
 }
 

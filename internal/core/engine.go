@@ -169,6 +169,10 @@ type Engine struct {
 	// implementation — EngineStats is a read-through snapshot of it.
 	reg *obs.Registry
 	m   engineMetrics
+	// flight is the registry's always-on event ring (nil when metrics are
+	// disabled): one query event per completed query, plus budget-expiry
+	// and WAL-commit events, all stamped with the request's trace ID.
+	flight *obs.FlightRecorder
 }
 
 // snapshot pins the current epoch. The returned value is immutable; every
@@ -245,7 +249,7 @@ func NewFromIndex(ix *index.Index, cfg *Config) *Engine {
 	} else if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	e := &Engine{cfg: c, cache: newQueryCache(c.CacheSize), reg: reg, m: newEngineMetrics(reg)}
+	e := &Engine{cfg: c, cache: newQueryCache(c.CacheSize), reg: reg, m: newEngineMetrics(reg), flight: reg.Flight()}
 	e.ep.Store(&epoch{ix: ix})
 	e.registerEpochMetrics(reg)
 	return e
@@ -570,7 +574,10 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 		if sp := obs.SpanFromContext(ctx); sp != nil {
 			sp.SetInt("cache_hit", 1)
 		}
-		e.m.querySeconds.Observe(time.Since(start).Seconds())
+		d := time.Since(start)
+		e.flight.Record(obs.Event{Trace: obs.TraceIDFromContext(ctx), Kind: obs.EvQuery,
+			Shard: -1, Replica: -1, DurNS: int64(d), N: int64(len(terms)), Note: "cache-hit"})
+		e.m.querySeconds.Observe(d.Seconds())
 		return resp, nil
 	}
 	if e.cfg.Timeout > 0 {
@@ -590,12 +597,17 @@ func (e *Engine) QueryTermsCtx(ctx context.Context, terms []string, strategy Str
 	}
 	if resp.Degraded {
 		e.m.degraded.With(resp.DegradedReason).Inc()
+		e.flight.Record(obs.Event{Trace: obs.TraceIDFromContext(ctx), Kind: obs.EvBudgetExpiry,
+			Shard: -1, Replica: -1, Note: resp.DegradedReason})
 	} else {
 		// Only complete responses are cacheable: a degraded partial
 		// answer must never satisfy a later query as if it were full.
 		e.cache.put(key, resp)
 	}
-	e.m.querySeconds.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	e.flight.Record(obs.Event{Trace: obs.TraceIDFromContext(ctx), Kind: obs.EvQuery,
+		Shard: -1, Replica: -1, DurNS: int64(d), N: int64(len(terms))})
+	e.m.querySeconds.Observe(d.Seconds())
 	return resp, nil
 }
 

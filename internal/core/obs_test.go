@@ -18,10 +18,9 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // queryAllocs measures steady-state allocations of one uncached,
-// untraced query against the given engine.
-func queryAllocs(t *testing.T, e *Engine) float64 {
+// untraced query against the given engine, issued on ctx.
+func queryAllocs(t *testing.T, e *Engine, ctx context.Context) float64 {
 	t.Helper()
-	ctx := context.Background()
 	// Warm the lazy list loads so both engines measure the serving path,
 	// not the first-touch index path.
 	if _, err := e.QueryCtx(ctx, "online databse"); err != nil {
@@ -38,13 +37,25 @@ func queryAllocs(t *testing.T, e *Engine) float64 {
 // the metered no-explain query path may allocate at most 2 more times per
 // query than an engine built with DisableMetrics. Untraced queries carry
 // no spans, so counter bumps and the latency histogram are the only delta.
+// The same bound must hold on the flight-recorder path: a request context
+// carrying an unsampled ReqInfo (the steady-state serving shape — every
+// request records admission events, almost none are trace-sampled) adds
+// ring writes but no spans and no exemplar pins, so it gets no extra
+// allocation allowance.
 func TestMetricsAllocOverhead(t *testing.T) {
 	on, _ := newEngine(t, nil)
 	off, _ := newEngine(t, &Config{DisableMetrics: true})
-	got, base := queryAllocs(t, on), queryAllocs(t, off)
+	bg := context.Background()
+	got, base := queryAllocs(t, on, bg), queryAllocs(t, off, bg)
 	if got > base+2 {
 		t.Errorf("instrumented query = %.1f allocs/op, disabled = %.1f; overhead %.1f exceeds 2",
 			got, base, got-base)
+	}
+	ri := obs.NewReqInfo() // Sampled stays false: the non-sampled hot path
+	flight := queryAllocs(t, on, obs.WithReqInfo(bg, ri))
+	if flight > base+2 {
+		t.Errorf("flight-armed unsampled query = %.1f allocs/op, disabled = %.1f; overhead %.1f exceeds 2",
+			flight, base, flight-base)
 	}
 }
 

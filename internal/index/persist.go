@@ -34,6 +34,13 @@ import (
 // first byte distinguishes the formats per term: legacy terms load via
 // the decode-and-re-encode fallback and upgrade in place the next time a
 // mutation batch rewrites them (SaveDelta always writes the new format).
+// FormatVersion names the current on-disk posting format: "2" is the
+// block-encoded stream described above; stores written before the block
+// codec (one delta-encoded posting per cell) are format "1" and are read
+// through the per-term fallback. Exported so the serving layer can label
+// xrefine_build_info with the format it writes.
+const FormatVersion = "2"
+
 const (
 	metaTypesKey = "M\x00types"
 	metaDocKey   = "M\x00doc"

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metric family types as exposed on the TYPE line.
@@ -39,6 +40,10 @@ const (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	// flight is the lazily-created always-on event ring (see flight.go);
+	// it lives on the registry so every component sharing the registry
+	// shares one recorder.
+	flight *FlightRecorder
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -168,6 +173,32 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return &CounterVec{f: r.register(name, help, typeCounter, labels)}
 }
 
+// GaugeVec registers (or finds) a gauge family with label dimensions.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, typeGauge, labels)}
+}
+
+// HistogramVec registers (or finds) a histogram family with label
+// dimensions and the given bucket bounds (nil uses DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, typeHistogram, labels)
+	f.mu.Lock()
+	if f.buckets == nil {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+	}
+	f.mu.Unlock()
+	return &HistogramVec{f: f}
+}
+
 // CounterFunc registers a counter family whose value is read from fn at
 // exposition time — the bridge for components that keep their own atomic
 // counters (kvstore, index) and must stay free of obs imports.
@@ -255,12 +286,26 @@ var DefBuckets = []float64{
 }
 
 // Histogram is a fixed-bucket histogram: cumulative bucket counts, a
-// total count, and a sum. All methods are nil-safe and lock-free.
+// total count, and a sum. All methods are nil-safe; the Observe path is
+// lock-free, and the exemplar slots (one per bucket, written only for
+// sampled requests) take a short mutex off the hot path.
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // one per bound; +Inf is the total count
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
+
+	exMu sync.Mutex
+	ex   []Exemplar // lazily sized len(bounds)+1; zero TraceID = empty slot
+}
+
+// Exemplar links one histogram bucket to a retained trace: the observed
+// value and the trace ID resolvable at /debug/trace/<id>. The OpenMetrics
+// exposition (WriteOpenMetrics) renders it on the bucket's sample line.
+type Exemplar struct {
+	Value  float64
+	Trace  TraceID
+	TimeNS int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -285,6 +330,47 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// bucketIndex returns the bucket slot v lands in; len(bounds) is +Inf.
+func (h *Histogram) bucketIndex(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// ObserveExemplar records one value and pins it as the bucket's exemplar,
+// linking the bucket to a retained trace. Only sampled-and-retained
+// requests call this — everything else takes the lock-free Observe — so
+// the mutex and the lazy slot allocation never touch the hot path.
+func (h *Histogram) ObserveExemplar(v float64, trace TraceID, now time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]Exemplar, len(h.bounds)+1)
+	}
+	h.ex[h.bucketIndex(v)] = Exemplar{Value: v, Trace: trace, TimeNS: now.UnixNano()}
+	h.exMu.Unlock()
+}
+
+// exemplars snapshots the per-bucket exemplar slots (nil when none were
+// ever recorded).
+func (h *Histogram) exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil {
+		return nil
+	}
+	return append([]Exemplar(nil), h.ex...)
 }
 
 // Count returns the number of observations.
@@ -345,6 +431,38 @@ func (v *CounterVec) Sum() uint64 {
 		n += c.counter.Value()
 	}
 	return n
+}
+
+// GaugeVec is a gauge family with label dimensions. All methods are
+// nil-safe.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge series for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(vals) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			v.f.name, len(v.f.labels), len(vals)))
+	}
+	return v.f.childFor(vals).gauge
+}
+
+// HistogramVec is a histogram family with label dimensions. All methods
+// are nil-safe.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram series for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(vals) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			v.f.name, len(v.f.labels), len(vals)))
+	}
+	return v.f.childFor(vals).hist
 }
 
 // sortedFamilies returns families in name order (stable exposition).
@@ -419,6 +537,8 @@ func (r *Registry) Snapshot() map[string]any {
 				series[key] = c.counter.Value()
 			case typeGauge:
 				series[key] = c.gauge.Value()
+			case typeHistogram:
+				series[key] = map[string]any{"count": c.hist.Count(), "sum": c.hist.Sum()}
 			}
 		}
 		out[f.name] = series

@@ -46,10 +46,93 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, sig, c.counter.Value())
 			case typeGauge:
 				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, sig, c.gauge.Value())
+			case typeHistogram:
+				writeHistogram(bw, f.name, sig, c.hist)
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics-flavored text
+// format: the same families and sample lines as WritePrometheus, plus
+// per-bucket exemplars (`# {trace_id="..."} value timestamp`) linking
+// histogram buckets to retained traces, and the terminating `# EOF`.
+// Served on /metrics content negotiation; the default exposition stays
+// byte-identical to the pre-exemplar format.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		fn := f.fn
+		f.mu.Unlock()
+		if fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(fn()))
+			continue
+		}
+		if len(f.labels) == 0 {
+			c := f.childFor(nil)
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(bw, "%s %d\n", f.name, c.counter.Value())
+			case typeGauge:
+				fmt.Fprintf(bw, "%s %d\n", f.name, c.gauge.Value())
+			case typeHistogram:
+				writeHistogramExemplars(bw, f.name, "", c.hist)
+			}
+			continue
+		}
+		for _, c := range f.sortedChildren() {
+			sig := labelSig(f.labels, c.labelVals)
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, sig, c.counter.Value())
+			case typeGauge:
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, sig, c.gauge.Value())
+			case typeHistogram:
+				writeHistogramExemplars(bw, f.name, sig, c.hist)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
+// writeHistogramExemplars is writeHistogram with each bucket line carrying
+// its exemplar, when one was pinned.
+func writeHistogramExemplars(w io.Writer, name, extraSig string, h *Histogram) {
+	ex := h.exemplars()
+	cum := h.cumulative()
+	exSuffix := func(i int) string {
+		if i >= len(ex) || ex[i].Trace == 0 {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+			ex[i].Trace, formatValue(ex[i].Value), float64(ex[i].TimeNS)/1e9)
+	}
+	for i, b := range h.bounds {
+		sig := `le="` + formatValue(b) + `"`
+		if extraSig != "" {
+			sig = extraSig + "," + sig
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", name, sig, cum[i], exSuffix(i))
+	}
+	sig := `le="+Inf"`
+	if extraSig != "" {
+		sig = extraSig + "," + sig
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", name, sig, h.Count(), exSuffix(len(h.bounds)))
+	suffix := ""
+	if extraSig != "" {
+		suffix = "{" + extraSig + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
 }
 
 // writeHistogram emits the bucket/sum/count triplet of one histogram

@@ -4,16 +4,28 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // ExpositionMetric is one parsed sample line of a Prometheus text
-// exposition: the metric name, its label pairs, and the sample value.
+// exposition: the metric name, its label pairs, the sample value, and —
+// in the OpenMetrics-flavored exposition — the bucket's exemplar.
 type ExpositionMetric struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *ExemplarData
+}
+
+// ExemplarData is one parsed exemplar (`# {labels} value [timestamp]`).
+type ExemplarData struct {
 	Labels map[string]string
 	Value  float64
+	TS     float64
+	HasTS  bool
 }
 
 // Exposition is the parsed form of a Prometheus text payload: every sample
@@ -134,8 +146,11 @@ func parseSample(line string) (ExpositionMetric, error) {
 	brace := strings.IndexByte(line, '{')
 	if brace >= 0 {
 		m.Name = line[:brace]
-		end := strings.LastIndexByte(line, '}')
-		if end < brace {
+		// The matching close brace must be found with quote awareness, not
+		// LastIndexByte: an exemplar suffix carries its own label set whose
+		// '}' would otherwise swallow the sample value.
+		end := closingBrace(line, brace)
+		if end < 0 {
 			return m, fmt.Errorf("unbalanced label braces in %q", line)
 		}
 		if err := parseLabels(line[brace+1:end], m.Labels); err != nil {
@@ -153,14 +168,86 @@ func parseSample(line string) (ExpositionMetric, error) {
 	if !validMetricName(m.Name) {
 		return m, fmt.Errorf("invalid metric name %q", m.Name)
 	}
-	// A timestamp may trail the value; accept and ignore it.
-	valStr, _, _ := strings.Cut(rest, " ")
-	v, err := strconv.ParseFloat(valStr, 64)
+	// Split off an OpenMetrics exemplar (` # {...} value [ts]`) before
+	// validating the sample tokens.
+	samplePart, exPart, hasEx := strings.Cut(rest, " # ")
+	fields := strings.Fields(samplePart)
+	if len(fields) == 0 || len(fields) > 2 {
+		return m, fmt.Errorf("sample %q wants `value [timestamp]`, got %q", m.Name, samplePart)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return m, fmt.Errorf("non-numeric sample value %q", valStr)
+		return m, fmt.Errorf("non-numeric sample value %q", fields[0])
 	}
 	m.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return m, fmt.Errorf("non-numeric sample timestamp %q", fields[1])
+		}
+	}
+	if hasEx {
+		ex, err := parseExemplar(strings.TrimSpace(exPart))
+		if err != nil {
+			return m, fmt.Errorf("sample %q: %w", m.Name, err)
+		}
+		m.Exemplar = ex
+	}
 	return m, nil
+}
+
+// closingBrace returns the index of the '}' matching the '{' at open,
+// skipping quoted label values (where '}' and escaped quotes are legal),
+// or -1 when unterminated.
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseExemplar validates `{k="v",...} value [timestamp]` — the
+// OpenMetrics exemplar grammar after the `# ` marker.
+func parseExemplar(s string) (*ExemplarData, error) {
+	if s == "" || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar %q does not start with a label set", s)
+	}
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return nil, fmt.Errorf("exemplar %q has an unterminated label set", s)
+	}
+	ex := &ExemplarData{Labels: make(map[string]string)}
+	if err := parseLabels(s[1:end], ex.Labels); err != nil {
+		return nil, fmt.Errorf("exemplar labels: %w", err)
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) == 0 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar %q wants `value [timestamp]` after the labels", s)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("non-numeric exemplar value %q", fields[0])
+	}
+	ex.Value = v
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("non-numeric exemplar timestamp %q", fields[1])
+		}
+		ex.TS, ex.HasTS = ts, true
+	}
+	return ex, nil
 }
 
 // parseLabels parses `k1="v1",k2="v2"` into dst.
@@ -210,6 +297,101 @@ func parseLabels(s string, dst map[string]string) error {
 		s = strings.TrimPrefix(s, ",")
 	}
 	return nil
+}
+
+// CheckHistograms validates every declared histogram family's bucket
+// structure: each series (label set minus le) must carry a terminal +Inf
+// bucket, its cumulative counts must be non-decreasing in ascending le
+// order, the +Inf count must equal the series' _count sample, and any
+// bucket exemplar must carry a value within the bucket's bound. This is
+// the malformed-exposition gate cmd/obscheck fails CI on.
+func (e *Exposition) CheckHistograms() error {
+	type bucket struct {
+		le  float64
+		val float64
+		ex  *ExemplarData
+	}
+	series := make(map[string][]bucket) // family + label sig -> buckets
+	counts := make(map[string]float64)  // family + label sig -> _count
+	hasCount := make(map[string]bool)
+	for _, s := range e.Samples {
+		base := strings.TrimSuffix(s.Name, "_bucket")
+		if base != s.Name && e.Types[base] == typeHistogram {
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: %s sample without an le label", s.Name)
+			}
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("obs: %s has non-numeric le %q", s.Name, leStr)
+				}
+				le = v
+			}
+			key := base + "\x00" + sigWithoutLE(s.Labels)
+			series[key] = append(series[key], bucket{le: le, val: s.Value, ex: s.Exemplar})
+			continue
+		}
+		base = strings.TrimSuffix(s.Name, "_count")
+		if base != s.Name && e.Types[base] == typeHistogram {
+			key := base + "\x00" + sigWithoutLE(s.Labels)
+			counts[key] = s.Value
+			hasCount[key] = true
+		}
+	}
+	for key, bs := range series {
+		name, _, _ := strings.Cut(key, "\x00")
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("obs: histogram %s is missing its terminal +Inf bucket", name)
+		}
+		prev := -1.0
+		prevLE := math.Inf(-1)
+		for _, b := range bs {
+			if b.val < prev {
+				return fmt.Errorf("obs: histogram %s bucket le=%g count %g below previous bucket's %g (not cumulative)",
+					name, b.le, b.val, prev)
+			}
+			if b.ex != nil {
+				if _, ok := b.ex.Labels["trace_id"]; !ok {
+					return fmt.Errorf("obs: histogram %s bucket le=%g exemplar carries no trace_id label", name, b.le)
+				}
+				if b.ex.Value > b.le || b.ex.Value <= prevLE {
+					return fmt.Errorf("obs: histogram %s bucket le=%g exemplar value %g outside (%g, %g]",
+						name, b.le, b.ex.Value, prevLE, b.le)
+				}
+			}
+			prev = b.val
+			prevLE = b.le
+		}
+		if hasCount[key] && bs[len(bs)-1].val != counts[key] {
+			return fmt.Errorf("obs: histogram %s +Inf bucket %g != _count %g",
+				name, bs[len(bs)-1].val, counts[key])
+		}
+	}
+	return nil
+}
+
+// sigWithoutLE renders a sample's labels minus le as a stable series key.
+func sigWithoutLE(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 func validMetricName(s string) bool {

@@ -33,6 +33,16 @@ type SlowEntry struct {
 	// Degraded and DegradedReason carry the budget outcome.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
+	// TraceID is the query's flight-recorder identity; cross-reference it
+	// at /debug/events?trace_id= and /debug/trace/<id>. Zero when the
+	// query entered below the HTTP admission layer.
+	TraceID TraceID `json:"trace_id,omitempty"`
+	// Shard/Replica/Hedged name the serving attempt on the query's
+	// critical path — which replica made it slow, not just how slow.
+	// Shard and Replica are -1 on a single-engine backend.
+	Shard   int  `json:"shard"`
+	Replica int  `json:"replica"`
+	Hedged  bool `json:"hedged,omitempty"`
 	// Trace is the query's span tree.
 	Trace *SpanData `json:"trace,omitempty"`
 }

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler makes the deterministic 1-in-N span-tree retention decision.
+// Sampling controls only the expensive artifact — the allocated span tree
+// and its retention — never the flight-recorder events, which are
+// recorded for every request.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler samples every n-th request: n == 1 samples everything,
+// n <= 0 returns nil (sampling off; a nil sampler never samples).
+func NewSampler(n int) *Sampler {
+	if n <= 0 {
+		return nil
+	}
+	return &Sampler{every: uint64(n)}
+}
+
+// Sample reports whether this request should retain its span tree.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+// RetainedTrace is one sampled request's full evidence: the span tree
+// plus the envelope (query, outcome, serving attribution) a debugging
+// operator needs without cross-referencing. GET /debug/trace/<id>
+// resolves a trace ID — scraped off an exemplar or an event dump — to
+// this record.
+type RetainedTrace struct {
+	ID             TraceID   `json:"trace_id"`
+	Time           time.Time `json:"time"`
+	Query          string    `json:"query"`
+	DurationNS     int64     `json:"duration_ns"`
+	Degraded       bool      `json:"degraded,omitempty"`
+	DegradedReason string    `json:"degraded_reason,omitempty"`
+	// Shard/Replica/Hedged name the serving attempt on the request's
+	// critical path; -1/-1/false on a single-engine backend.
+	Shard   int       `json:"shard"`
+	Replica int       `json:"replica"`
+	Hedged  bool      `json:"hedged"`
+	Trace   *SpanData `json:"trace,omitempty"`
+}
+
+// TraceStore retains the last capacity sampled traces, resolvable by
+// trace ID. A ring bounds memory; the index map follows evictions.
+type TraceStore struct {
+	mu     sync.Mutex
+	ring   []RetainedTrace
+	byID   map[TraceID]int
+	next   int
+	filled bool
+}
+
+// DefaultTraceCapacity is the retention window NewTraceStore(0) uses.
+const DefaultTraceCapacity = 512
+
+// NewTraceStore builds a store retaining the last capacity traces.
+// capacity <= 0 defaults to DefaultTraceCapacity.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceStore{ring: make([]RetainedTrace, capacity), byID: make(map[TraceID]int, capacity)}
+}
+
+// Put retains one trace, evicting the oldest when full. Nil-safe.
+func (ts *TraceStore) Put(rt RetainedTrace) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	if old := ts.ring[ts.next]; old.ID != 0 {
+		delete(ts.byID, old.ID)
+	}
+	ts.ring[ts.next] = rt
+	ts.byID[rt.ID] = ts.next
+	ts.next++
+	if ts.next == len(ts.ring) {
+		ts.next = 0
+		ts.filled = true
+	}
+	ts.mu.Unlock()
+}
+
+// Get resolves a trace ID to its retained record.
+func (ts *TraceStore) Get(id TraceID) (RetainedTrace, bool) {
+	if ts == nil {
+		return RetainedTrace{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	i, ok := ts.byID[id]
+	if !ok {
+		return RetainedTrace{}, false
+	}
+	return ts.ring[i], true
+}
+
+// Len returns the number of traces currently retained.
+func (ts *TraceStore) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.filled {
+		return len(ts.ring)
+	}
+	return ts.next
+}
+
+// Capacity returns the retention window size.
+func (ts *TraceStore) Capacity() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.ring)
+}

@@ -59,7 +59,22 @@ type Config struct {
 	// the server's own mux (never the default mux), bypassing the
 	// admission gate and timeout like the other debug surfaces.
 	EnablePprof bool
+	// TraceSampleEvery retains every n-th /search query's span tree in the
+	// trace store (resolvable at GET /debug/trace/<id>) and links it from
+	// the latency histograms as an OpenMetrics exemplar. 0 means the
+	// default (64); negative disables sampling — explain=1 and slow
+	// queries still retain their traces.
+	TraceSampleEvery int
+	// TraceStoreCapacity bounds the retained-trace ring; 0 means 512.
+	TraceStoreCapacity int
+	// SLO configures the burn-rate engine's objectives; the zero value
+	// takes the defaults (99.9% availability, 99% under 250ms).
+	SLO obs.SLOOptions
 }
+
+// defaultTraceSampleEvery is the 1-in-N span-tree retention rate when
+// Config.TraceSampleEvery is 0.
+const defaultTraceSampleEvery = 64
 
 // statusClientClosedRequest is the de-facto code (nginx's 499) for
 // "client went away before we could answer"; the response is unseen, the
@@ -119,6 +134,16 @@ type Server struct {
 	mReqs     *obs.CounterVec // labels: route, code
 	mSeconds  *obs.Histogram
 	mInflight *obs.Gauge
+
+	// The flight-recorder surface: the registry's shared event ring (the
+	// same ring the engine and shard router record into), the 1-in-N
+	// span-tree sampler, the retained-trace store behind /debug/trace/,
+	// and the SLO burn-rate engine fed by every finished request.
+	flight  *obs.FlightRecorder
+	sampler *obs.Sampler
+	traces  *obs.TraceStore
+	slo     *obs.SLO
+	start   time.Time
 }
 
 // New builds a server around an engine with no edge protection.
@@ -131,13 +156,21 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server { return NewFromBackend
 // NewFromBackend builds a server around any Backend — a single engine or
 // a shard router — with the given edge configuration.
 func NewFromBackend(eng Backend, cfg Config) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg, reg: eng.Metrics()}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg, reg: eng.Metrics(), start: time.Now()}
 	if cfg.MaxInFlight > 0 {
 		s.gate = make(chan struct{}, cfg.MaxInFlight)
 	}
 	if cfg.SlowLogThreshold > 0 {
 		s.slowlog = obs.NewSlowLog(cfg.SlowLogThreshold, cfg.SlowLogCapacity)
 	}
+	s.flight = s.reg.Flight()
+	sampleEvery := cfg.TraceSampleEvery
+	if sampleEvery == 0 {
+		sampleEvery = defaultTraceSampleEvery
+	}
+	s.sampler = obs.NewSampler(sampleEvery) // nil (never samples) when negative
+	s.traces = obs.NewTraceStore(cfg.TraceStoreCapacity)
+	s.slo = obs.NewSLO(cfg.SLO)
 	s.mShed = s.reg.Counter("xrefine_http_shed_total",
 		"Requests rejected by the admission gate.")
 	s.mPanics = s.reg.Counter("xrefine_http_panics_total",
@@ -148,6 +181,27 @@ func NewFromBackend(eng Backend, cfg Config) *Server {
 		"HTTP request latency in seconds (query routes only).", obs.DefBuckets)
 	s.mInflight = s.reg.Gauge("xrefine_http_inflight",
 		"Query requests currently being handled.")
+	s.reg.GaugeVec("xrefine_build_info",
+		"Build identity; value is always 1, the labels carry the information.",
+		"go_version", "index_format").With(runtime.Version(), index.FormatVersion).Set(1)
+	s.reg.GaugeFunc("xrefine_uptime_seconds",
+		"Seconds since this server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	// Burn rates as gauges, one family per window×objective (func-backed
+	// families are unlabeled): how fast the error budget is being spent,
+	// normalized so 1.0 consumes it exactly at the sustainable rate.
+	s.reg.GaugeFunc("xrefine_slo_availability_burn_5m",
+		"Availability error-budget burn rate over the trailing 5 minutes.",
+		func() float64 { return s.slo.BurnRate("5m", "availability") })
+	s.reg.GaugeFunc("xrefine_slo_availability_burn_1h",
+		"Availability error-budget burn rate over the trailing hour.",
+		func() float64 { return s.slo.BurnRate("1h", "availability") })
+	s.reg.GaugeFunc("xrefine_slo_latency_burn_5m",
+		"Latency error-budget burn rate over the trailing 5 minutes.",
+		func() float64 { return s.slo.BurnRate("5m", "latency") })
+	s.reg.GaugeFunc("xrefine_slo_latency_burn_1h",
+		"Latency error-budget burn rate over the trailing hour.",
+		func() float64 { return s.slo.BurnRate("1h", "latency") })
 	s.mux.HandleFunc("/search", s.observed("/search", s.guard(s.handleSearch)))
 	s.mux.HandleFunc("/narrow", s.observed("/narrow", s.guard(s.handleNarrow)))
 	s.mux.HandleFunc("/complete", s.observed("/complete", s.guard(s.handleComplete)))
@@ -162,6 +216,8 @@ func NewFromBackend(eng Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.recovered(s.handleHealth))
 	s.mux.HandleFunc("/metrics", s.recovered(s.handleMetrics))
 	s.mux.HandleFunc("/debug/slowlog", s.recovered(s.handleSlowlog))
+	s.mux.HandleFunc("/debug/events", s.recovered(s.handleEvents))
+	s.mux.HandleFunc("/debug/trace/", s.recovered(s.handleTrace))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -194,15 +250,34 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // observed wraps a query route with request accounting: in-flight gauge,
-// latency histogram, and a per-route/per-code request counter.
+// latency histogram, and a per-route/per-code request counter. It is also
+// the flight-recorder admission point: every request gets a trace ID here,
+// carried by a ReqInfo on the context through the engine or the shard
+// fan-out, and is bracketed by admit/finish events in the event ring. The
+// finished request feeds the SLO engine (bad availability = 5xx, which
+// includes shed; a client that hung up is not the server's fault), and a
+// request whose trace was retained pins its latency onto the histogram as
+// an exemplar so the bucket links back to /debug/trace/<id>.
 func (s *Server) observed(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		ri := obs.NewReqInfo()
+		r = r.WithContext(obs.WithReqInfo(r.Context(), ri))
+		s.flight.Record(obs.Event{Trace: ri.Trace, Kind: obs.EvAdmit,
+			Shard: -1, Replica: -1, Note: route})
 		s.mInflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.mInflight.Add(-1)
-		s.mSeconds.Observe(time.Since(start).Seconds())
+		dur := time.Since(start)
+		s.flight.Record(obs.Event{Trace: ri.Trace, Kind: obs.EvFinish,
+			Shard: -1, Replica: -1, DurNS: int64(dur), N: int64(sw.code), Note: route})
+		s.slo.Record(time.Now(), sw.code < http.StatusInternalServerError, dur)
+		if ri.Retained() {
+			s.mSeconds.ObserveExemplar(dur.Seconds(), ri.Trace, time.Now())
+		} else {
+			s.mSeconds.Observe(dur.Seconds())
+		}
 		if s.mReqs != nil {
 			s.mReqs.With(route, strconv.Itoa(sw.code)).Inc()
 		}
@@ -299,12 +374,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query().Get("q")
 	explain := r.URL.Query().Get("explain") == "1"
-	// A trace is armed when the caller asked for an explanation or the
+	// A trace is armed when the caller asked for an explanation, the
 	// slow-query log is on (it needs the span tree of any query that
-	// turns out slow). Untraced queries pay one context lookup per stage.
+	// turns out slow), or the sampler elected this query for retention.
+	// Untraced queries pay one context lookup per stage.
 	ctx := r.Context()
+	ri := obs.ReqInfoFromContext(ctx)
+	sampled := explain || s.slowlog != nil || s.sampler.Sample()
+	if ri != nil {
+		// Mark before the query runs so the shard fan-out pins attempt
+		// exemplars only for queries whose trace will be resolvable.
+		ri.Sampled = sampled
+	}
 	var root *obs.Span
-	if explain || s.slowlog != nil {
+	if sampled {
 		ctx, root = obs.NewTrace(ctx, "query")
 		defer root.Release()
 		root.SetStr("q", q)
@@ -339,11 +422,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	resp, err := s.eng.QueryTermsCtx(ctx, terms, strategy, k, parallel)
-	if errors.Is(err, context.Canceled) {
-		httpError(w, statusClientClosedRequest, err)
-		return
-	}
 	if err != nil {
+		// Retain an errored sampled query too: its attempt exemplars are
+		// already pinned, and a failing query is the one an operator most
+		// wants the trace of.
+		if root != nil {
+			root.End()
+			s.retainTrace(ri, q, time.Since(start), root.Data(), false, "")
+		}
+		if errors.Is(err, context.Canceled) {
+			httpError(w, statusClientClosedRequest, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -351,14 +441,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if root != nil {
 		root.End()
 		trace = root.Data()
+		dur := time.Since(start)
+		shard, replica, hedged, _ := ri.Serving()
 		s.slowlog.Record(obs.SlowEntry{
 			Time:           time.Now(),
 			Query:          q,
-			DurationNS:     int64(time.Since(start)),
+			DurationNS:     int64(dur),
 			Degraded:       resp.Degraded,
 			DegradedReason: resp.DegradedReason,
+			TraceID:        ri.TraceID(),
+			Shard:          shard,
+			Replica:        replica,
+			Hedged:         hedged,
 			Trace:          trace,
 		})
+		s.retainTrace(ri, q, dur, trace, resp.Degraded, resp.DegradedReason)
 	}
 	out := searchJSON{
 		Terms:          resp.Terms,
@@ -386,6 +483,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		out.Queries = append(out.Queries, qj)
 	}
 	writeJSON(w, out)
+}
+
+// retainTrace deposits one sampled query's span tree (with its envelope:
+// query, outcome, serving attribution) in the trace store and marks the
+// request retained, which licenses the latency histograms to pin its trace
+// ID as an exemplar — an exemplar therefore always resolves at
+// /debug/trace/<id> while the retention window holds it.
+func (s *Server) retainTrace(ri *obs.ReqInfo, q string, dur time.Duration, trace *obs.SpanData, degraded bool, reason string) {
+	if ri == nil {
+		return
+	}
+	shard, replica, hedged, _ := ri.Serving()
+	s.traces.Put(obs.RetainedTrace{
+		ID:             ri.Trace,
+		Time:           time.Now(),
+		Query:          q,
+		DurationNS:     int64(dur),
+		Degraded:       degraded,
+		DegradedReason: reason,
+		Shard:          shard,
+		Replica:        replica,
+		Hedged:         hedged,
+		Trace:          trace,
+	})
+	ri.MarkRetained()
 }
 
 // narrowJSON is the /narrow response body.
@@ -537,7 +659,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"panics":           s.mPanics.Value(),
 		"max_inflight":     s.cfg.MaxInFlight,
 		"timeout_ms":       s.cfg.Timeout.Milliseconds(),
+		"uptime_seconds":   time.Since(s.start).Seconds(),
 	}
+	// The SLO burn-rate report rides under its own key; `xrefine slo` and
+	// `xstat -slo` decode exactly this object.
+	body["slo"] = s.slo.Report(time.Now())
 	// Memory pressure observables: resident bytes of loaded posting-list
 	// cores (the block-compressed index payload) next to the Go heap, so
 	// an operator can see both what the index costs and what the process
@@ -579,14 +705,99 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the registry in Prometheus text exposition format.
 // It bypasses the admission gate and the request timeout: a scrape must
-// succeed precisely when the query path is saturated.
+// succeed precisely when the query path is saturated. A scraper that asks
+// for OpenMetrics (?format=openmetrics, or an Accept header naming
+// application/openmetrics-text) gets the same families with exemplars on
+// the histogram buckets; the default exposition stays byte-identical to
+// the pre-exemplar format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.reg == nil {
 		httpError(w, http.StatusNotFound, errors.New("metrics disabled"))
 		return
 	}
+	if r.URL.Query().Get("format") == "openmetrics" ||
+		strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
+}
+
+// handleEvents dumps the flight recorder, newest first: every request's
+// admission, fan-out, replica attempts, hedges, retries, breaker and
+// quarantine transitions, WAL commits. Filters: ?trace_id=<16-hex>,
+// ?shard=<n>, ?kind=<name>, ?limit=<n>.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		httpError(w, http.StatusNotFound, errors.New("flight recorder disabled (metrics off)"))
+		return
+	}
+	var filter obs.EventFilter
+	qv := r.URL.Query()
+	if v := qv.Get("trace_id"); v != "" {
+		id, err := obs.ParseTraceID(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace_id: %w", err))
+			return
+		}
+		filter.Trace = id
+	}
+	if v := qv.Get("kind"); v != "" {
+		k, err := obs.ParseEventKind(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		filter.Kind = k
+	}
+	if v := qv.Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad shard: %w", err))
+			return
+		}
+		filter.Shard = n
+		filter.HasShard = true
+	}
+	var err error
+	if filter.Limit, err = intParam(r, "limit", 0); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	evs := s.flight.Events(filter)
+	views := make([]obs.EventView, 0, len(evs))
+	for _, e := range evs {
+		views = append(views, e.View())
+	}
+	writeJSON(w, map[string]any{
+		"capacity": s.flight.Capacity(),
+		"dropped":  s.flight.Dropped(),
+		"events":   views,
+	})
+}
+
+// handleTrace resolves one retained trace ID — scraped off an exemplar, a
+// slowlog entry, or an event dump — to its full record: the span tree plus
+// the query, outcome and serving attribution.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if idStr == "" || strings.Contains(idStr, "/") {
+		httpError(w, http.StatusBadRequest, errors.New("want /debug/trace/<trace-id>"))
+		return
+	}
+	id, err := obs.ParseTraceID(idStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace id: %w", err))
+		return
+	}
+	rt, ok := s.traces.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("trace %s not retained (sampled traces only, last %d kept)", id, s.traces.Capacity()))
+		return
+	}
+	writeJSON(w, rt)
 }
 
 // handleSlowlog dumps the slow-query ring buffer, newest first.

@@ -96,6 +96,7 @@ type routerMetrics struct {
 
 	replicaScans  *obs.CounterVec
 	replicaErrors *obs.CounterVec
+	attemptSecs   *obs.HistogramVec
 	hedges        *obs.Counter
 	hedgeWins     *obs.Counter
 	retries       *obs.Counter
@@ -144,6 +145,10 @@ type Router struct {
 	catchup []*catchupLog
 
 	m routerMetrics
+	// flight is the shared registry's event ring: the router records the
+	// fan-out lifecycle (fanout, per-replica attempts, hedges, retries,
+	// breaker trips, quarantine/reconcile, WAL commits) for every request.
+	flight *obs.FlightRecorder
 	// Scatter-path response counters Stats folds into the meta engine's
 	// (whose own counters only see delegated SLE/stack queries).
 	refined  atomic.Uint64
@@ -344,6 +349,8 @@ func NewReplicated(stores [][]*kvstore.Store, walPaths [][]string, opts *Options
 			"Scan attempts dispatched, by shard and replica.", "shard", "replica"),
 		replicaErrors: r.mreg.CounterVec("xrefine_replica_errors_total",
 			"Scan attempts that failed, by shard and replica.", "shard", "replica"),
+		attemptSecs: r.mreg.HistogramVec("xrefine_replica_attempt_seconds",
+			"Per-replica scan attempt latency in seconds, by shard.", obs.DefBuckets, "shard"),
 		hedges: r.mreg.Counter("xrefine_replica_hedges_total",
 			"Hedge scans fired because the primary replica was slow."),
 		hedgeWins: r.mreg.Counter("xrefine_replica_hedge_wins_total",
@@ -407,6 +414,7 @@ func NewReplicated(stores [][]*kvstore.Store, walPaths [][]string, opts *Options
 			}
 			return float64(max)
 		})
+	r.flight = r.mreg.Flight()
 	if err := r.rebuild(); err != nil {
 		r.closeShards()
 		return nil, err
@@ -588,6 +596,8 @@ func (r *Router) QueryTermsCtx(ctx context.Context, terms []string, strategy cor
 		fan = 1
 	}
 	r.m.fanout.Set(int64(fan))
+	r.flight.Record(obs.Event{Trace: obs.TraceIDFromContext(ctx), Kind: obs.EvFanout,
+		Shard: -1, Replica: -1, N: int64(fan)})
 	var ssp *obs.Span
 	if root != nil {
 		ssp = root.StartChild("refine:partition")
@@ -619,6 +629,8 @@ func (r *Router) QueryTermsCtx(ctx context.Context, terms []string, strategy cor
 	}
 	if resp.Degraded {
 		r.degraded.Add(1)
+		r.flight.Record(obs.Event{Trace: obs.TraceIDFromContext(ctx), Kind: obs.EvBudgetExpiry,
+			Shard: -1, Replica: -1, Note: resp.DegradedReason})
 	}
 	return resp, nil
 }
@@ -724,6 +736,8 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 	}
 	maxAttempts := len(order) + r.retries
 	baseCtx := in.Budget.Context()
+	ri := obs.ReqInfoFromContext(baseCtx)
+	tid := ri.TraceID()
 	resCh := make(chan attemptResult, maxAttempts)
 	var cancels []context.CancelFunc
 	defer func() {
@@ -743,6 +757,8 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 		r.m.replicaScans.With(strconv.Itoa(si), strconv.Itoa(rp.id)).Inc()
 		go func() {
 			start := time.Now()
+			r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvAttemptStart,
+				Shard: si, Replica: rp.id, Hedge: hedge})
 			sin := in
 			sin.Index = rp.eng.Index()
 			sin.Parallelism = 1
@@ -766,7 +782,25 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 				}
 				sp.End()
 			}
-			resCh <- attemptResult{rp: rp, scan: scan, err: err, dur: time.Since(start), hedge: hedge}
+			dur := time.Since(start)
+			ev := obs.Event{Trace: tid, Kind: obs.EvAttemptEnd,
+				Shard: si, Replica: rp.id, Hedge: hedge, DurNS: int64(dur)}
+			switch {
+			case err == nil:
+			case errors.Is(err, context.Canceled):
+				// A cancelled attempt is a hedge/failover loser, not a fault.
+				ev.Kind = obs.EvAttemptCancel
+			default:
+				ev.Note = "error"
+			}
+			r.flight.Record(ev)
+			h := r.m.attemptSecs.With(strconv.Itoa(si))
+			if ri.IsSampled() && tid != 0 {
+				h.ObserveExemplar(dur.Seconds(), tid, time.Now())
+			} else {
+				h.Observe(dur.Seconds())
+			}
+			resCh <- attemptResult{rp: rp, scan: scan, err: err, dur: dur, hedge: hedge}
 		}()
 	}
 	launch(false)
@@ -785,14 +819,19 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 			outstanding--
 			if res.err == nil {
 				res.rp.noteSuccess(res.dur)
+				ri.NoteServe(si, res.rp.id, res.hedge, res.dur)
 				if res.hedge {
 					r.m.hedgeWins.Inc()
+					r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvHedgeWin,
+						Shard: si, Replica: res.rp.id, Hedge: true, DurNS: int64(res.dur)})
 				}
 				return res.scan, nil
 			}
 			r.m.replicaErrors.With(strconv.Itoa(si), strconv.Itoa(res.rp.id)).Inc()
 			if res.rp.noteError(r.breakerThreshold, r.breakerCooldown) {
 				r.m.breakerTrips.Inc()
+				r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvBreakerOpen,
+					Shard: si, Replica: res.rp.id})
 			}
 			if firstErr == nil {
 				firstErr = res.err
@@ -807,6 +846,7 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 				return nil, firstErr
 			}
 			r.m.retries.Inc()
+			r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvRetry, Shard: si, Replica: -1})
 			if backoff > 0 {
 				t := time.NewTimer(backoff)
 				select {
@@ -826,6 +866,7 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 			hedgeC = nil
 			if outstanding > 0 && launched < maxAttempts {
 				r.m.hedges.Inc()
+				r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvHedgeFire, Shard: si, Replica: -1})
 				launch(true)
 				outstanding++
 			}
@@ -1007,6 +1048,7 @@ func (r *Router) Apply(b *mutate.Batch) (*core.ApplyResult, error) {
 		return nil, firstErr
 	}
 	r.catchup[owner].add(res.Epoch, b)
+	r.flight.Record(obs.Event{Kind: obs.EvWALCommit, Shard: owner, Replica: -1, N: int64(res.Epoch)})
 	// Epoch reconciliation, detection half: any replica now behind the
 	// group missed this commit. Quarantine it from reads until replay
 	// catches it up.
@@ -1015,6 +1057,8 @@ func (r *Router) Apply(b *mutate.Batch) (*core.ApplyResult, error) {
 		if rp.eng.Epoch() < max && !rp.quarantined.Load() {
 			rp.quarantined.Store(true)
 			r.m.quarantines.Inc()
+			r.flight.Record(obs.Event{Kind: obs.EvQuarantine, Shard: owner, Replica: rp.id,
+				N: int64(max - rp.eng.Epoch()), Note: "epoch-lag"})
 		}
 	}
 	// A transient write fault may already have passed: try to catch the
@@ -1080,5 +1124,6 @@ func (r *Router) reconcileLocked(si int) {
 		rp.consecErrs.Store(0)
 		rp.breakerUntil.Store(0)
 		r.m.reconciles.Inc()
+		r.flight.Record(obs.Event{Kind: obs.EvReconcile, Shard: si, Replica: rp.id, N: int64(target)})
 	}
 }

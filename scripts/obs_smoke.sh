@@ -2,22 +2,32 @@
 # obs_smoke.sh — end-to-end observability smoke test, run by `make obs`
 # and the CI observability job.
 #
-# Boots xserve on a generated corpus, then asserts the three ops
-# surfaces actually work against a live server:
+# Boots xserve on a generated corpus, then asserts the ops surfaces
+# actually work against a live server:
 #   1. /metrics parses as Prometheus text exposition (via obscheck, the
 #      in-tree strict parser) and carries the expected families;
 #   2. /search?...&explain=1 returns a span tree, and the same query
 #      without the flag leaks no explain key;
 #   3. /debug/slowlog serves the traced ring.
+# Phase 2 reruns the surfaces against a chaos-armed 2x2 replicated
+# server: every query is trace-sampled, an exemplar trace_id is scraped
+# off the OpenMetrics exposition and must resolve at /debug/trace/<id>,
+# hedge events must appear in /debug/events, and both expositions
+# (Prometheus and OpenMetrics-with-exemplars) must pass obscheck's
+# histogram/exemplar validation.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:18080}"
+ADDR_REPL="${ADDR_REPL:-127.0.0.1:18081}"
 BASE="http://$ADDR"
+REPL="http://$ADDR_REPL"
 WORK="$(mktemp -d)"
 SERVER_PID=""
+REPL_PID=""
 
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$REPL_PID" ] && kill "$REPL_PID" 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -77,5 +87,79 @@ SLOWLOG_BODY="$(curl -fsS "$BASE/debug/slowlog")" ||
     fail "slowlog fetch failed"
 [[ "$SLOWLOG_BODY" == *'"entries"'* ]] ||
     fail "slowlog ring unreachable or empty schema"
+
+echo "obs-smoke: phase 2: replicated chaos flight-recorder checks"
+"$WORK/xgen" -kind shards -xml "$WORK/dblp.xml" -shards 2 -replicas 2 \
+    -shard-dir "$WORK/shards"
+"$WORK/xgen" -kind workload -xml "$WORK/dblp.xml" -queries 40 -seed 9 \
+    -out "$WORK/queries.txt"
+# GOMAXPROCS > nproc so the hedge timer can preempt a CPU-bound scan on
+# single-core CI runners: the stores are memory-resident after open, so
+# attempt latency is pure compute and a lone P would never yield to the
+# timer before the primary finishes.
+GOMAXPROCS=4 "$WORK/xserve" -shards "$WORK/shards" -replicas 2 -addr "$ADDR_REPL" \
+    -hedge-after 100us -chaos "jitter=1ms-3ms,seed=7" -trace-sample 1 \
+    -slowlog 1ns >"$WORK/repl.log" 2>&1 &
+REPL_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$REPL/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$REPL_PID" 2>/dev/null || {
+        cat "$WORK/repl.log" >&2
+        fail "replicated xserve exited early"
+    }
+    sleep 0.2
+done
+curl -fsS "$REPL/healthz" >/dev/null || fail "replicated xserve never became healthy"
+
+# Distinct workload queries touch cold posting lists, keeping the
+# attempts slow enough for the 100µs hedge delay; loop until a hedge
+# shows up in the event ring.
+HEDGED=""
+QCOUNT=0
+while IFS=$'\t' read -r q _; do
+    QCOUNT=$((QCOUNT + 1))
+    curl -fsS "$REPL/search?q=${q// /+}" >/dev/null ||
+        fail "replicated query $QCOUNT ($q) failed"
+    EVENTS="$(curl -fsS "$REPL/debug/events?kind=hedge-fire&limit=1")" ||
+        fail "event dump fetch failed"
+    if [[ "$EVENTS" == *'"hedge-fire"'* ]]; then
+        HEDGED=yes
+        break
+    fi
+done <"$WORK/queries.txt"
+[ -n "$HEDGED" ] || fail "no hedge-fire event after $QCOUNT chaos-armed queries"
+
+echo "obs-smoke: resolving an exemplar trace id"
+OM_BODY="$(curl -fsS "$REPL/metrics?format=openmetrics")" ||
+    fail "openmetrics scrape failed"
+[[ "$OM_BODY" == *'# EOF'* ]] || fail "openmetrics exposition missing # EOF"
+TID="$(printf '%s\n' "$OM_BODY" | grep -o 'trace_id="[0-9a-f]*"' | head -1 | cut -d'"' -f2)"
+[ -n "$TID" ] || fail "no exemplar trace_id in the openmetrics exposition"
+TRACE_BODY="$(curl -fsS "$REPL/debug/trace/$TID")" ||
+    fail "exemplar trace $TID did not resolve at /debug/trace/"
+[[ "$TRACE_BODY" == *'"trace"'* ]] ||
+    fail "resolved trace $TID carries no span tree"
+
+echo "obs-smoke: cross-checking /debug/events by trace id"
+EV_BY_TRACE="$(curl -fsS "$REPL/debug/events?trace_id=$TID")" ||
+    fail "event filter by trace_id failed"
+[[ "$EV_BY_TRACE" == *'"admit"'* ]] ||
+    fail "trace $TID has no admit event in the ring"
+
+echo "obs-smoke: validating both replicated expositions"
+"$WORK/obscheck" -url "$REPL/metrics" -min-families 12 \
+    -want xrefine_replica_attempt_seconds,xrefine_build_info,xrefine_uptime_seconds,xrefine_slo_availability_burn_5m,xrefine_slo_latency_burn_1h,xrefine_http_requests_total ||
+    fail "obscheck rejected the replicated Prometheus exposition"
+"$WORK/obscheck" -url "$REPL/metrics?format=openmetrics" -min-families 12 \
+    -want xrefine_replica_attempt_seconds,xrefine_http_request_seconds ||
+    fail "obscheck rejected the OpenMetrics exemplar exposition"
+
+echo "obs-smoke: checking /healthz SLO report"
+HEALTH_BODY="$(curl -fsS "$REPL/healthz")" || fail "replicated healthz failed"
+[[ "$HEALTH_BODY" == *'"slo"'* && "$HEALTH_BODY" == *'"availability_burn"'* ]] ||
+    fail "healthz carries no SLO burn report"
 
 echo "obs-smoke: PASS"
