@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak replicas clean
+.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak replicas coldstart clean
 
 all: build vet test
 
@@ -43,6 +43,8 @@ fuzz:
 	$(GO) test ./internal/xmltree -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -fuzz FuzzDecodeNode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -fuzz FuzzDecodeMeta -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logstore -fuzz FuzzLogRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logstore -fuzz FuzzHintFile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -fuzz FuzzQueryPipeline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shard -fuzz FuzzShardMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/index -fuzz FuzzBlockCodec -fuzztime $(FUZZTIME)
@@ -70,6 +72,12 @@ soak:
 # diffed request-by-request against a monolith — zero result divergence.
 replicas:
 	./scripts/replica_soak.sh
+
+# Log-engine cold-start ratchet: opening a settled value-heavy store
+# through hint files must be at least 10x faster than the hint-blind
+# full-replay baseline, and on-disk amplification must stay under 2x.
+coldstart:
+	./scripts/coldstart_gate.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -9,6 +9,7 @@
 //	paper experiments: tables3-6 fig4 fig5 fig6 table7 table8 table9 table10
 //	extensions:        ablation-decay ablation-searchfor ablation-slca
 //	                   ablation-beam elca parallel obs update shard compress
+//	                   storage
 //	or: all
 package main
 
@@ -33,12 +34,13 @@ var (
 	queries  = flag.Int("queries", 50, "effectiveness pool size")
 	jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (parallel experiment)")
 	maxprocs = flag.Int("workers", 8, "largest worker count for the parallel experiment")
+	writes   = flag.Int("writes", 20000, "synthetic write-burst size for the storage experiment")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|compress|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|compress|storage|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -60,6 +62,7 @@ func main() {
 		"update":             updateBench,
 		"shard":              shardCompare,
 		"compress":           compressCompare,
+		"storage":            storageCompare,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -67,7 +70,7 @@ func main() {
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
 			"ablation-slca", "ablation-beam", "elca", "parallel", "obs",
-			"update", "shard", "compress",
+			"update", "shard", "compress", "storage",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -501,6 +504,46 @@ func compressCompare() error {
 	for _, r := range rep.Rows {
 		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.3f\t%v\n",
 			r.Mode, r.ResidentBytes, r.BytesPerPosting, r.AvgMS, r.Identical)
+	}
+	return w.Flush()
+}
+
+// storageCompare runs the storage-engine shoot-out: the corpus persisted
+// through both engines, then write throughput, point/range read latency,
+// on-disk amplification after checkpoint, and cold-start latency — with
+// the log engine opened both through its hint files and with hints
+// ignored, so the table prices exactly what the hint fast path buys.
+func storageCompare() error {
+	c, err := corpus()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.StorageCompare(c, *writes, *reps)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(struct {
+			Scale  float64                  `json:"scale"`
+			Writes int                      `json:"writes"`
+			Rows   []experiments.StorageRow `json:"rows"`
+		}{*scale, *writes, rows})
+	}
+	w := header(fmt.Sprintf("Storage engines: B+tree vs log-structured (%dk-op write burst, checkpoint, cold start)", *writes/1000))
+	fmt.Fprintln(w, "backend\tcold open (ms)\tscan open (ms)\thint speedup\twrites (kops/s)\twrites (MB/s)\tval bytes\tpoint read (µs)\trange scan (ms)\tkeys\tdisk bytes\tamplification\tsegments")
+	for _, r := range rows {
+		seg := "-"
+		if r.Segments > 0 {
+			seg = fmt.Sprint(r.Segments)
+		}
+		amp := "-"
+		if r.Amplification > 0 {
+			amp = fmt.Sprintf("%.2fx", r.Amplification)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.1fx\t%.1f\t%.1f\t%d\t%.2f\t%.3f\t%d\t%d\t%s\t%s\n",
+			r.Backend, r.ColdOpenMS, r.ScanOpenMS, r.HintSpeedup,
+			r.WriteKOpsPerSec, r.WriteMBPerSec, r.ValueBytes, r.PointReadUS, r.RangeScanMS,
+			r.Keys, r.DiskBytes, amp, seg)
 	}
 	return w.Flush()
 }

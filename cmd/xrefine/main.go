@@ -56,7 +56,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  xrefine index  -xml <file> -index <file>      build a persistent index
+  xrefine index  -xml <file> -index <file> [-backend btree|log] [-with-doc]   build a persistent index
   xrefine search [-xml <file> | -index <file> | -shards <dir> [-replicas N] [-hedge-after D]] [-k N] [-strategy partition|sle|stack] [-parallel N] [-explain] <query>
   xrefine batch  [-xml <file> | -index <file>] [-k N] [-parallel N] -queries <file>   one query per line, TSV out
   xrefine apply  -index <file> [-wal <file>] -batch <file>   apply an update batch as a new epoch
@@ -72,6 +72,7 @@ func cmdIndex(args []string) {
 	xmlPath := fs.String("xml", "", "XML document to index")
 	indexPath := fs.String("index", "", "output index file")
 	withDoc := fs.Bool("with-doc", false, "also store the document (keeps snippets and narrowing)")
+	backend := fs.String("backend", "", "storage engine: btree (default) | log")
 	fs.Parse(args)
 	if *xmlPath == "" || *indexPath == "" {
 		fatal(fmt.Errorf("index needs -xml and -index"))
@@ -85,7 +86,7 @@ func cmdIndex(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	store, err := xrefine.OpenStore(*indexPath, false)
+	store, err := xrefine.OpenStoreKind(*backend, *indexPath, false)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,9 +99,9 @@ func cmdIndex(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	st := store.Stats()
-	fmt.Printf("indexed %s -> %s (%d keys, %d pages, %d bytes)\n",
-		*xmlPath, *indexPath, st.Keys, st.Pages, st.FileSize)
+	st := store.StorageStats()
+	fmt.Printf("indexed %s -> %s (%s backend, %d keys, %d bytes)\n",
+		*xmlPath, *indexPath, st.Kind, st.Keys, st.DiskBytes)
 }
 
 // queryBackend is the slice of the engine surface the answer path needs;

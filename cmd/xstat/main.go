@@ -8,11 +8,17 @@
 //	xstat -xml dblp.xml [-top 15]
 //	xstat -index dblp.kv [-top 15]
 //	xstat -index dblp.kv -blocks
+//	xstat -index dblp.logdb -storage
 //	xstat -shards dblp-shards
 //
 // With -shards, the per-shard layout of a directory written by
 // xgen -shards is tabulated instead: each shard's node and partition
 // counts, committed epoch, store size and WAL state, with totals.
+//
+// With -storage, the physical storage-engine report is rendered instead:
+// the backend kind, the on-disk file inventory (pages for the B+tree,
+// segment and hint files for the log engine), live/dead byte ratios,
+// keydir footprint and cold-start load paths.
 //
 // With -blocks, the physical shape of the block-compressed posting
 // storage is reported: per-term block counts, encoded versus
@@ -33,9 +39,10 @@ import (
 	"time"
 
 	"xrefine/internal/index"
-	"xrefine/internal/kvstore"
 	"xrefine/internal/obs"
 	"xrefine/internal/shard"
+	"xrefine/internal/storage"
+	"xrefine/internal/storage/backends"
 )
 
 func main() {
@@ -53,6 +60,8 @@ func run(args []string, w io.Writer) error {
 		shardDir  = fs.String("shards", "", "shard directory (xgen -shards) to inspect")
 		top       = fs.Int("top", 15, "how many top keywords to list")
 		blocks    = fs.Bool("blocks", false, "report block-compressed posting storage instead")
+		storageOn = fs.Bool("storage", false, "report the index store's storage-engine state instead")
+		backend   = fs.String("backend", "", "storage engine of -index: btree | log (default: detect from the layout)")
 		slo       = fs.Bool("slo", false, "report a running server's SLO burn rates instead (needs -url)")
 		url       = fs.String("url", "", "base URL of a running xserve, e.g. http://localhost:8080")
 	)
@@ -69,7 +78,7 @@ func run(args []string, w io.Writer) error {
 		return reportShards(w, *shardDir)
 	}
 	var ix *index.Index
-	var storeStats *kvstore.Stats
+	var storeStats *storage.Stats
 	var epoch uint64
 	var walBytes int64 = -1
 	switch {
@@ -84,16 +93,19 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	case *indexPath != "":
-		store, err := kvstore.Open(*indexPath, &kvstore.Options{ReadOnly: true})
+		store, err := openStore(*indexPath, *backend)
 		if err != nil {
 			return err
 		}
 		defer store.Close()
+		if *storageOn {
+			return reportStorage(w, *indexPath, store)
+		}
 		ix, err = index.Load(store)
 		if err != nil {
 			return err
 		}
-		st := store.Stats()
+		st := store.StorageStats()
 		storeStats = &st
 		epoch = store.Epoch()
 		// A write-ahead log beside the index means the store takes live
@@ -104,6 +116,9 @@ func run(args []string, w io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("need -xml, -index, or -shards")
+	}
+	if *storageOn {
+		return fmt.Errorf("-storage needs -index")
 	}
 	if *blocks {
 		return reportBlocks(w, ix, *top)
@@ -224,7 +239,11 @@ func reportShards(w io.Writer, dir string) error {
 	var epochs uint64
 	var bytes int64
 	for _, e := range man.Shards {
-		store, err := kvstore.Open(filepath.Join(dir, e.Store), &kvstore.Options{ReadOnly: true})
+		kind, err := storage.ParseKind(e.Backend)
+		if err != nil {
+			return err
+		}
+		store, err := backends.Open(kind, filepath.Join(dir, e.Store), &storage.Options{ReadOnly: true})
 		if err != nil {
 			return err
 		}
@@ -233,7 +252,7 @@ func reportShards(w io.Writer, dir string) error {
 			store.Close()
 			return err
 		}
-		st := store.Stats()
+		st := store.StorageStats()
 		epoch := store.Epoch()
 		if err := store.Close(); err != nil {
 			return err
@@ -248,25 +267,31 @@ func reportShards(w io.Writer, dir string) error {
 			}
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n",
-			e.Store, ix.NodeCount, len(ix.PartitionRoots()), epoch, st.FileSize, wal)
+			e.Store, ix.NodeCount, len(ix.PartitionRoots()), epoch, st.DiskBytes, wal)
 		nodes += ix.NodeCount
 		parts += len(ix.PartitionRoots())
 		epochs += epoch
-		bytes += st.FileSize
+		bytes += st.DiskBytes
 	}
 	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t\n", nodes, parts, epochs, bytes)
 	return tw.Flush()
 }
 
-func report(w io.Writer, ix *index.Index, store *kvstore.Stats, epoch uint64, walBytes int64, top int) error {
+func report(w io.Writer, ix *index.Index, store *storage.Stats, epoch uint64, walBytes int64, top int) error {
 	vocab := ix.Vocabulary()
 	fmt.Fprintf(w, "nodes:       %d\n", ix.NodeCount)
 	fmt.Fprintf(w, "node types:  %d\n", ix.Types.Len())
 	fmt.Fprintf(w, "partitions:  %d\n", len(ix.PartitionRoots()))
 	fmt.Fprintf(w, "vocabulary:  %d terms\n", len(vocab))
 	if store != nil {
-		fmt.Fprintf(w, "store:       %d keys, %d pages (%d free), %d bytes\n",
-			store.Keys, store.Pages, store.FreePages, store.FileSize)
+		switch store.Kind {
+		case storage.KindLog:
+			fmt.Fprintf(w, "store:       %s, %d keys, %d segments, %d bytes\n",
+				store.Kind, store.Keys, store.Segments, store.DiskBytes)
+		default:
+			fmt.Fprintf(w, "store:       %s, %d keys, %d pages (%d free), %d bytes\n",
+				store.Kind, store.Keys, store.Pages, store.FreePages, store.DiskBytes)
+		}
 		fmt.Fprintf(w, "epoch:       %d\n", epoch)
 		switch {
 		case walBytes < 0:
@@ -308,6 +333,86 @@ func report(w io.Writer, ix *index.Index, store *kvstore.Stats, epoch uint64, wa
 	for _, ty := range ix.Types.SortTypesByPath() {
 		fmt.Fprintf(tw, "%s\t%d\t%d\n", ty.Path(), ix.NT(ty), ix.GT(ty))
 	}
+	return tw.Flush()
+}
+
+// openStore opens an index store read-only on the named engine, or on the
+// engine its on-disk layout implies (file = btree, directory = log).
+func openStore(path, backend string) (storage.Backend, error) {
+	var kind storage.Kind
+	var err error
+	if backend != "" {
+		kind, err = storage.ParseKind(backend)
+	} else {
+		kind, err = backends.Detect(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return backends.Open(kind, path, &storage.Options{ReadOnly: true})
+}
+
+// reportStorage renders the -storage report: the engine kind, the on-disk
+// file inventory, live/dead ratios and the engine's resident footprint —
+// the physical numbers one checks before trusting a compaction policy or
+// a cold-start claim.
+func reportStorage(w io.Writer, path string, store storage.Backend) error {
+	st := store.StorageStats()
+	fmt.Fprintf(w, "backend:     %s\n", st.Kind)
+	fmt.Fprintf(w, "keys:        %d\n", st.Keys)
+	fmt.Fprintf(w, "disk:        %d bytes\n", st.DiskBytes)
+	fmt.Fprintf(w, "txid:        %d\n", st.Txid)
+	fmt.Fprintf(w, "epoch:       %d\n", st.Epoch)
+	switch st.Kind {
+	case storage.KindLog:
+		fmt.Fprintf(w, "segments:    %d\n", st.Segments)
+		fmt.Fprintf(w, "live:        %d records, %d bytes\n", st.LiveRecords, st.LiveBytes)
+		fmt.Fprintf(w, "dead:        %d records, %d bytes\n", st.DeadRecords, st.DeadBytes)
+		if amp := st.Amplification(); amp > 0 {
+			fmt.Fprintf(w, "amplification: %.2fx (disk over live)\n", amp)
+		}
+		fmt.Fprintf(w, "keydir:      %d entries, %d resident bytes\n", st.KeydirEntries, st.KeydirBytes)
+		fmt.Fprintf(w, "compactions: %d since open\n", st.Compactions)
+		fmt.Fprintf(w, "cold start:  %d segment(s) via hint files, %d via full scan\n", st.HintLoads, st.ScanLoads)
+	default:
+		fmt.Fprintf(w, "pages:       %d (%d free), %d bytes each\n", st.Pages, st.FreePages, st.PageSize)
+	}
+
+	// File inventory: the single page file for the B+tree, the segment /
+	// hint / manifest listing for the log engine.
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nfile\tbytes\trole")
+	if !fi.IsDir() {
+		fmt.Fprintf(tw, "%s\t%d\tpage file\n", filepath.Base(path), fi.Size())
+		return tw.Flush()
+	}
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, ent := range ents {
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		role := "other"
+		switch {
+		case strings.HasSuffix(ent.Name(), ".data"):
+			role = "segment data"
+		case strings.HasSuffix(ent.Name(), ".hint"):
+			role = "cold-start hint"
+		case ent.Name() == "MANIFEST":
+			role = "segment manifest"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", ent.Name(), info.Size(), role)
+		total += info.Size()
+	}
+	fmt.Fprintf(tw, "total\t%d\t\n", total)
 	return tw.Flush()
 }
 

@@ -52,11 +52,11 @@ func main() {
 	if err := eng.SaveIndex(store); err != nil {
 		log.Fatal(err)
 	}
-	st := store.Stats()
+	st := store.StorageStats()
 	if err := store.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("indexed corpus: %d keys, %d pages, %d bytes on disk\n\n", st.Keys, st.Pages, st.FileSize)
+	fmt.Printf("indexed corpus: %d keys, %d bytes on disk\n\n", st.Keys, st.DiskBytes)
 
 	// 2. Reopen the index read-only, as a query server would.
 	ro, err := xrefine.OpenStore(indexPath, true)

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
 	"xrefine/internal/mutate"
 	"xrefine/internal/obs"
 	"xrefine/internal/xmltree"
@@ -28,7 +28,7 @@ import (
 // the write-ahead log. Engines without it (in-memory construction) still
 // accept Apply — epochs advance without persistence.
 type liveState struct {
-	store  *kvstore.Store
+	store  storage.Backend
 	wal    *mutate.WAL
 	broken bool // a rollback failed; the open store is untrustworthy
 }
@@ -156,6 +156,30 @@ func (e *Engine) commitEpoch(staged *mutate.StageResult, next uint64) error {
 	return fmt.Errorf("core: commit epoch %d: %w", next, err)
 }
 
+// Checkpoint folds the engine's durable state. The backing store
+// checkpoints (the log engine seals its active segment, merges dead
+// records away and writes hint files; the B+tree engine commits — its
+// copy-on-write design reuses freed pages already) and the write-ahead
+// log truncates: every batch it held is inside the store's committed
+// state, so replaying it would be wasted work. After a checkpoint a
+// reopen pays hint-file loads plus zero WAL replay — the property that
+// bounds reopen time on a long-lived live store no matter how many
+// epochs it has absorbed. No-op on engines without live state.
+func (e *Engine) Checkpoint() error {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.live == nil {
+		return nil
+	}
+	if err := e.live.store.Checkpoint(); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := e.live.wal.Reset(); err != nil {
+		return fmt.Errorf("core: checkpoint: wal truncate: %w", err)
+	}
+	return nil
+}
+
 // OpenLive is Open plus live-update support: it attaches the write-ahead
 // log at walPath (created if absent) and replays any batch the log holds
 // beyond the store's committed epoch — the recovery path after a crash
@@ -163,21 +187,21 @@ func (e *Engine) commitEpoch(staged *mutate.StageResult, next uint64) error {
 // document (written with SaveIndexWithDocument); updates mutate the tree,
 // so index-only stores cannot be updated live. The caller still owns
 // closing the store; the engine owns the WAL (Close releases it).
-func OpenLive(store *kvstore.Store, walPath string, cfg *Config) (*Engine, error) {
+func OpenLive(store storage.Backend, walPath string, cfg *Config) (*Engine, error) {
 	return openLive(store, walPath, nil, cfg)
 }
 
 // OpenLiveShared is OpenLive against a shared type registry (see
 // OpenShared): the shard router opens live shards through here so fragment
 // types minted by updates intern into the corpus-wide registry.
-func OpenLiveShared(store *kvstore.Store, walPath string, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+func OpenLiveShared(store storage.Backend, walPath string, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
 	if reg == nil {
 		return nil, errors.New("core: OpenLiveShared needs a registry")
 	}
 	return openLive(store, walPath, reg, cfg)
 }
 
-func openLive(store *kvstore.Store, walPath string, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+func openLive(store storage.Backend, walPath string, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
 	e, err := openStore(store, reg, cfg)
 	if err != nil {
 		return nil, err

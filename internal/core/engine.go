@@ -20,7 +20,7 @@ import (
 	"time"
 
 	"xrefine/internal/index"
-	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
 	"xrefine/internal/lexicon"
 	"xrefine/internal/narrow"
 	"xrefine/internal/obs"
@@ -163,6 +163,10 @@ type Engine struct {
 	// so the served state can never silently diverge from the store.
 	live   *liveState
 	frozen bool
+	// store is the backing store for store-opened engines (read-only or
+	// live); nil for in-memory construction. Held for storage-state
+	// reporting only — ownership stays with the caller.
+	store storage.Backend
 
 	// reg is the metrics registry (nil when disabled); m holds the
 	// registered handles. The registry is the single counter
@@ -183,6 +187,15 @@ func (e *Engine) snapshot() *epoch { return e.ep.Load() }
 // engine, incremented by every applied update batch. Engines opened from
 // a store resume at the store's committed epoch.
 func (e *Engine) Epoch() uint64 { return e.snapshot().gen }
+
+// StoreStats reports the backing store's storage-engine snapshot. ok is
+// false for purely in-memory engines, which have no store to report on.
+func (e *Engine) StoreStats() (storage.Stats, bool) {
+	if e.store == nil {
+		return storage.Stats{}, false
+	}
+	return e.store.StorageStats(), true
+}
 
 // EngineStats is a snapshot of the engine's serving counters.
 type EngineStats struct {
@@ -298,7 +311,7 @@ func NewFromXMLStream(r io.Reader, cfg *Config) (*Engine, error) {
 // source document (SaveIndexWithDocument), it is restored so snippets and
 // narrowing keep working. The store stays open for lazy posting-list
 // loads; the caller owns closing it.
-func Open(store *kvstore.Store, cfg *Config) (*Engine, error) {
+func Open(store storage.Backend, cfg *Config) (*Engine, error) {
 	return openStore(store, nil, cfg)
 }
 
@@ -307,14 +320,14 @@ func Open(store *kvstore.Store, cfg *Config) (*Engine, error) {
 // several engines opened this way agree on type pointer identity. The
 // shard router opens every shard of a corpus through here — the merged
 // index and the cross-shard result merge both compare types by pointer.
-func OpenShared(store *kvstore.Store, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+func OpenShared(store storage.Backend, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
 	if reg == nil {
 		return nil, errors.New("core: OpenShared needs a registry")
 	}
 	return openStore(store, reg, cfg)
 }
 
-func openStore(store *kvstore.Store, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
+func openStore(store storage.Backend, reg *xmltree.Registry, cfg *Config) (*Engine, error) {
 	var ix *index.Index
 	var err error
 	if reg != nil {
@@ -326,6 +339,7 @@ func openStore(store *kvstore.Store, reg *xmltree.Registry, cfg *Config) (*Engin
 		return nil, err
 	}
 	e := NewFromIndex(ix, cfg)
+	e.store = store
 	InstrumentStore(e.reg, store)
 	// The document interns into the index's registry: types are compared
 	// by pointer, and live updates graft nodes whose types must be the
@@ -347,12 +361,12 @@ func openStore(store *kvstore.Store, reg *xmltree.Registry, cfg *Config) (*Engin
 }
 
 // SaveIndex persists the engine's index into a kvstore.
-func (e *Engine) SaveIndex(store *kvstore.Store) error { return e.snapshot().ix.Save(store) }
+func (e *Engine) SaveIndex(store storage.Backend) error { return e.snapshot().ix.Save(store) }
 
 // SaveIndexWithDocument persists the index plus the source document, so an
 // engine opened from this store retains snippets and narrowing. It fails
 // on engines that have no document (built from an index or a stream).
-func (e *Engine) SaveIndexWithDocument(store *kvstore.Store) error {
+func (e *Engine) SaveIndexWithDocument(store storage.Backend) error {
 	ep := e.snapshot()
 	if ep.doc == nil {
 		return errors.New("core: engine has no source document to save")

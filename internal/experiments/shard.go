@@ -11,6 +11,7 @@ import (
 	"xrefine/internal/datagen"
 	"xrefine/internal/kvstore"
 	"xrefine/internal/shard"
+	"xrefine/internal/storage"
 )
 
 // ShardRow is one line of the monolith-vs-sharded comparison: batch
@@ -102,7 +103,7 @@ func memRouter(c *Corpus, n int) (*shard.Router, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	stores := make([]*kvstore.Store, n)
+	stores := make([]storage.Backend, n)
 	closeStores := func() {
 		for _, s := range stores {
 			if s != nil {
@@ -208,13 +209,13 @@ func ShardTailLatency(c *Corpus, batch []datagen.Case, shards, k, rounds int, sl
 // memReplicatedRouter builds a 2-replica in-memory router with replica 0
 // of every shard behind a fixed per-page-read latency. It returns the
 // slow stores so the caller can drop their caches between queries.
-func memReplicatedRouter(c *Corpus, n int, slow, hedgeAfter time.Duration) (*shard.Router, []*kvstore.Store, func(), error) {
+func memReplicatedRouter(c *Corpus, n int, slow, hedgeAfter time.Duration) (*shard.Router, []storage.Backend, func(), error) {
 	subs, err := shard.SplitDocument(c.Doc, n, shard.ModeRange)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	stores := make([][]*kvstore.Store, n)
-	var slowStores []*kvstore.Store
+	stores := make([][]storage.Backend, n)
+	var slowStores []storage.Backend
 	faults := make([]*kvstore.Faults, n)
 	closeStores := func() {
 		for _, grp := range stores {

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/storage"
+	"xrefine/internal/storage/backends"
+)
+
+// StorageRow is one backend's line in the storage-engine shoot-out: the
+// corpus index persisted through the engine, a synthetic write burst, a
+// checkpoint, then cold-start and read measurements against the settled
+// store.
+type StorageRow struct {
+	Backend string `json:"backend"`
+	// ColdOpenMS is the time to open the settled store the normal way
+	// (hint-file fast path on the log engine). ScanOpenMS is the log
+	// engine's baseline with hints ignored — every data file replayed —
+	// and equals ColdOpenMS on the B+tree, which has no such split.
+	ColdOpenMS  float64 `json:"cold_open_ms"`
+	ScanOpenMS  float64 `json:"scan_open_ms"`
+	HintSpeedup float64 `json:"hint_speedup"`
+	// WriteKOpsPerSec is committed synthetic puts per second (thousands);
+	// ValueBytes is the per-record payload those puts carried (capped by
+	// the engine's MaxKV), and WriteMBPerSec the resulting byte rate.
+	WriteKOpsPerSec float64 `json:"write_kops_per_sec"`
+	WriteMBPerSec   float64 `json:"write_mb_per_sec"`
+	ValueBytes      int     `json:"value_bytes"`
+	// PointReadUS is the mean Get latency over sampled live keys;
+	// RangeScanMS walks every live key once.
+	PointReadUS float64 `json:"point_read_us"`
+	RangeScanMS float64 `json:"range_scan_ms"`
+	Keys        int     `json:"keys"`
+	DiskBytes   int64   `json:"disk_bytes"`
+	// Amplification is disk bytes over live bytes after the checkpoint
+	// (0 on the B+tree engine, which does not track live bytes).
+	Amplification float64 `json:"amplification"`
+	Segments      int     `json:"segments,omitempty"`
+}
+
+// StorageCompare persists the corpus through both storage engines and
+// measures what each one pays: write throughput for a burst of `writes`
+// synthetic records (batches of 64 per commit), point and range read
+// latency, on-disk amplification after a checkpoint, and cold-start
+// latency — where the log engine is opened twice, once through its hint
+// files and once forced to replay every data file, to price what the
+// hints buy. Every timing is the best of reps runs.
+func StorageCompare(c *Corpus, writes, reps int) ([]StorageRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	dir, err := os.MkdirTemp("", "xrefine-storagebench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// A document-carrying engine, so both stores hold the full persisted
+	// form (index + document stream) rather than the index alone.
+	seed := core.NewFromDocument(c.Doc, nil)
+
+	var rows []StorageRow
+	for _, kind := range []storage.Kind{storage.KindBTree, storage.KindLog} {
+		name := "ix.kv"
+		if kind == storage.KindLog {
+			name = "ix.logdb"
+		}
+		path := filepath.Join(dir, name)
+		// Small segments so the settled store spans several sealed
+		// segments — otherwise the hint path has nothing to prove.
+		opts := &storage.Options{SegmentTarget: 1 << 20}
+		st, err := backends.Open(kind, path, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := seed.SaveIndexWithDocument(st); err != nil {
+			return nil, err
+		}
+
+		// Write burst: synthetic records under a reserved prefix, 64 puts
+		// per committed batch, overwriting half the keys once so the log
+		// engine accumulates dead records for compaction to claim back.
+		key := func(i int) []byte {
+			k := make([]byte, 12)
+			copy(k, "zzb/")
+			binary.BigEndian.PutUint64(k[4:], uint64(i))
+			return k
+		}
+		// Posting-list-core-sized payloads, capped at what the engine
+		// accepts per record (the B+tree chunks anything past ~1 KiB at a
+		// higher layer; the log engine holds 4 KiB natively). The
+		// cold-start split is only visible on value-heavy stores — a scan
+		// reopen must read and CRC every value byte, a hint reopen only
+		// the keys — so the burst has to dominate the store's byte volume.
+		valSize := 4096
+		if m := st.MaxKV() - 64; valSize > m {
+			valSize = m
+		}
+		val := make([]byte, valSize)
+		for i := range val {
+			val[i] = byte(i)
+		}
+		start := time.Now()
+		total := 0
+		for i := 0; i < writes; i++ {
+			target := i
+			if i >= writes/2 {
+				target = i - writes/2 // second half overwrites the first
+			}
+			if err := st.Put(key(target), val); err != nil {
+				return nil, err
+			}
+			total++
+			if total%64 == 0 {
+				if err := st.Commit(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := st.Commit(); err != nil {
+			return nil, err
+		}
+		writeSecs := time.Since(start).Seconds()
+
+		if err := st.Checkpoint(); err != nil {
+			return nil, err
+		}
+
+		// Sample live keys for the point-read measurement.
+		var keys [][]byte
+		err = st.Range(nil, nil, func(k, _ []byte) bool {
+			if len(keys) < 2000 {
+				kk := make([]byte, len(k))
+				copy(kk, k)
+				keys = append(keys, kk)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("storage bench: %s store is empty", kind)
+		}
+
+		var pointRead, rangeScan time.Duration
+		for r := 0; r < reps; r++ {
+			st.DropCaches()
+			t0 := time.Now()
+			for _, k := range keys {
+				if _, _, err := st.Get(k); err != nil {
+					return nil, err
+				}
+			}
+			if d := time.Since(t0); r == 0 || d < pointRead {
+				pointRead = d
+			}
+			t0 = time.Now()
+			n := 0
+			err = st.Range(nil, nil, func(_, _ []byte) bool { n++; return true })
+			if err != nil {
+				return nil, err
+			}
+			if d := time.Since(t0); r == 0 || d < rangeScan {
+				rangeScan = d
+			}
+		}
+		stats := st.StorageStats()
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+
+		// Cold start: reopen the settled store. The log engine gets a
+		// second, hint-blind series as the replay baseline.
+		coldOpen, err := timeOpen(kind, path, &storage.Options{ReadOnly: true}, reps)
+		if err != nil {
+			return nil, err
+		}
+		scanOpen := coldOpen
+		if kind == storage.KindLog {
+			scanOpen, err = timeOpen(kind, path, &storage.Options{ReadOnly: true, IgnoreHints: true}, reps)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		row := StorageRow{
+			Backend:         string(kind),
+			ColdOpenMS:      float64(coldOpen.Microseconds()) / 1000,
+			ScanOpenMS:      float64(scanOpen.Microseconds()) / 1000,
+			WriteKOpsPerSec: float64(total) / writeSecs / 1000,
+			WriteMBPerSec:   float64(total) * float64(valSize) / writeSecs / (1 << 20),
+			ValueBytes:      valSize,
+			PointReadUS:     float64(pointRead.Microseconds()) / float64(len(keys)),
+			RangeScanMS:     float64(rangeScan.Microseconds()) / 1000,
+			Keys:            stats.Keys,
+			DiskBytes:       stats.DiskBytes,
+			Amplification:   stats.Amplification(),
+			Segments:        stats.Segments,
+		}
+		if coldOpen > 0 {
+			row.HintSpeedup = float64(scanOpen) / float64(coldOpen)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// timeOpen opens the store reps times and returns the best full
+// open-to-ready latency (a read of one key forces lazy setup to settle).
+func timeOpen(kind storage.Kind, path string, opts *storage.Options, reps int) (time.Duration, error) {
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		st, err := backends.Open(kind, path, opts)
+		if err != nil {
+			return 0, err
+		}
+		if st.Len() < 0 {
+			return 0, fmt.Errorf("storage bench: negative length")
+		}
+		d := time.Since(t0)
+		if err := st.Close(); err != nil {
+			return 0, err
+		}
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

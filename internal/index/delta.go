@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"xrefine/internal/dewey"
-	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
 	"xrefine/internal/xmltree"
 )
 
@@ -361,7 +361,7 @@ func (m *Mutator) DeleteSubtree(sub *xmltree.Node) error {
 // deleted, changed terms' rows and chunks rewritten. It does not commit —
 // the caller batches it with the document rewrite and the epoch bump into
 // one atomic commit.
-func (m *Mutator) SaveDelta(s *kvstore.Store) error {
+func (m *Mutator) SaveDelta(s storage.Backend) error {
 	ix := m.ix
 	if n := ix.Types.Len(); n > 0 {
 		m.growType(n - 1)
@@ -397,7 +397,7 @@ func (m *Mutator) SaveDelta(s *kvstore.Store) error {
 }
 
 // deleteChunks removes every persisted posting-list chunk of term.
-func deleteChunks(s *kvstore.Store, term string) error {
+func deleteChunks(s storage.Backend, term string) error {
 	prefix := append([]byte(listPrefix), term...)
 	prefix = append(prefix, 0)
 	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)

@@ -7,7 +7,7 @@ import (
 	"sort"
 
 	"xrefine/internal/dewey"
-	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
 	"xrefine/internal/xmltree"
 )
 
@@ -52,13 +52,13 @@ const (
 	listPrefix       = "L\x00"
 )
 
-// chunkBudget caps encoded chunk payloads comfortably under the kvstore's
+// chunkBudget caps encoded chunk payloads comfortably under the B+tree backend's
 // quarter-page cell limit for the default page size.
 const chunkBudget = 768
 
 // Save writes the whole index into the store and commits. Posting lists of
 // a lazily-loaded index are forced resident first.
-func (ix *Index) Save(s *kvstore.Store) error {
+func (ix *Index) Save(s storage.Backend) error {
 	if err := s.Put([]byte(metaTypesKey), ix.Types.Marshal()); err != nil {
 		return err
 	}
@@ -207,7 +207,7 @@ func decodeDocMeta(ix *Index, b []byte, idMap []*xmltree.Type) error {
 // putDocMeta writes the doc metadata, spilling into continuation chunks
 // when it exceeds a single cell. Stale continuation chunks are cleared
 // first (the metadata shrinks when partition runs re-coalesce).
-func putDocMeta(s *kvstore.Store, b []byte) error {
+func putDocMeta(s storage.Backend, b []byte) error {
 	lo := []byte(metaDocExtPrefix)
 	hi := append(append([]byte(nil), lo...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
 	if _, err := s.DeleteRange(lo, hi); err != nil {
@@ -244,7 +244,7 @@ func docMetaExtKey(seq uint32) []byte {
 }
 
 // getDocMeta reads the doc metadata, concatenating continuation chunks.
-func getDocMeta(s *kvstore.Store) ([]byte, bool, error) {
+func getDocMeta(s storage.Backend) ([]byte, bool, error) {
 	b, ok, err := s.Get([]byte(metaDocKey))
 	if err != nil || !ok {
 		return nil, ok, err
@@ -311,7 +311,7 @@ func decodeFreqRow(b []byte) (uint32, map[int]typeStat, error) {
 // saveChunks writes a posting list as its block-encoded stream — type
 // table header plus the core's payload bytes verbatim — split into
 // cell-sized chunks.
-func saveChunks(s *kvstore.Store, term string, l *List) error {
+func saveChunks(s storage.Backend, term string, l *List) error {
 	if l == nil || l.core == nil || l.core.n == 0 {
 		return nil
 	}
@@ -340,7 +340,7 @@ func saveChunks(s *kvstore.Store, term string, l *List) error {
 // the old per-cell stream and re-encodes). resolve maps the store's
 // persisted type IDs to interned types — the registry's own ByID for
 // plain loads, an idMap lookup for shared-registry loads.
-func loadChunks(s *kvstore.Store, resolve func(int) (*xmltree.Type, bool), term string) (*List, error) {
+func loadChunks(s storage.Backend, resolve func(int) (*xmltree.Type, bool), term string) (*List, error) {
 	prefix := append([]byte(listPrefix), term...)
 	prefix = append(prefix, 0)
 	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
@@ -445,7 +445,7 @@ func decodeLegacyChunk(v []byte, term string, resolve func(int) (*xmltree.Type, 
 // Load opens an index previously written with Save. Statistics load
 // eagerly (they are small and every query ranking touches them); posting
 // lists load lazily per keyword on first List call.
-func Load(s *kvstore.Store) (*Index, error) { return load(s, nil) }
+func Load(s storage.Backend) (*Index, error) { return load(s, nil) }
 
 // LoadInto is Load against a shared type registry: the store's persisted
 // type paths are interned into reg (in persisted order, parents first) and
@@ -454,14 +454,14 @@ func Load(s *kvstore.Store) (*Index, error) { return load(s, nil) }
 // identity — the property the sharded merge relies on — even when their
 // persisted registries diverged at the tail under independent live
 // updates.
-func LoadInto(s *kvstore.Store, reg *xmltree.Registry) (*Index, error) {
+func LoadInto(s storage.Backend, reg *xmltree.Registry) (*Index, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("index: LoadInto needs a registry")
 	}
 	return load(s, reg)
 }
 
-func load(s *kvstore.Store, reg *xmltree.Registry) (*Index, error) {
+func load(s storage.Backend, reg *xmltree.Registry) (*Index, error) {
 	raw, ok, err := s.Get([]byte(metaTypesKey))
 	if err != nil {
 		return nil, err

@@ -293,8 +293,14 @@ func TestFaultsJitter(t *testing.T) {
 		t.Errorf("jittered read took %v, want >= %v", el, min)
 	}
 	f.Clear()
-	if f.jitterMax.Load() != 0 {
-		t.Error("Clear left the jitter range armed")
+	start = time.Now()
+	for i := 0; i < 20; i++ {
+		if err := f.OnRead(); err != nil {
+			t.Fatalf("OnRead after Clear: %v", err)
+		}
+	}
+	if el := time.Since(start); el >= 20*min {
+		t.Errorf("20 reads after Clear took %v — jitter range still armed", el)
 	}
 }
 
@@ -307,7 +313,7 @@ func TestFaultsSeedReproducible(t *testing.T) {
 		f.Seed(seed)
 		out := make([]bool, 64)
 		for i := range out {
-			out[i] = f.flaky()
+			out[i] = f.OnRead() != nil
 		}
 		return out
 	}

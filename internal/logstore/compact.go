@@ -1,0 +1,298 @@
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Compaction merges every sealed segment into one fresh segment holding
+// only the records the keydir still references, writes that segment's
+// hint file, atomically swaps the manifest, and deletes the old files.
+// The merge set is always the full sealed prefix, which is what makes
+// dropping tombstones safe: a key absent from the merged segment and from
+// the newer segments after it is simply absent, with no older segment
+// left to resurrect it.
+//
+// The pass runs concurrently with reads and writes. Sealed segments are
+// immutable, so the heavy copy happens without the store lock; writes land
+// in the active segment, which is never merged; and the final swap —
+// retargeting keydir entries that still point into the merged set — runs
+// under the write lock and skips any entry a concurrent write superseded.
+//
+// Crash-safety ordering: the merged file is fully written, verified by
+// re-reading it end to end (catching torn writes the fault harness or a
+// real disk injected), and fsynced before the manifest points at it; old
+// files are deleted only after the manifest write. A crash anywhere in
+// between leaves either the old manifest with the old files (the merged
+// file is an unlisted stray, deleted at open) or the new manifest with
+// the new file (the old files are strays). Both recover the last
+// committed state.
+
+// compactBufSize batches merged record frames per fault-harness write.
+const compactBufSize = 256 << 10
+
+// mergeRef pairs a live keydir entry with its future location.
+type mergeRef struct {
+	key string
+	old kdEntry
+	new kdEntry
+}
+
+// maybeCompactLocked starts a background merge when the sealed segments
+// hold more reclaimable bytes than half the live data (holding on-disk
+// amplification under ~1.5x live + one active segment) and at least
+// minCompactDead to be worth the churn.
+func (s *Store) maybeCompactLocked() {
+	if s.noAuto || s.readOnly || len(s.segs) < 2 {
+		return
+	}
+	var sealedDead, live int64
+	for i, seg := range s.segs {
+		live += seg.live
+		if i < len(s.segs)-1 {
+			sealedDead += seg.size - seg.live
+		}
+	}
+	if sealedDead < minCompactDead || sealedDead*2 < live {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.compacting.Store(false)
+		if err := s.Compact(); err != nil {
+			s.compactErrors.Add(1)
+		}
+	}()
+}
+
+// Compact synchronously merges the sealed segments. It is a no-op with
+// fewer than two segments.
+func (s *Store) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Snapshot the merge set and the live entries pointing into it.
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return ErrClosed
+	case s.readOnly:
+		s.mu.Unlock()
+		return ErrReadOnly
+	case len(s.segs) < 2:
+		s.mu.Unlock()
+		return nil
+	}
+	sealed := append([]*segment(nil), s.segs[:len(s.segs)-1]...)
+	sealedIDs := make(map[uint32]int, len(sealed))
+	for i, seg := range sealed {
+		sealedIDs[seg.id] = i
+	}
+	refs := make([]mergeRef, 0, len(s.keydir))
+	for k, e := range s.keydir {
+		if _, ok := sealedIDs[e.seg]; ok {
+			refs = append(refs, mergeRef{key: k, old: e})
+		}
+	}
+	txid, epoch := s.txid, s.txnEpoch
+	if s.committed {
+		epoch = s.epoch
+	}
+	newID := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	// Copy records in (segment, offset) order for sequential reads.
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i].old, refs[j].old
+		if a.seg != b.seg {
+			return sealedIDs[a.seg] < sealedIDs[b.seg]
+		}
+		return a.off < b.off
+	})
+
+	name := segDataName(newID)
+	path := filepath.Join(s.dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		os.Remove(filepath.Join(s.dir, segHintName(name)))
+		return err
+	}
+
+	var (
+		buf     []byte
+		bufOff  int64
+		size    int64
+		entries = make([]hintEntry, 0, len(refs))
+	)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		data := buf
+		if s.faults != nil {
+			out, werr := s.faults.OnWrite(buf)
+			if werr != nil {
+				return fmt.Errorf("logstore: merge write %s: %w", name, werr)
+			}
+			data = out
+		}
+		if len(data) > 0 {
+			if _, werr := f.WriteAt(data, bufOff); werr != nil {
+				return werr
+			}
+		}
+		bufOff += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	for i := range refs {
+		frame, rerr := s.readSealedFrame(sealed[sealedIDs[refs[i].old.seg]], refs[i].old)
+		if rerr != nil {
+			return abort(rerr)
+		}
+		refs[i].new = kdEntry{seg: newID, off: size, size: refs[i].old.size}
+		entries = append(entries, hintEntry{
+			kind: kindPut,
+			key:  []byte(refs[i].key),
+			off:  size,
+			size: refs[i].old.size,
+		})
+		buf = append(buf, frame...)
+		size += int64(len(frame))
+		if len(buf) >= compactBufSize {
+			if ferr := flush(); ferr != nil {
+				return abort(ferr)
+			}
+		}
+	}
+	prev := int64(len(buf))
+	buf = appendCommit(buf, txid, epoch, uint64(len(refs)))
+	size += int64(len(buf)) - prev
+	if ferr := flush(); ferr != nil {
+		return abort(ferr)
+	}
+	if serr := f.Sync(); serr != nil {
+		return abort(serr)
+	}
+
+	// Re-read the merged file end to end before trusting it: a torn or
+	// lying write must abort the pass here, not surface as a checksum
+	// error on a random future Get.
+	if verr := verifyMergedFile(path, size, len(refs)); verr != nil {
+		return abort(verr)
+	}
+
+	if herr := s.writeHintFile(name, entries, hintFooter{dataSize: size, txid: txid, epoch: epoch}); herr != nil {
+		return abort(herr)
+	}
+
+	// Swap: manifest first (still under the lock), then the keydir.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return abort(ErrClosed)
+	}
+	merged := &segment{id: newID, name: name, f: f, size: size, recs: int64(len(refs)) + 1}
+	newSegs := make([]*segment, 0, len(s.segs))
+	newSegs = append(newSegs, merged)
+	var removed []*segment
+	for _, seg := range s.segs {
+		if _, ok := sealedIDs[seg.id]; ok {
+			removed = append(removed, seg)
+		} else {
+			newSegs = append(newSegs, seg)
+		}
+	}
+	oldSegs := s.segs
+	s.segs = newSegs
+	if merr := s.writeManifestLocked(); merr != nil {
+		s.segs = oldSegs
+		s.mu.Unlock()
+		return abort(merr)
+	}
+	for i := range refs {
+		if cur, ok := s.keydir[refs[i].key]; ok && cur == refs[i].old {
+			// kdSet would misattribute live bytes: the old segment is
+			// already out of s.segs. Retarget directly.
+			s.keydir[refs[i].key] = refs[i].new
+			merged.live += int64(refs[i].new.size)
+		}
+	}
+	s.compactions.Add(1)
+	s.mu.Unlock()
+
+	for _, seg := range removed {
+		seg.f.Close()
+		os.Remove(filepath.Join(s.dir, seg.name))
+		os.Remove(filepath.Join(s.dir, segHintName(seg.name)))
+	}
+	return nil
+}
+
+// readSealedFrame reads one record frame out of an immutable sealed
+// segment without the store lock, verifying its checksum.
+func (s *Store) readSealedFrame(seg *segment, e kdEntry) ([]byte, error) {
+	if s.faults != nil {
+		if err := s.faults.OnRead(); err != nil {
+			return nil, fmt.Errorf("logstore: merge read %s @%d: %w", seg.name, e.off, err)
+		}
+	}
+	buf := make([]byte, e.size)
+	if _, err := seg.f.ReadAt(buf, e.off); err != nil {
+		return nil, fmt.Errorf("logstore: merge read %s @%d: %w", seg.name, e.off, err)
+	}
+	if _, n, err := decodeFrame(buf); err != nil || n != len(buf) {
+		if err == nil {
+			err = fmt.Errorf("%w: frame length disagrees with keydir", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("logstore: merge read %s @%d: %w", seg.name, e.off, err)
+	}
+	return buf, nil
+}
+
+// verifyMergedFile decodes every frame of a freshly written merge output,
+// checking sizes, checksums, and the trailing commit record.
+func verifyMergedFile(path string, wantSize int64, wantRecs int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != wantSize {
+		return fmt.Errorf("%w: merged file is %d bytes, want %d", ErrCorrupt, len(data), wantSize)
+	}
+	var off, recs int64
+	sawCommit := false
+	for int(off) < len(data) {
+		body, n, ferr := decodeFrame(data[off:])
+		if ferr != nil {
+			return fmt.Errorf("logstore: verify merged @%d: %w", off, ferr)
+		}
+		rec, perr := parseRecord(body)
+		if perr != nil {
+			return fmt.Errorf("logstore: verify merged @%d: %w", off, perr)
+		}
+		if rec.kind == kindCommit {
+			sawCommit = true
+		} else {
+			recs++
+		}
+		off += int64(n)
+	}
+	if !sawCommit || recs != int64(wantRecs) {
+		return fmt.Errorf("%w: merged file has %d records (commit=%v), want %d", ErrCorrupt, recs, sawCommit, wantRecs)
+	}
+	return nil
+}

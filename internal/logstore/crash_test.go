@@ -1,0 +1,240 @@
+package logstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xrefine/internal/storage"
+)
+
+// The crash matrix: torn-write and fail-write injection at every write
+// site of the engine — mid-append, mid-compaction, mid-hint-write — must
+// leave a store that reopens at the last committed state. These mirror
+// the kvstore's TestFaultsTornWriteRecoversPreviousCommit at the backend
+// interface, which is where the harness now lives.
+
+// crash simulates the process dying: segment files are released with no
+// commit, no rollback, no hint or manifest maintenance.
+func crash(s *Store) {
+	s.mu.Lock()
+	s.closeSegs()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// seedStore opens a faulted store with one committed generation of data.
+func seedStore(t *testing.T, dir string, f *storage.Faults) *Store {
+	t.Helper()
+	s := openTest(t, dir, &Options{Faults: f, NoAutoCompact: true, SegmentTarget: 4 << 10})
+	for i := 0; i < 30; i++ {
+		mustPut(t, s, fmt.Sprintf("base-%03d", i), fmt.Sprintf("gen1-%03d", i))
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("seed Commit: %v", err)
+	}
+	return s
+}
+
+func checkGen1(t *testing.T, s *Store) {
+	t.Helper()
+	for i := 0; i < 30; i++ {
+		mustGet(t, s, fmt.Sprintf("base-%03d", i), fmt.Sprintf("gen1-%03d", i))
+	}
+}
+
+func TestTornWriteMidAppendRecoversPreviousCommit(t *testing.T) {
+	for _, tearAt := range []struct {
+		name string
+		nth  int64 // which write of the second batch tears
+	}{
+		{"first record of the batch", 1},
+		{"commit record", 3}, // two puts, then the commit frame
+	} {
+		t.Run(tearAt.name, func(t *testing.T) {
+			dir := t.TempDir()
+			f := &storage.Faults{}
+			s := seedStore(t, dir, f)
+
+			f.TornWrite(tearAt.nth)
+			mustPut(t, s, "base-000", "gen2")
+			mustPut(t, s, "new-key", "gen2")
+			// The tear is silent: every call, Commit included, reports
+			// success, exactly like a crash that loses half a flush.
+			if err := s.Commit(); err != nil {
+				t.Fatalf("Commit with torn write reported failure: %v", err)
+			}
+			if f.Injected() == 0 {
+				t.Fatal("torn-write failpoint never fired")
+			}
+			crash(s)
+
+			r := openTest(t, dir, nil)
+			defer r.Close()
+			checkGen1(t, r)
+			mustAbsent(t, r, "new-key")
+		})
+	}
+}
+
+func TestFailWriteMidAppendLeavesStoreRollbackable(t *testing.T) {
+	dir := t.TempDir()
+	f := &storage.Faults{}
+	s := seedStore(t, dir, f)
+
+	f.FailWrites(1)
+	if err := s.Put([]byte("doomed"), []byte("v")); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Put under fail-write = %v, want ErrInjected", err)
+	}
+	f.Clear()
+	if err := s.Rollback(); err != nil {
+		t.Fatalf("Rollback after failed write: %v", err)
+	}
+	checkGen1(t, s)
+	mustAbsent(t, s, "doomed")
+	crash(s)
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	checkGen1(t, r)
+}
+
+// compactableStore seeds two generations across several sealed segments so
+// a compaction pass has real work: dead records to drop and live records
+// to carry.
+func compactableStore(t *testing.T, dir string, f *storage.Faults) *Store {
+	t.Helper()
+	s := openTest(t, dir, &Options{Faults: f, NoAutoCompact: true, SegmentTarget: 2 << 10})
+	for gen := 1; gen <= 2; gen++ {
+		for i := 0; i < 30; i++ {
+			mustPut(t, s, fmt.Sprintf("base-%03d", i), genValue(gen, i))
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatalf("Commit gen %d: %v", gen, err)
+		}
+	}
+	if s.StorageStats().Segments < 3 {
+		t.Fatal("test store did not rotate enough segments")
+	}
+	return s
+}
+
+// genValue pads values enough that two generations of 30 keys span
+// several 2 KiB segments.
+func genValue(gen, i int) string {
+	return fmt.Sprintf("gen%d-%03d-%s", gen, i, strings.Repeat("z", 200))
+}
+
+func checkGen2(t *testing.T, s *Store) {
+	t.Helper()
+	for i := 0; i < 30; i++ {
+		mustGet(t, s, fmt.Sprintf("base-%03d", i), genValue(2, i))
+	}
+}
+
+func TestFaultsMidCompactionAbortAndRecover(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  func(f *storage.Faults)
+	}{
+		// Merge reads: every record copy reads the sealed source frame.
+		{"fail-read", func(f *storage.Faults) { f.FailReads(2) }},
+		// Merge writes: the buffered flush of the merged segment fails.
+		{"fail-write", func(f *storage.Faults) { f.FailWrites(1) }},
+		// Merge writes tear: the merged file is half-garbage. The pass
+		// must catch this itself in the verify re-read — silently
+		// swapping in a torn merge would corrupt committed data.
+		{"torn-write", func(f *storage.Faults) { f.TornWrite(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			f := &storage.Faults{}
+			s := compactableStore(t, dir, f)
+
+			tc.arm(f)
+			if err := s.Compact(); err == nil {
+				t.Fatal("Compact with armed faults reported success")
+			}
+			f.Clear()
+			// The store keeps serving the committed state in-process...
+			checkGen2(t, s)
+			if st := s.StorageStats(); st.Compactions != 0 {
+				t.Fatalf("aborted pass counted as a compaction: %d", st.Compactions)
+			}
+			crash(s)
+			// ...and across a crash: the half-built merge file is an
+			// unlisted stray, cleaned at open.
+			r := openTest(t, dir, nil)
+			defer r.Close()
+			checkGen2(t, r)
+
+			// The engine heals: the next pass succeeds and drops gen1.
+			if err := r.Compact(); err != nil {
+				t.Fatalf("Compact after recovery: %v", err)
+			}
+			checkGen2(t, r)
+		})
+	}
+}
+
+func TestTornHintWriteFallsBackToScan(t *testing.T) {
+	dir := t.TempDir()
+	f := &storage.Faults{}
+	s := compactableStore(t, dir, f)
+
+	// The merge data flushes first (one buffered write), then the hint
+	// image: tear the hint. Compaction reports success — the data file is
+	// intact and verified; only the cold-start shortcut is damaged, and
+	// damaged in a way the hint CRC detects.
+	f.TornWrite(2)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact with torn hint write: %v", err)
+	}
+	if f.Injected() == 0 {
+		t.Fatal("torn-write failpoint never fired")
+	}
+	f.Clear()
+	checkGen2(t, s)
+	crash(s)
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	checkGen2(t, r)
+	if st := r.StorageStats(); st.ScanLoads < 1 {
+		t.Fatalf("expected the merged segment to fall back to the scan path, got %d scans", st.ScanLoads)
+	}
+}
+
+func TestFailedHintWriteAbortsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	f := &storage.Faults{}
+	s := compactableStore(t, dir, f)
+
+	f.FailWrites(2) // first write is the merge flush, second the hint
+	if err := s.Compact(); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Compact with failing hint write = %v, want ErrInjected", err)
+	}
+	f.Clear()
+	checkGen2(t, s)
+	crash(s)
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	checkGen2(t, r)
+}
+
+func TestFailReadSurfacesOnGetAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	f := &storage.Faults{}
+	s := seedStore(t, dir, f)
+	defer s.Close()
+
+	f.FailReads(1)
+	if _, _, err := s.Get([]byte("base-000")); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Get under fail-read = %v, want ErrInjected", err)
+	}
+	f.Clear()
+	mustGet(t, s, "base-000", "gen1-000")
+}

@@ -1,0 +1,152 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// A hint file is the serialized net keydir contribution of one data file:
+// one entry per key the segment still decides (last write wins inside the
+// segment), so cold start replaces a full record scan with a single
+// sequential read of a far smaller file.
+//
+//	[magic "XLH1"]
+//	[count uvarint]
+//	count × entry:
+//	    put:    [kindPut]    [klen uvarint] [off uvarint] [size uvarint] [key]
+//	    delete: [kindDelete] [klen uvarint] [key]
+//	[dataSize uvarint] [txid uvarint] [epoch uvarint]
+//	[crc32 uint32 LE over everything above]
+//
+// off/size locate the full record frame inside the data file, so a Get
+// served off a hint-loaded keydir still CRC-verifies the record it reads.
+// The dataSize footer field is the validity gate: a hint is trusted only
+// when it equals the data file's current size, so a hint that predates a
+// truncation or a tail append is ignored and the segment falls back to
+// the scan path. Hints are written to a temp file and renamed into place;
+// a torn hint write therefore leaves either no hint or a file whose
+// trailing CRC fails — both of which mean "scan instead", never silent
+// keydir corruption.
+
+// hintMagic heads every hint file.
+var hintMagic = [4]byte{'X', 'L', 'H', '1'}
+
+// hintEntry is one keydir contribution in a hint file.
+type hintEntry struct {
+	kind byte // kindPut or kindDelete
+	key  []byte
+	off  int64  // put only: frame offset in the data file
+	size uint32 // put only: full frame length
+}
+
+// hintFooter carries the data-file size the hint describes and the last
+// committed txid/epoch at write time.
+type hintFooter struct {
+	dataSize int64
+	txid     uint64
+	epoch    uint64
+}
+
+// encodeHint serializes a complete hint file image.
+func encodeHint(entries []hintEntry, ft hintFooter) []byte {
+	buf := append([]byte(nil), hintMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = append(buf, e.kind)
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		if e.kind == kindPut {
+			buf = binary.AppendUvarint(buf, uint64(e.off))
+			buf = binary.AppendUvarint(buf, uint64(e.size))
+		}
+		buf = append(buf, e.key...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(ft.dataSize))
+	buf = binary.AppendUvarint(buf, ft.txid)
+	buf = binary.AppendUvarint(buf, ft.epoch)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...)
+}
+
+// decodeHint parses and validates a complete hint file image. Any
+// malformed input — short file, bad magic, bad trailing CRC, lengths that
+// disagree with the payload — returns an error wrapping ErrCorrupt.
+// Returned entry keys alias b.
+func decodeHint(b []byte) ([]hintEntry, hintFooter, error) {
+	if len(b) < len(hintMagic)+4 {
+		return nil, hintFooter{}, fmt.Errorf("%w: hint file too short", ErrCorrupt)
+	}
+	payload, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, hintFooter{}, fmt.Errorf("%w: hint checksum mismatch", ErrCorrupt)
+	}
+	if [4]byte(payload[:4]) != hintMagic {
+		return nil, hintFooter{}, fmt.Errorf("%w: bad hint magic", ErrCorrupt)
+	}
+	rest := payload[4:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, hintFooter{}, fmt.Errorf("%w: bad hint entry count", ErrCorrupt)
+	}
+	rest = rest[n:]
+	// An entry costs at least 3 bytes; reject counts the payload cannot
+	// hold before allocating for them.
+	if count > uint64(len(rest)/3)+1 {
+		return nil, hintFooter{}, fmt.Errorf("%w: hint entry count %d exceeds payload", ErrCorrupt, count)
+	}
+	entries := make([]hintEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, hintFooter{}, fmt.Errorf("%w: hint truncated at entry %d", ErrCorrupt, i)
+		}
+		e := hintEntry{kind: rest[0]}
+		rest = rest[1:]
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 || klen > uint64(maxBodySize) {
+			return nil, hintFooter{}, fmt.Errorf("%w: bad hint key length", ErrCorrupt)
+		}
+		rest = rest[n:]
+		switch e.kind {
+		case kindPut:
+			off, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, hintFooter{}, fmt.Errorf("%w: bad hint offset", ErrCorrupt)
+			}
+			rest = rest[n:]
+			size, n := binary.Uvarint(rest)
+			if n <= 0 || size > maxBodySize+frameHeaderSize {
+				return nil, hintFooter{}, fmt.Errorf("%w: bad hint record size", ErrCorrupt)
+			}
+			rest = rest[n:]
+			e.off, e.size = int64(off), uint32(size)
+		case kindDelete:
+		default:
+			return nil, hintFooter{}, fmt.Errorf("%w: unknown hint entry kind %d", ErrCorrupt, e.kind)
+		}
+		if klen > uint64(len(rest)) {
+			return nil, hintFooter{}, fmt.Errorf("%w: hint key exceeds payload", ErrCorrupt)
+		}
+		e.key = rest[:klen]
+		rest = rest[klen:]
+		entries = append(entries, e)
+	}
+	var ft hintFooter
+	ds, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, hintFooter{}, fmt.Errorf("%w: bad hint data size", ErrCorrupt)
+	}
+	rest = rest[n:]
+	ft.dataSize = int64(ds)
+	if ft.txid, n = binary.Uvarint(rest); n <= 0 {
+		return nil, hintFooter{}, fmt.Errorf("%w: bad hint txid", ErrCorrupt)
+	}
+	rest = rest[n:]
+	if ft.epoch, n = binary.Uvarint(rest); n <= 0 {
+		return nil, hintFooter{}, fmt.Errorf("%w: bad hint epoch", ErrCorrupt)
+	}
+	if len(rest[n:]) != 0 {
+		return nil, hintFooter{}, fmt.Errorf("%w: hint file has trailing bytes", ErrCorrupt)
+	}
+	return entries, ft, nil
+}

@@ -1,0 +1,190 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Data files are a flat sequence of CRC-framed records:
+//
+//	frame: [size uint32 LE] [crc32 uint32 LE] [body, size bytes]
+//
+// where crc32 is the IEEE checksum of the body. The body starts with a
+// one-byte kind tag:
+//
+//	put:    [kindPut]    [klen uvarint] [vlen uvarint] [key] [value]
+//	delete: [kindDelete] [klen uvarint] [key]
+//	commit: [kindCommit] [txid uvarint] [epoch uvarint] [count uvarint]
+//
+// Put and delete records stage keydir changes; a commit record makes every
+// staged record since the previous commit durable and visible to recovery.
+// A scan that hits a decode error, or the end of the file, discards
+// everything after the last commit record — that suffix is an uncommitted
+// batch (or the torn tail a crash left) by definition.
+//
+// The same framing is used byte-for-byte inside merged segments, so
+// compaction can copy record bodies without re-encoding, and a merged
+// segment with a lost hint file recovers through the ordinary scan path.
+
+// Record kinds. The zero value is invalid on purpose: a zeroed or
+// hole-punched region can never parse as a record.
+const (
+	kindPut    = 1
+	kindDelete = 2
+	kindCommit = 3
+)
+
+// frameHeaderSize is the fixed prefix of every record: size + crc.
+const frameHeaderSize = 8
+
+// maxBodySize bounds a single record body. The limit exists so a corrupt
+// size field reads as a typed error instead of a multi-gigabyte
+// allocation; it is far above MaxKV, so no legitimate record hits it.
+const maxBodySize = 1 << 26
+
+// Typed decode errors. Every malformed input maps to one of these
+// (wrapped with context) — never a panic, never a silent success.
+var (
+	// ErrCorrupt reports a record or hint file that is structurally
+	// invalid: bad checksum, bad kind, lengths that disagree with the
+	// payload, or an over-limit size field.
+	ErrCorrupt = errors.New("logstore: corrupt record")
+	// errShortFrame reports a frame cut off mid-record — the shape of a
+	// torn tail. Scanners treat it as end-of-log, not corruption.
+	errShortFrame = errors.New("logstore: short frame")
+)
+
+// record is a decoded data-file record. Key and value alias the input
+// buffer; callers that retain them must copy.
+type record struct {
+	kind  byte
+	key   []byte
+	value []byte
+	txid  uint64 // commit records only
+	epoch uint64
+	count uint64
+}
+
+// appendFrame appends the frame header and body to dst.
+func appendFrame(dst, body []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// appendPut appends a framed put record for key/value to dst.
+func appendPut(dst, key, value []byte) []byte {
+	body := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
+	body = append(body, kindPut)
+	body = binary.AppendUvarint(body, uint64(len(key)))
+	body = binary.AppendUvarint(body, uint64(len(value)))
+	body = append(body, key...)
+	body = append(body, value...)
+	return appendFrame(dst, body)
+}
+
+// appendDelete appends a framed tombstone record for key to dst.
+func appendDelete(dst, key []byte) []byte {
+	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(key))
+	body = append(body, kindDelete)
+	body = binary.AppendUvarint(body, uint64(len(key)))
+	body = append(body, key...)
+	return appendFrame(dst, body)
+}
+
+// appendCommit appends a framed commit record to dst.
+func appendCommit(dst []byte, txid, epoch, count uint64) []byte {
+	body := make([]byte, 0, 1+3*binary.MaxVarintLen64)
+	body = append(body, kindCommit)
+	body = binary.AppendUvarint(body, txid)
+	body = binary.AppendUvarint(body, epoch)
+	body = binary.AppendUvarint(body, count)
+	return appendFrame(dst, body)
+}
+
+// decodeFrame validates the frame at the start of b and returns its body
+// and total encoded length. A buffer that ends mid-frame returns
+// errShortFrame; a frame whose checksum or size field is wrong returns
+// ErrCorrupt.
+func decodeFrame(b []byte) (body []byte, n int, err error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, errShortFrame
+	}
+	size := binary.LittleEndian.Uint32(b[0:4])
+	if size > maxBodySize {
+		return nil, 0, fmt.Errorf("%w: frame size %d exceeds limit", ErrCorrupt, size)
+	}
+	total := frameHeaderSize + int(size)
+	if len(b) < total {
+		return nil, 0, errShortFrame
+	}
+	body = b[frameHeaderSize:total]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(b[4:8]) {
+		return nil, 0, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return body, total, nil
+}
+
+// parseRecord decodes a frame body. The returned record's key and value
+// alias body.
+func parseRecord(body []byte) (record, error) {
+	if len(body) == 0 {
+		return record{}, fmt.Errorf("%w: empty body", ErrCorrupt)
+	}
+	rec := record{kind: body[0]}
+	rest := body[1:]
+	switch rec.kind {
+	case kindPut:
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return record{}, fmt.Errorf("%w: bad key length", ErrCorrupt)
+		}
+		rest = rest[n:]
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return record{}, fmt.Errorf("%w: bad value length", ErrCorrupt)
+		}
+		rest = rest[n:]
+		if klen > uint64(len(rest)) || vlen > uint64(len(rest))-klen {
+			return record{}, fmt.Errorf("%w: put lengths exceed body", ErrCorrupt)
+		}
+		if uint64(len(rest)) != klen+vlen {
+			return record{}, fmt.Errorf("%w: put body has trailing bytes", ErrCorrupt)
+		}
+		rec.key = rest[:klen]
+		rec.value = rest[klen:]
+	case kindDelete:
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return record{}, fmt.Errorf("%w: bad key length", ErrCorrupt)
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) != klen {
+			return record{}, fmt.Errorf("%w: delete length disagrees with body", ErrCorrupt)
+		}
+		rec.key = rest
+	case kindCommit:
+		var n int
+		if rec.txid, n = binary.Uvarint(rest); n <= 0 {
+			return record{}, fmt.Errorf("%w: bad commit txid", ErrCorrupt)
+		}
+		rest = rest[n:]
+		if rec.epoch, n = binary.Uvarint(rest); n <= 0 {
+			return record{}, fmt.Errorf("%w: bad commit epoch", ErrCorrupt)
+		}
+		rest = rest[n:]
+		if rec.count, n = binary.Uvarint(rest); n <= 0 {
+			return record{}, fmt.Errorf("%w: bad commit count", ErrCorrupt)
+		}
+		if len(rest[n:]) != 0 {
+			return record{}, fmt.Errorf("%w: commit body has trailing bytes", ErrCorrupt)
+		}
+	default:
+		return record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.kind)
+	}
+	return rec, nil
+}

@@ -1,0 +1,433 @@
+package logstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xrefine/internal/storage"
+)
+
+func openTest(t *testing.T, dir string, opts *Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, k, v string) {
+	t.Helper()
+	if err := s.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("Put(%q): %v", k, err)
+	}
+}
+
+func mustGet(t *testing.T, s *Store, k, want string) {
+	t.Helper()
+	v, ok, err := s.Get([]byte(k))
+	if err != nil || !ok || string(v) != want {
+		t.Fatalf("Get(%q) = %q, %v, %v; want %q", k, v, ok, err, want)
+	}
+}
+
+func mustAbsent(t *testing.T, s *Store, k string) {
+	t.Helper()
+	if _, ok, err := s.Get([]byte(k)); err != nil || ok {
+		t.Fatalf("Get(%q) = present=%v err=%v; want absent", k, ok, err)
+	}
+}
+
+func TestBasicCRUDAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	mustPut(t, s, "alpha", "1")
+	mustPut(t, s, "beta", "2")
+	mustGet(t, s, "alpha", "1") // read-your-writes before commit
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	mustPut(t, s, "alpha", "1b")
+	if ok, err := s.Delete([]byte("beta")); err != nil || !ok {
+		t.Fatalf("Delete(beta) = %v, %v", ok, err)
+	}
+	if ok, err := s.Delete([]byte("missing")); err != nil || ok {
+		t.Fatalf("Delete(missing) = %v, %v; want false", ok, err)
+	}
+	if err := s.Close(); err != nil { // Close commits
+		t.Fatalf("Close: %v", err)
+	}
+
+	s = openTest(t, dir, nil)
+	defer s.Close()
+	mustGet(t, s, "alpha", "1b")
+	mustAbsent(t, s, "beta")
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if st := s.StorageStats(); st.Kind != storage.KindLog || st.Txid != 2 {
+		t.Fatalf("stats = kind %q txid %d, want log/2", st.Kind, st.Txid)
+	}
+}
+
+func TestUncommittedBatchDiscardedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	mustPut(t, s, "a", "committed")
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	mustPut(t, s, "a", "staged")
+	mustPut(t, s, "b", "staged")
+	// Abandon without Commit or Close: simulate a crash by reopening the
+	// files as they are.
+	s.mu.Lock()
+	s.closeSegs()
+	s.closed = true
+	s.mu.Unlock()
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	mustGet(t, r, "a", "committed")
+	mustAbsent(t, r, "b")
+}
+
+func TestRollbackRestoresCommittedState(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	defer s.Close()
+	mustPut(t, s, "k1", "v1")
+	mustPut(t, s, "k2", "v2")
+	if err := s.SetEpoch(7); err != nil {
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	sizeBefore := s.StorageStats().DiskBytes
+
+	mustPut(t, s, "k1", "dirty")
+	mustPut(t, s, "k3", "dirty")
+	if _, err := s.Delete([]byte("k2")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.SetEpoch(8); err != nil {
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	mustGet(t, s, "k1", "v1")
+	mustGet(t, s, "k2", "v2")
+	mustAbsent(t, s, "k3")
+	if e := s.Epoch(); e != 7 {
+		t.Fatalf("Epoch after rollback = %d, want 7", e)
+	}
+	if got := s.StorageStats().DiskBytes; got != sizeBefore {
+		t.Fatalf("disk bytes after rollback = %d, want %d (staged suffix truncated)", got, sizeBefore)
+	}
+}
+
+func TestRangeOrderAndBounds(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	defer s.Close()
+	for _, k := range []string{"m", "a", "z", "q", "b"} {
+		mustPut(t, s, k, "v-"+k)
+	}
+	var got []string
+	if err := s.Range([]byte("b"), []byte("z"), func(k, v []byte) bool {
+		if want := "v-" + string(k); string(v) != want {
+			t.Fatalf("Range value for %q = %q, want %q", k, v, want)
+		}
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if want := []string{"b", "m", "q"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Range keys = %v, want %v", got, want)
+	}
+	// nil hi runs to the end; early stop works.
+	n := 0
+	if err := s.Range(nil, nil, func(k, v []byte) bool { n++; return n < 2 }); err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("early-stopped Range visited %d keys, want 2", n)
+	}
+	// DeleteRange removes the half-open interval.
+	if cnt, err := s.DeleteRange([]byte("a"), []byte("q")); err != nil || cnt != 3 {
+		t.Fatalf("DeleteRange = %d, %v; want 3", cnt, err)
+	}
+	mustAbsent(t, s, "b")
+	mustGet(t, s, "q", "v-q")
+}
+
+func TestEpochStagedUntilCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	mustPut(t, s, "x", "1")
+	if err := s.SetEpoch(41); err != nil {
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := s.SetEpoch(42); err != nil { // staged, never committed
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	s.mu.Lock()
+	s.closeSegs()
+	s.closed = true
+	s.mu.Unlock()
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	if e := r.Epoch(); e != 41 {
+		t.Fatalf("Epoch after reopen = %d, want committed 41", e)
+	}
+}
+
+// fill writes n keys of the given value size and commits every batchEvery
+// keys, driving rotation at small segment targets.
+func fill(t *testing.T, s *Store, n, valSize, batchEvery int) {
+	t.Helper()
+	val := bytes.Repeat([]byte{'x'}, valSize)
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%05d", i)), val); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+		if (i+1)%batchEvery == 0 {
+			if err := s.Commit(); err != nil {
+				t.Fatalf("Commit #%d: %v", i, err)
+			}
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("final Commit: %v", err)
+	}
+}
+
+func TestRotationSealsSegmentsAndHintsLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, &Options{SegmentTarget: 8 << 10, NoAutoCompact: true})
+	fill(t, s, 200, 256, 10)
+	segs := s.StorageStats().Segments
+	if segs < 3 {
+		t.Fatalf("got %d segments, want rotation to have produced at least 3", segs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTest(t, dir, &Options{SegmentTarget: 8 << 10, NoAutoCompact: true})
+	defer r.Close()
+	st := r.StorageStats()
+	// Every sealed segment has a hint; only the active segment scans.
+	if st.HintLoads < segs-1 || st.ScanLoads > 1 {
+		t.Fatalf("hint loads %d / scan loads %d over %d segments; want sealed ones hinted", st.HintLoads, st.ScanLoads, segs)
+	}
+	for i := 0; i < 200; i++ {
+		mustGet(t, r, fmt.Sprintf("key-%05d", i), string(bytes.Repeat([]byte{'x'}, 256)))
+	}
+}
+
+func TestCompactionDropsDeadRecordsAndTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, &Options{SegmentTarget: 8 << 10, NoAutoCompact: true})
+	defer s.Close()
+	fill(t, s, 100, 256, 10)
+	// Overwrite half, delete a quarter: lots of dead records.
+	for i := 0; i < 50; i++ {
+		mustPut(t, s, fmt.Sprintf("key-%05d", i), "fresh")
+	}
+	for i := 50; i < 75; i++ {
+		if _, err := s.Delete([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	before := s.StorageStats()
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.StorageStats()
+	if after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("compaction did not shrink the store: %d -> %d bytes", before.DiskBytes, after.DiskBytes)
+	}
+	if after.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", after.Compactions)
+	}
+	if amp := after.Amplification(); amp >= 2 {
+		t.Fatalf("amplification after compaction = %.2f, want < 2", amp)
+	}
+	for i := 0; i < 50; i++ {
+		mustGet(t, s, fmt.Sprintf("key-%05d", i), "fresh")
+	}
+	for i := 50; i < 75; i++ {
+		mustAbsent(t, s, fmt.Sprintf("key-%05d", i))
+	}
+	for i := 75; i < 100; i++ {
+		mustGet(t, s, fmt.Sprintf("key-%05d", i), string(bytes.Repeat([]byte{'x'}, 256)))
+	}
+}
+
+func TestAutoCompactionBoundsAmplification(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, &Options{SegmentTarget: 16 << 10})
+	defer s.Close()
+	// Sustained overwrite load: the same keys rewritten many times. Without
+	// compaction this store would be ~20x amplified.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 40; i++ {
+			mustPut(t, s, fmt.Sprintf("key-%05d", i), fmt.Sprintf("round-%02d-%s", round, bytes.Repeat([]byte{'y'}, 200)))
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatalf("Commit round %d: %v", round, err)
+		}
+	}
+	s.wg.Wait() // let background passes finish
+	st := s.StorageStats()
+	if st.Compactions == 0 {
+		t.Fatal("auto-compaction never triggered under overwrite load")
+	}
+	if amp := st.Amplification(); amp >= 3 {
+		t.Fatalf("amplification under overwrite load = %.2f (disk %d, live %d), want < 3", amp, st.DiskBytes, st.LiveBytes)
+	}
+	mustGet(t, s, "key-00000", "round-19-"+string(bytes.Repeat([]byte{'y'}, 200)))
+}
+
+func TestCheckpointEnablesHintOnlyColdStart(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, &Options{SegmentTarget: 8 << 10, NoAutoCompact: true})
+	fill(t, s, 150, 256, 10)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := s.StorageStats()
+	if st.Segments != 2 {
+		t.Fatalf("segments after checkpoint = %d, want 2 (merged + empty active)", st.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTest(t, dir, nil)
+	st = r.StorageStats()
+	if st.HintLoads != 1 || st.ScanLoads != 1 {
+		t.Fatalf("cold start = %d hint loads, %d scan loads; want 1 hinted merge + 1 empty-active scan", st.HintLoads, st.ScanLoads)
+	}
+	mustGet(t, r, "key-00099", string(bytes.Repeat([]byte{'x'}, 256)))
+	r.Close()
+
+	// The benchmark baseline: IgnoreHints forces the full replay.
+	r = openTest(t, dir, &Options{IgnoreHints: true})
+	defer r.Close()
+	if st := r.StorageStats(); st.HintLoads != 0 || st.ScanLoads != 2 {
+		t.Fatalf("IgnoreHints cold start = %d/%d hint/scan loads, want 0/2", st.HintLoads, st.ScanLoads)
+	}
+	mustGet(t, r, "key-00099", string(bytes.Repeat([]byte{'x'}, 256)))
+}
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	mustPut(t, s, "k", "v")
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTest(t, dir, &Options{ReadOnly: true})
+	defer r.Close()
+	mustGet(t, r, "k", "v")
+	if err := r.Put([]byte("x"), []byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put on read-only = %v, want ErrReadOnly", err)
+	}
+	if _, err := r.Delete([]byte("k")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete on read-only = %v, want ErrReadOnly", err)
+	}
+	if err := r.Commit(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Commit on read-only = %v, want ErrReadOnly", err)
+	}
+	if err := r.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact on read-only = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, _, err := s.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get on closed = %v, want ErrClosed", err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestSealedSegmentCorruptionIsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, &Options{SegmentTarget: 4 << 10, NoAutoCompact: true})
+	fill(t, s, 100, 200, 10)
+	if s.StorageStats().Segments < 2 {
+		t.Fatal("test needs at least one sealed segment")
+	}
+	firstSeg := s.segs[0].name
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Flip a byte in the middle of the sealed segment and remove its hint
+	// so the scan path sees the damage.
+	path := filepath.Join(dir, firstSeg)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, segHintName(firstSeg)))
+
+	if _, err := Open(dir, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStrayFilesCleanedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	mustPut(t, s, "k", "v")
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Debris of an interrupted rotation/compaction: an unlisted data file
+	// and a temp file.
+	stray := filepath.Join(dir, segDataName(99))
+	if err := os.WriteFile(stray, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "MANIFEST.tmp12345")
+	if err := os.WriteFile(tmp, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	mustGet(t, r, "k", "v")
+	for _, p := range []string{stray, tmp} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stray file %s survived open", p)
+		}
+	}
+}

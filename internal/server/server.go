@@ -32,6 +32,7 @@ import (
 	"xrefine/internal/narrow"
 	"xrefine/internal/obs"
 	"xrefine/internal/refine"
+	"xrefine/internal/storage"
 	"xrefine/internal/tokenize"
 )
 
@@ -111,6 +112,14 @@ type ShardedBackend interface {
 type ReplicatedBackend interface {
 	Backend
 	ReplicaTable() []core.ReplicaStatus
+}
+
+// StorageBackend is the optional extension a store-backed engine
+// implements; /healthz surfaces the storage-engine snapshot when present.
+// ok is false for purely in-memory engines.
+type StorageBackend interface {
+	Backend
+	StoreStats() (storage.Stats, bool)
 }
 
 // Server wraps a backend with HTTP handlers. The backend is safe for
@@ -694,6 +703,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 		body["replicas_healthy"] = healthy
 		body["replicas_total"] = len(table)
+	}
+	// Store-backed engines surface their storage-engine snapshot — kind,
+	// disk footprint, and on the log engine the segment/keydir/compaction
+	// state — so amplification is watchable without xstat -storage.
+	if sb, ok := s.eng.(StorageBackend); ok {
+		if st, ok := sb.StoreStats(); ok {
+			body["storage"] = st
+			body["storage_amplification"] = st.Amplification()
+		}
 	}
 	// The full registry snapshot rides along under its own key so the
 	// established top-level fields stay stable for existing probes.

@@ -1,0 +1,29 @@
+package shard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
+	"xrefine/internal/storage/backends"
+)
+
+// newTestStore builds one shard-test store on the engine the
+// XREFINE_BACKEND matrix variable selects: an in-memory B+tree by default
+// (fast, no disk), a log-structured store under a test temp dir when the
+// backend matrix drives the suite against the log engine. f, when
+// non-nil, attaches the fault injector to whichever engine is built, so
+// the fault-matrix tests exercise both IO paths.
+func newTestStore(t *testing.T, f *storage.Faults) storage.Backend {
+	t.Helper()
+	if storage.DefaultKind() == storage.KindLog {
+		s, err := backends.Open(storage.KindLog,
+			filepath.Join(t.TempDir(), "store.logdb"), &storage.Options{Faults: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return kvstore.NewMemWithFaults(f)
+}

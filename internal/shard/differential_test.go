@@ -17,6 +17,7 @@ import (
 	"xrefine/internal/mutate"
 	"xrefine/internal/refine"
 	"xrefine/internal/server"
+	"xrefine/internal/storage"
 	"xrefine/internal/xmltree"
 )
 
@@ -45,13 +46,13 @@ func memRouter(t *testing.T, doc *xmltree.Document, n int, mode string, cfg *cor
 	if err != nil {
 		t.Fatal(err)
 	}
-	stores := make([]*kvstore.Store, n)
+	stores := make([]storage.Backend, n)
 	for i, sub := range subs {
 		var f *kvstore.Faults
 		if faults != nil {
 			f = faults[i]
 		}
-		stores[i] = kvstore.NewMemWithFaults(f)
+		stores[i] = newTestStore(t, f)
 		eng := core.NewFromDocument(sub, &core.Config{DisableMetrics: true})
 		if err := eng.SaveIndexWithDocument(stores[i]); err != nil {
 			t.Fatal(err)
@@ -207,9 +208,9 @@ func TestShardPartialDegrade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stores := make([]*kvstore.Store, 2)
+	stores := make([]storage.Backend, 2)
 	for i, sub := range subs {
-		stores[i] = kvstore.NewMemWithFaults(faults[i])
+		stores[i] = newTestStore(t, faults[i])
 		defer stores[i].Close()
 		eng := core.NewFromDocument(sub, &core.Config{DisableMetrics: true})
 		if err := eng.SaveIndexWithDocument(stores[i]); err != nil {

@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"xrefine/internal/core"
-	"xrefine/internal/kvstore"
 	"xrefine/internal/mutate"
+	"xrefine/internal/storage"
 )
 
 // Replica health states, as surfaced on /healthz and in ReplicaStatus. The
@@ -40,8 +40,8 @@ type ReplicaStatus = core.ReplicaStatus
 type replica struct {
 	shard, id int
 	eng       *core.Engine
-	store     *kvstore.Store
-	faults    *kvstore.Faults // non-nil when chaos is armed on this store
+	store     storage.Backend
+	faults    *storage.Faults // non-nil when chaos is armed on this store
 
 	ewmaNS       atomic.Int64  // EWMA scan latency; 0 = no sample yet
 	consecErrs   atomic.Int32  // consecutive scan errors
@@ -306,7 +306,7 @@ func ParseChaos(s string) (*Chaos, error) {
 // The injector is attached disarmed at store-open time and armed only here,
 // after the initial index load: chaos models serving-time flakiness, and an
 // injected fault during boot would reject a perfectly healthy store.
-func (c *Chaos) arm(f *kvstore.Faults, shard, replica int) {
+func (c *Chaos) arm(f *storage.Faults, shard, replica int) {
 	if c == nil || f == nil {
 		return
 	}

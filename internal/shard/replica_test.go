@@ -15,6 +15,7 @@ import (
 	"xrefine/internal/mutate"
 	"xrefine/internal/refine"
 	"xrefine/internal/server"
+	"xrefine/internal/storage"
 )
 
 // The tests here extend the differential suite to replicated serving: a
@@ -37,7 +38,7 @@ func memReplicatedRouter(t *testing.T, authors int, seed int64, n, rs int, opts 
 	if opts == nil {
 		opts = &Options{}
 	}
-	stores := make([][]*kvstore.Store, n)
+	stores := make([][]storage.Backend, n)
 	var walPaths [][]string
 	if opts.Live {
 		walPaths = make([][]string, n)
@@ -50,7 +51,7 @@ func memReplicatedRouter(t *testing.T, authors int, seed int64, n, rs int, opts 
 			if faults != nil && faults[i] != nil {
 				f = faults[i][j]
 			}
-			s := kvstore.NewMemWithFaults(f)
+			s := newTestStore(t, f)
 			if err := eng.SaveIndexWithDocument(s); err != nil {
 				t.Fatal(err)
 			}

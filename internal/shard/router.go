@@ -13,11 +13,12 @@ import (
 
 	"xrefine/internal/core"
 	"xrefine/internal/index"
-	"xrefine/internal/kvstore"
 	"xrefine/internal/mutate"
 	"xrefine/internal/narrow"
 	"xrefine/internal/obs"
 	"xrefine/internal/refine"
+	"xrefine/internal/storage"
+	"xrefine/internal/storage/backends"
 	"xrefine/internal/xmltree"
 )
 
@@ -168,9 +169,9 @@ func Open(dir string, opts *Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	var stores [][]*kvstore.Store
+	var stores [][]storage.Backend
 	var walPaths [][]string
-	var faults [][]*kvstore.Faults
+	var faults [][]*storage.Faults
 	closeAll := func() {
 		for _, grp := range stores {
 			for _, s := range grp {
@@ -179,20 +180,25 @@ func Open(dir string, opts *Options) (*Router, error) {
 		}
 	}
 	for _, ent := range man.Shards {
-		files := []ReplicaFiles{{Store: ent.Store, WAL: ent.WAL}}
+		files := []ReplicaFiles{{Store: ent.Store, WAL: ent.WAL, Backend: ent.Backend}}
 		files = append(files, ent.Replicas...)
 		if opts.Replicas > 0 && len(files) > opts.Replicas {
 			files = files[:opts.Replicas]
 		}
-		var grp []*kvstore.Store
+		var grp []storage.Backend
 		var wals []string
-		var fs []*kvstore.Faults
+		var fs []*storage.Faults
 		for _, rf := range files {
-			var f *kvstore.Faults
-			if opts.Chaos != nil {
-				f = &kvstore.Faults{} // attached now, armed after load
+			kind, err := storage.ParseKind(rf.Backend)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("shard: manifest: %s: %w", rf.Store, err)
 			}
-			s, err := kvstore.Open(filepath.Join(dir, rf.Store), &kvstore.Options{ReadOnly: !opts.Live, Faults: f})
+			var f *storage.Faults
+			if opts.Chaos != nil {
+				f = &storage.Faults{} // attached now, armed after load
+			}
+			s, err := backends.Open(kind, filepath.Join(dir, rf.Store), &storage.Options{ReadOnly: !opts.Live, Faults: f})
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -225,10 +231,10 @@ func Open(dir string, opts *Options) (*Router, error) {
 // of one corpus, global Dewey labels, a shared bare container root). With
 // opts.Live the i-th shard attaches the i-th WAL path. The caller owns the
 // stores unless the router was built through Open.
-func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*Router, error) {
-	grp := make([][]*kvstore.Store, len(stores))
+func NewFromStores(stores []storage.Backend, walPaths []string, opts *Options) (*Router, error) {
+	grp := make([][]storage.Backend, len(stores))
 	for i, s := range stores {
-		grp[i] = []*kvstore.Store{s}
+		grp[i] = []storage.Backend{s}
 	}
 	var wals [][]string
 	if walPaths != nil {
@@ -245,7 +251,7 @@ func NewFromStores(stores []*kvstore.Store, walPaths []string, opts *Options) (*
 // an identical copy of that shard's subset. With opts.Live, walPaths must
 // mirror the store layout. The caller owns the stores unless the router
 // was built through Open.
-func NewReplicated(stores [][]*kvstore.Store, walPaths [][]string, opts *Options) (*Router, error) {
+func NewReplicated(stores [][]storage.Backend, walPaths [][]string, opts *Options) (*Router, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -755,10 +761,15 @@ func (r *Router) scanShardReplicated(in refine.Input, k int, ks []string, bound 
 		actx, cancel := context.WithCancel(baseCtx)
 		cancels = append(cancels, cancel)
 		r.m.replicaScans.With(strconv.Itoa(si), strconv.Itoa(rp.id)).Inc()
+		// Record the start event before spawning the goroutine: on a
+		// loaded (or single-P) scheduler the attempt goroutine may not
+		// run until after a fast sibling has already won, and the ring
+		// must still show every launched attempt by the time the query
+		// returns — consumers pair starts with terminal events.
+		start := time.Now()
+		r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvAttemptStart,
+			Shard: si, Replica: rp.id, Hedge: hedge})
 		go func() {
-			start := time.Now()
-			r.flight.Record(obs.Event{Trace: tid, Kind: obs.EvAttemptStart,
-				Shard: si, Replica: rp.id, Hedge: hedge})
 			sin := in
 			sin.Index = rp.eng.Index()
 			sin.Parallelism = 1

@@ -16,7 +16,8 @@ import (
 	"path/filepath"
 
 	"xrefine/internal/core"
-	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
+	"xrefine/internal/storage/backends"
 	"xrefine/internal/tokenize"
 	"xrefine/internal/xmltree"
 )
@@ -54,18 +55,24 @@ type Manifest struct {
 // ManifestEntry names one shard's files, relative to the directory. Store
 // and WAL are the primary replica; Replicas lists the additional copies a
 // replicated directory carries (absent for R=1 directories, which keeps
-// version-1 manifests readable both ways).
+// version-1 manifests readable both ways). Backend names the primary
+// replica's storage engine; absent means btree, so pre-backend manifests
+// keep opening unchanged.
 type ManifestEntry struct {
 	Store    string         `json:"store"`
 	WAL      string         `json:"wal"`
+	Backend  string         `json:"backend,omitempty"`
 	Replicas []ReplicaFiles `json:"replicas,omitempty"`
 }
 
 // ReplicaFiles names one additional replica's store and WAL, relative to
-// the directory.
+// the directory. Backend follows the same absent-means-btree rule as
+// ManifestEntry — replicas of one shard may in principle mix engines,
+// since every replica is its own store/WAL/epoch world.
 type ReplicaFiles struct {
-	Store string `json:"store"`
-	WAL   string `json:"wal"`
+	Store   string `json:"store"`
+	WAL     string `json:"wal"`
+	Backend string `json:"backend,omitempty"`
 }
 
 // ReadManifest loads a shard directory's manifest.
@@ -131,9 +138,10 @@ func SplitDocument(doc *xmltree.Document, n int, mode string) ([]*xmltree.Docume
 // WriteStores splits a corpus document into n shards and writes a shard
 // directory: shard-<i>.kv index stores (each carrying its sub-document,
 // so shards serve snippets and accept live updates) plus the manifest.
-// The directory is created if missing.
+// The directory is created if missing. The engine is storage.DefaultKind
+// (btree unless the XREFINE_BACKEND matrix override is set).
 func WriteStores(doc *xmltree.Document, dir string, n int, mode string) (*Manifest, error) {
-	return WriteReplicatedStores(doc, dir, n, mode, 1)
+	return WriteReplicatedStoresBackend(doc, dir, n, mode, 1, storage.DefaultKind())
 }
 
 // WriteReplicatedStores is WriteStores with R copies of every shard: each
@@ -142,6 +150,26 @@ func WriteStores(doc *xmltree.Document, dir string, n int, mode string) (*Manife
 // router can open an R-way replica set where every replica holds its own
 // store, WAL and epoch world.
 func WriteReplicatedStores(doc *xmltree.Document, dir string, n int, mode string, replicas int) (*Manifest, error) {
+	return WriteReplicatedStoresBackend(doc, dir, n, mode, replicas, storage.DefaultKind())
+}
+
+// storeName names one replica's store file (btree) or directory (log).
+func storeName(shard, replica int, kind storage.Kind) string {
+	ext := ".kv"
+	if kind == storage.KindLog {
+		ext = ".logdb"
+	}
+	if replica == 0 {
+		return fmt.Sprintf("shard-%d%s", shard, ext)
+	}
+	return fmt.Sprintf("shard-%d.r%d%s", shard, replica, ext)
+}
+
+// WriteReplicatedStoresBackend is WriteReplicatedStores with an explicit
+// storage engine. B+tree replicas are single files (shard-<i>.kv); log
+// replicas are segment directories (shard-<i>.logdb). The manifest records
+// the engine per replica so Open needs no flag to reopen the directory.
+func WriteReplicatedStoresBackend(doc *xmltree.Document, dir string, n int, mode string, replicas int, kind storage.Kind) (*Manifest, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -156,13 +184,15 @@ func WriteReplicatedStores(doc *xmltree.Document, dir string, n int, mode string
 	for i, sub := range docs {
 		eng := core.NewFromDocument(sub, &core.Config{DisableMetrics: true})
 		ent := ManifestEntry{
-			Store: fmt.Sprintf("shard-%d.kv", i),
-			WAL:   fmt.Sprintf("shard-%d.wal", i),
+			Store:   storeName(i, 0, kind),
+			WAL:     fmt.Sprintf("shard-%d.wal", i),
+			Backend: string(kind),
 		}
 		for j := 1; j < replicas; j++ {
 			ent.Replicas = append(ent.Replicas, ReplicaFiles{
-				Store: fmt.Sprintf("shard-%d.r%d.kv", i, j),
-				WAL:   fmt.Sprintf("shard-%d.r%d.wal", i, j),
+				Store:   storeName(i, j, kind),
+				WAL:     fmt.Sprintf("shard-%d.r%d.wal", i, j),
+				Backend: string(kind),
 			})
 		}
 		names := append([]string{ent.Store}, make([]string, 0, len(ent.Replicas))...)
@@ -170,7 +200,7 @@ func WriteReplicatedStores(doc *xmltree.Document, dir string, n int, mode string
 			names = append(names, rf.Store)
 		}
 		for _, name := range names {
-			store, err := kvstore.Open(filepath.Join(dir, name), nil)
+			store, err := backends.Open(kind, filepath.Join(dir, name), nil)
 			if err != nil {
 				return nil, err
 			}

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"io"
 
-	"xrefine/internal/kvstore"
+	"xrefine/internal/storage"
 )
 
 // Document persistence: the tree serializes into the same kvstore an index
@@ -42,7 +42,7 @@ func DocChunkBounds() (lo, hi []byte) {
 
 // SaveDocument writes the document into the store (without committing; the
 // caller batches it with the index save).
-func SaveDocument(d *Document, s *kvstore.Store) error {
+func SaveDocument(d *Document, s storage.Backend) error {
 	if d == nil || d.Root == nil {
 		return fmt.Errorf("xmltree: nil document")
 	}
@@ -93,7 +93,7 @@ func docChunkKey(seq uint32) []byte {
 // LoadDocument reconstructs a document previously written with
 // SaveDocument; it returns (nil, false, nil) when the store holds no
 // document (an index-only store).
-func LoadDocument(s *kvstore.Store) (*Document, bool, error) {
+func LoadDocument(s storage.Backend) (*Document, bool, error) {
 	return LoadDocumentInto(s, nil)
 }
 
@@ -103,7 +103,7 @@ func LoadDocument(s *kvstore.Store) (*Document, bool, error) {
 // type identity is by pointer, and a document-side type that merely
 // *equals* an index-side type would make every judgment that compares the
 // two silently false — in particular for nodes grafted by live updates.
-func LoadDocumentInto(s *kvstore.Store, reg *Registry) (*Document, bool, error) {
+func LoadDocumentInto(s storage.Backend, reg *Registry) (*Document, bool, error) {
 	var buf []byte
 	prefix := []byte(docChunkPrefix)
 	end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)

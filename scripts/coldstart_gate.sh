@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# coldstart_gate.sh — CI ratchet for the log engine's hint-file cold
+# start, run by the backend-matrix CI job.
+#
+# Builds a value-heavy log store via the xbench storage experiment and
+# asserts that opening it through hint files is at least MIN_SPEEDUP times
+# faster than the hint-blind baseline (every data file replayed and
+# CRC-checked). A regression here means hint files stopped covering
+# sealed segments, or the open path stopped trusting them — either way
+# cold start degrades back to full log replay and the gate fails.
+set -euo pipefail
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-10}"
+SCALE="${SCALE:-0.5}"
+WRITES="${WRITES:-40000}"
+REPS="${REPS:-3}"
+
+cd "$(dirname "$0")/.."
+
+echo "coldstart-gate: measuring hint vs scan reopen (scale=$SCALE writes=$WRITES reps=$REPS)"
+OUT="$(go run ./cmd/xbench -scale "$SCALE" -writes "$WRITES" -reps "$REPS" -json storage)" ||
+    { echo "coldstart-gate: FAIL: xbench storage did not run" >&2; exit 1; }
+
+# Pull the log row's numbers out of the JSON without assuming jq exists.
+SPEEDUP="$(printf '%s' "$OUT" | tr ',{' '\n\n' | grep -A20 '"backend":"log"' |
+    grep -o '"hint_speedup":[0-9.]*' | head -1 | cut -d: -f2)"
+AMP="$(printf '%s' "$OUT" | tr ',{' '\n\n' | grep -A20 '"backend":"log"' |
+    grep -o '"amplification":[0-9.]*' | head -1 | cut -d: -f2)"
+[ -n "$SPEEDUP" ] || { echo "coldstart-gate: FAIL: no log-backend row in: $OUT" >&2; exit 1; }
+
+echo "coldstart-gate: hint speedup ${SPEEDUP}x (floor ${MIN_SPEEDUP}x), amplification ${AMP:-?}x"
+awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }' ||
+    { echo "coldstart-gate: FAIL: hint open only ${SPEEDUP}x faster than replay open (need ${MIN_SPEEDUP}x)" >&2; exit 1; }
+# The same run prices compaction: a settled store must not carry more
+# than 2x its live bytes on disk.
+if [ -n "${AMP:-}" ]; then
+    awk -v a="$AMP" 'BEGIN { exit !(a < 2) }' ||
+        { echo "coldstart-gate: FAIL: on-disk amplification ${AMP}x (need < 2x)" >&2; exit 1; }
+fi
+echo "coldstart-gate: PASS"

@@ -18,6 +18,10 @@ BASE="http://$ADDR"
 BATCHES="${BATCHES:-12}"
 OPS_PER_BATCH="${OPS_PER_BATCH:-5}"
 READERS="${READERS:-4}"
+# BACKEND selects the storage engine for the live store (btree | log);
+# the phase-1 suites also honour it via XREFINE_BACKEND.
+BACKEND="${BACKEND:-${XREFINE_BACKEND:-btree}}"
+export XREFINE_BACKEND="$BACKEND"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 READER_PIDS=""
@@ -38,9 +42,9 @@ fail() {
 
 cd "$(dirname "$0")/.."
 
-echo "update-soak: phase 1: concurrency + crash-recovery suites (-race)"
+echo "update-soak: phase 1: concurrency + crash-recovery suites (-race, backend=$BACKEND)"
 go test -race -timeout 10m -count "${SOAK_COUNT:-2}" \
-    -run 'TestQueriesPinEpochDuringApply|TestApplyCrashRecoveryMatrix|TestOpenLiveReplaysPendingWAL' \
+    -run 'TestQueriesPinEpochDuringApply|TestApplyCrashRecoveryMatrix|TestOpenLiveReplaysPendingWAL|TestCheckpointTruncatesWALAndBoundsReopen' \
     ./internal/core/ || fail "race suites failed"
 go test -race -timeout 5m -run 'TestSearchByteIdenticalAcrossConfigs' \
     ./internal/server/ || fail "rebuild-equivalence differential failed"
@@ -54,20 +58,25 @@ go build -o "$WORK/xstat" ./cmd/xstat
 echo "update-soak: generating corpus and update workload"
 "$WORK/xgen" -kind dblp -authors 150 -seed 42 -out "$WORK/dblp.xml" \
     -updates $((BATCHES * OPS_PER_BATCH)) -update-batch "$OPS_PER_BATCH"
-"$WORK/xrefine" index -xml "$WORK/dblp.xml" -index "$WORK/dblp.kv" -with-doc
+STORE="$WORK/dblp.kv"
+[ "$BACKEND" = "log" ] && STORE="$WORK/dblp.logdb"
+"$WORK/xrefine" index -xml "$WORK/dblp.xml" -index "$STORE" -backend "$BACKEND" -with-doc
 
 # Split the ride-along batch file back into per-batch JSON bodies.
 awk -v dir="$WORK" '/^# batch /{n=$3; next} /^{/{print > (dir "/op-" n ".jsonl")}' \
     "$WORK/dblp.xml.updates"
+# Walk the batch numbers numerically — a lexicographic glob would post
+# op-10 right after op-1, and later batches insert under nodes earlier
+# batches create, so order is semantic.
 NBATCH=0
-for f in "$WORK"/op-*.jsonl; do
-    printf '{"ops":[%s]}' "$(paste -sd, "$f")" > "$WORK/batch-$NBATCH.json"
+while [ -f "$WORK/op-$NBATCH.jsonl" ]; do
+    printf '{"ops":[%s]}' "$(paste -sd, "$WORK/op-$NBATCH.jsonl")" > "$WORK/batch-$NBATCH.json"
     NBATCH=$((NBATCH + 1))
 done
 [ "$NBATCH" -ge "$BATCHES" ] || fail "expected $BATCHES batches, built $NBATCH"
 
 echo "update-soak: starting live xserve on $ADDR"
-"$WORK/xserve" -index "$WORK/dblp.kv" -live -addr "$ADDR" -max-inflight 64 \
+"$WORK/xserve" -index "$STORE" -live -addr "$ADDR" -max-inflight 64 \
     >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 for i in $(seq 1 50); do
@@ -95,9 +104,11 @@ done
 
 i=0
 while [ "$i" -lt "$NBATCH" ]; do
-    curl -fsS --max-time 30 -X POST --data-binary "@$WORK/batch-$i.json" \
-        "$BASE/update" >"$WORK/apply-$i.json" ||
-        fail "batch $i rejected: $(cat "$WORK/apply-$i.json" 2>/dev/null)"
+    CODE="$(curl -sS --max-time 30 -o "$WORK/apply-$i.json" -w '%{http_code}' \
+        -X POST --data-binary "@$WORK/batch-$i.json" "$BASE/update")" ||
+        fail "batch $i: POST /update did not answer"
+    [ "$CODE" = 200 ] ||
+        fail "batch $i rejected ($CODE): $(cat "$WORK/apply-$i.json" 2>/dev/null)"
     i=$((i + 1))
 done
 for p in $READER_PIDS; do
@@ -111,7 +122,10 @@ HEALTH="$(curl -fsS "$BASE/healthz")"
     fail "healthz epoch != $NBATCH: $HEALTH"
 [[ "$HEALTH" == *'"live_updates": true'* || "$HEALTH" == *'"live_updates":true'* ]] ||
     fail "healthz does not report live updates: $HEALTH"
-curl -fsS "$BASE/metrics" | grep -q '^xrefine_mutate_applied_batches_total' ||
+# Buffer the scrape: grep -q would close the pipe on first match and
+# pipefail would turn curl's resulting write error into a failure.
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt" || fail "metrics scrape failed"
+grep -q '^xrefine_mutate_applied_batches_total' "$WORK/metrics.txt" ||
     fail "mutate metric families missing from /metrics"
 
 echo "update-soak: restarting to verify durability"
@@ -119,10 +133,14 @@ kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 grep -q 'WARNING: DATA RACE' "$WORK/server.log" && fail "race detected in live server"
 
-"$WORK/xstat" -index "$WORK/dblp.kv" >"$WORK/stat.txt" || fail "xstat failed post-soak"
+"$WORK/xstat" -index "$STORE" >"$WORK/stat.txt" || fail "xstat failed post-soak"
 grep -q "epoch:       $NBATCH" "$WORK/stat.txt" ||
     fail "store epoch after restart != $NBATCH: $(cat "$WORK/stat.txt")"
 grep -q 'wal:         empty' "$WORK/stat.txt" ||
     fail "WAL did not drain: $(cat "$WORK/stat.txt")"
+"$WORK/xstat" -storage -index "$STORE" >"$WORK/storage.txt" ||
+    fail "xstat -storage failed post-soak"
+grep -q "backend:" "$WORK/storage.txt" ||
+    fail "xstat -storage report malformed: $(cat "$WORK/storage.txt")"
 
-echo "update-soak: PASS ($NBATCH batches, $READERS readers)"
+echo "update-soak: PASS ($NBATCH batches, $READERS readers, backend=$BACKEND)"

@@ -35,7 +35,6 @@ import (
 	"io"
 
 	"xrefine/internal/core"
-	"xrefine/internal/kvstore"
 	"xrefine/internal/lexicon"
 	"xrefine/internal/mutate"
 	"xrefine/internal/narrow"
@@ -46,6 +45,8 @@ import (
 	"xrefine/internal/searchfor"
 	"xrefine/internal/shard"
 	"xrefine/internal/slca"
+	"xrefine/internal/storage"
+	"xrefine/internal/storage/backends"
 	"xrefine/internal/tokenize"
 	"xrefine/internal/xmltree"
 )
@@ -104,8 +105,32 @@ type RankModel = rank.Model
 // SearchForOptions tunes search-for node inference (Formula 1).
 type SearchForOptions = searchfor.Options
 
-// Store is the embedded key-value store indexes persist into.
-type Store = kvstore.Store
+// Store is the storage backend indexes persist into. Two engines
+// implement it: the page-based B+tree (one file, the default) and the
+// Bitcask-style log-structured engine (a segment directory with hint-file
+// cold starts); see StorageBTree and StorageLog.
+type Store = storage.Backend
+
+// StorageKind names a storage engine for OpenStoreKind.
+type StorageKind = storage.Kind
+
+// The storage engines.
+const (
+	// StorageBTree is the page-based copy-on-write B+tree — one file,
+	// CRC-trailed pages, ordered keys native.
+	StorageBTree = storage.KindBTree
+	// StorageLog is the Bitcask-style log-structured engine — append-only
+	// CRC-framed segments, an in-memory keydir, background compaction and
+	// hint files for millisecond cold starts.
+	StorageLog = storage.KindLog
+)
+
+// ParseStorageKind validates a -backend flag value; the empty string
+// means the default engine (btree).
+func ParseStorageKind(s string) (StorageKind, error) { return storage.ParseKind(s) }
+
+// StorageStats describes the physical state of a Store.
+type StorageStats = storage.Stats
 
 // NewFromXML parses and indexes an XML document from r.
 func NewFromXML(r io.Reader, cfg *Config) (*Engine, error) {
@@ -136,15 +161,37 @@ func Collection(rootTag string, docs ...*Document) (*Document, error) {
 	return xmltree.Collection(rootTag, docs...)
 }
 
-// OpenStore opens (or creates) an index store file.
-func OpenStore(path string, readOnly bool) (*Store, error) {
-	return kvstore.Open(path, &kvstore.Options{ReadOnly: readOnly})
+// OpenStore opens (or creates) an index store at path. An existing
+// store's engine is detected from its layout — a file is a B+tree store,
+// a directory a log store; a new store is created with the B+tree engine
+// (or the XREFINE_BACKEND override). Use OpenStoreKind to pick explicitly.
+func OpenStore(path string, readOnly bool) (Store, error) {
+	return OpenStoreKind("", path, readOnly)
+}
+
+// OpenStoreKind is OpenStore with an explicit engine name ("btree" or
+// "log"; empty auto-detects an existing store and uses the default engine
+// for a new one).
+func OpenStoreKind(backend string, path string, readOnly bool) (Store, error) {
+	var kind storage.Kind
+	if backend == "" {
+		var err error
+		if kind, err = backends.Detect(path); err != nil {
+			kind = storage.DefaultKind() // new store: no layout to sniff
+		}
+	} else {
+		var err error
+		if kind, err = storage.ParseKind(backend); err != nil {
+			return nil, err
+		}
+	}
+	return backends.Open(kind, path, &storage.Options{ReadOnly: readOnly})
 }
 
 // OpenIndex loads an engine from a previously saved index store. Stores
 // written with Engine.SaveIndexWithDocument restore the source document,
 // keeping snippets and narrowing available.
-func OpenIndex(store *Store, cfg *Config) (*Engine, error) {
+func OpenIndex(store Store, cfg *Config) (*Engine, error) {
 	return core.Open(store, cfg)
 }
 
@@ -174,7 +221,7 @@ type UpdateStats = core.UpdateStats
 // crash-recovery path). The store must have been opened read-write and
 // saved with Engine.SaveIndexWithDocument. The caller still owns closing
 // the store; Engine.Close releases the log.
-func OpenLiveIndex(store *Store, walPath string, cfg *Config) (*Engine, error) {
+func OpenLiveIndex(store Store, walPath string, cfg *Config) (*Engine, error) {
 	return core.OpenLive(store, walPath, cfg)
 }
 
