@@ -1,7 +1,11 @@
 package logstore
 
 import (
+	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +24,10 @@ import (
 // in the active segment, which is never merged; and the final swap —
 // retargeting keydir entries that still point into the merged set — runs
 // under the write lock and skips any entry a concurrent write superseded.
+// An open uncommitted batch needs care at both ends: committed records it
+// shadows live only in the undo log, so the snapshot folds those into the
+// merge set, and the swap retargets undo entries into the merged segment
+// so Rollback and crash recovery never chase a deleted file.
 //
 // Crash-safety ordering: the merged file is fully written, verified by
 // re-reading it end to end (catching torn writes the fault harness or a
@@ -99,6 +107,22 @@ func (s *Store) Compact() error {
 	for k, e := range s.keydir {
 		if _, ok := sealedIDs[e.seg]; ok {
 			refs = append(refs, mergeRef{key: k, old: e})
+		}
+	}
+	// An open batch shadows committed records: its first staged Put or
+	// Delete of a key repoints (or removes) the keydir entry, leaving the
+	// key's last committed record reachable only through the undo log.
+	// Those records must move too — otherwise deleting the merged segments
+	// would strand Rollback, and a crash before Commit, on vanished files.
+	// No key is double-counted: once a batch touches a key, its keydir
+	// entry points into the active segment (or is gone), and only the
+	// batch's first undo entry for a key can hold a sealed location.
+	for _, u := range s.undo {
+		if !u.had {
+			continue
+		}
+		if _, ok := sealedIDs[u.old.seg]; ok {
+			refs = append(refs, mergeRef{key: u.key, old: u.old})
 		}
 	}
 	txid, epoch := s.txid, s.txnEpoch
@@ -231,6 +255,24 @@ func (s *Store) Compact() error {
 			merged.live += int64(refs[i].new.size)
 		}
 	}
+	// A batch opened while the copy ran (the lock was free) shadows keys
+	// whose committed records were snapshotted from the keydir; its undo
+	// entries still point into the removed segments. Retarget them so a
+	// Rollback restores keydir entries that land in the merged segment,
+	// not a deleted file. (Bytes become live again via kdSet if restored.)
+	if len(s.undo) > 0 {
+		moved := make(map[kdEntry]kdEntry, len(refs))
+		for i := range refs {
+			moved[refs[i].old] = refs[i].new
+		}
+		for i := range s.undo {
+			if u := &s.undo[i]; u.had {
+				if n, ok := moved[u.old]; ok {
+					u.old = n
+				}
+			}
+		}
+	}
 	s.compactions.Add(1)
 	s.mu.Unlock()
 
@@ -264,25 +306,60 @@ func (s *Store) readSealedFrame(seg *segment, e kdEntry) ([]byte, error) {
 }
 
 // verifyMergedFile decodes every frame of a freshly written merge output,
-// checking sizes, checksums, and the trailing commit record.
+// checking sizes, checksums, and the trailing commit record. It streams
+// the file through a bounded buffer: the merged output holds the full
+// live dataset, so reading it whole would transiently cost memory
+// proportional to total store size on every compaction.
 func verifyMergedFile(path string, wantSize int64, wantRecs int) error {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	if int64(len(data)) != wantSize {
-		return fmt.Errorf("%w: merged file is %d bytes, want %d", ErrCorrupt, len(data), wantSize)
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
 	}
-	var off, recs int64
-	sawCommit := false
-	for int(off) < len(data) {
-		body, n, ferr := decodeFrame(data[off:])
+	if st.Size() != wantSize {
+		return fmt.Errorf("%w: merged file is %d bytes, want %d", ErrCorrupt, st.Size(), wantSize)
+	}
+	fail := func(off int64, err error) error {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = errShortFrame
+		}
+		return fmt.Errorf("logstore: verify merged @%d: %w", off, err)
+	}
+	var (
+		r         = bufio.NewReaderSize(f, compactBufSize)
+		frame     []byte
+		off, recs int64
+		sawCommit bool
+	)
+	for off < wantSize {
+		var hdr [frameHeaderSize]byte
+		if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
+			return fail(off, rerr)
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		if size > maxBodySize {
+			return fail(off, fmt.Errorf("%w: frame size %d exceeds limit", ErrCorrupt, size))
+		}
+		total := frameHeaderSize + int(size)
+		if cap(frame) < total {
+			frame = make([]byte, total)
+		}
+		frame = frame[:total]
+		copy(frame, hdr[:])
+		if _, rerr := io.ReadFull(r, frame[frameHeaderSize:]); rerr != nil {
+			return fail(off, rerr)
+		}
+		body, n, ferr := decodeFrame(frame)
 		if ferr != nil {
-			return fmt.Errorf("logstore: verify merged @%d: %w", off, ferr)
+			return fail(off, ferr)
 		}
 		rec, perr := parseRecord(body)
 		if perr != nil {
-			return fmt.Errorf("logstore: verify merged @%d: %w", off, perr)
+			return fail(off, perr)
 		}
 		if rec.kind == kindCommit {
 			sawCommit = true

@@ -179,6 +179,77 @@ func TestFaultsMidCompactionAbortAndRecover(t *testing.T) {
 	}
 }
 
+// A compaction pass that overlaps an open uncommitted batch must carry
+// the committed records the batch shadows (reachable only through the
+// undo log) into the merged segment. Otherwise deleting the old segments
+// destroys the last committed version of every staged key: Rollback
+// restores keydir entries pointing at missing files, and a crash before
+// Commit loses the committed values from disk entirely.
+func TestCompactWithOpenBatchThenRollback(t *testing.T) {
+	dir := t.TempDir()
+	s := compactableStore(t, dir, &storage.Faults{})
+	defer s.Close()
+
+	// Stage — without committing — a put and a delete over keys whose
+	// committed records sit in sealed segments.
+	mustPut(t, s, "base-000", "staged")
+	if ok, err := s.Delete([]byte("base-001")); err != nil || !ok {
+		t.Fatalf("Delete(base-001) = %v, %v", ok, err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact with open batch: %v", err)
+	}
+	mustGet(t, s, "base-000", "staged") // read-your-writes survives the swap
+	mustAbsent(t, s, "base-001")
+	if err := s.Rollback(); err != nil {
+		t.Fatalf("Rollback after compaction: %v", err)
+	}
+	checkGen2(t, s)
+}
+
+func TestCompactWithOpenBatchThenCrashRecoversCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := compactableStore(t, dir, &storage.Faults{})
+
+	mustPut(t, s, "base-000", "staged")
+	if ok, err := s.Delete([]byte("base-001")); err != nil || !ok {
+		t.Fatalf("Delete(base-001) = %v, %v", ok, err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact with open batch: %v", err)
+	}
+	crash(s) // the batch never commits
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	checkGen2(t, r)
+}
+
+// The committed state a compaction merges while a batch is open must also
+// commit cleanly afterwards: the staged records in the active segment win
+// over the merged copies in replay order.
+func TestCompactWithOpenBatchThenCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := compactableStore(t, dir, &storage.Faults{})
+
+	mustPut(t, s, "base-000", "staged")
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact with open batch: %v", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit after compaction: %v", err)
+	}
+	mustGet(t, s, "base-000", "staged")
+	crash(s)
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	mustGet(t, r, "base-000", "staged")
+	for i := 1; i < 30; i++ {
+		mustGet(t, r, fmt.Sprintf("base-%03d", i), genValue(2, i))
+	}
+}
+
 func TestTornHintWriteFallsBackToScan(t *testing.T) {
 	dir := t.TempDir()
 	f := &storage.Faults{}
@@ -223,6 +294,28 @@ func TestFailedHintWriteAbortsCompaction(t *testing.T) {
 	r := openTest(t, dir, nil)
 	defer r.Close()
 	checkGen2(t, r)
+}
+
+// Recovery truncates the uncommitted suffix; the record counts feeding
+// DeadRecords must not include the frames that truncation removed.
+func TestRecoveredStatsExcludeTruncatedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	mustPut(t, s, "a", "1")
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	mustPut(t, s, "a", "2")
+	mustPut(t, s, "b", "2")
+	crash(s)
+
+	r := openTest(t, dir, nil)
+	defer r.Close()
+	// On disk: one put and one commit frame. One live key, so only the
+	// commit frame counts as dead.
+	if st := r.StorageStats(); st.DeadRecords != 1 {
+		t.Fatalf("DeadRecords = %d after recovery, want 1", st.DeadRecords)
+	}
 }
 
 func TestFailReadSurfacesOnGetAndHeals(t *testing.T) {

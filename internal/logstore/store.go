@@ -350,6 +350,7 @@ func (s *Store) scanSegment(seg *segment, last bool) error {
 		off           int64
 		lastCommitEnd int64
 		recs          int64
+		commitRecs    int64 // frames up to and including the last commit
 	)
 	for int(off) < len(data) {
 		body, n, ferr := decodeFrame(data[off:])
@@ -378,6 +379,7 @@ func (s *Store) scanSegment(seg *segment, last bool) error {
 			batch = batch[:0]
 			s.txid, s.epoch = rec.txid, rec.epoch
 			lastCommitEnd = off + int64(n)
+			commitRecs = recs + 1
 		}
 		recs++
 		off += int64(n)
@@ -395,6 +397,9 @@ func (s *Store) scanSegment(seg *segment, last bool) error {
 			}
 		}
 		seg.size = lastCommitEnd
+		// The truncated suffix's frames no longer exist on disk; counting
+		// them would overstate DeadRecords in StorageStats.
+		recs = commitRecs
 	}
 	seg.recs = recs
 	s.scanLoads++
