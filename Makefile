@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak replicas coldstart clean
+.PHONY: all build vet test race bench cover memgate fuzz experiments examples obs soak replicas coldstart wirediff clean
 
 all: build vet test
 
@@ -48,6 +48,8 @@ fuzz:
 	$(GO) test ./internal/core -fuzz FuzzQueryPipeline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shard -fuzz FuzzShardMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/index -fuzz FuzzBlockCodec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -fuzz FuzzWireFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -fuzz FuzzWireRequest -fuzztime $(FUZZTIME)
 
 # Regenerate every table and figure of the paper (takes minutes at scale 1).
 experiments:
@@ -72,6 +74,14 @@ soak:
 # diffed request-by-request against a monolith — zero result divergence.
 replicas:
 	./scripts/replica_soak.sh
+
+# Wire-protocol conformance soak: a race-built xserve serving HTTP and
+# the binary protocol from the same backend, diffed request-by-request
+# (plain engine, chaos-armed replicas, log storage backend) — every
+# non-degraded wire payload must be byte-identical to the HTTP body —
+# ending in a both-surfaces drain check.
+wirediff:
+	./scripts/wire_diff.sh
 
 # Log-engine cold-start ratchet: opening a settled value-heavy store
 # through hint files must be at least 10x faster than the hint-blind

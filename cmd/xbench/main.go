@@ -9,7 +9,7 @@
 //	paper experiments: tables3-6 fig4 fig5 fig6 table7 table8 table9 table10
 //	extensions:        ablation-decay ablation-searchfor ablation-slca
 //	                   ablation-beam elca parallel obs update shard compress
-//	                   storage
+//	                   storage wire
 //	or: all
 package main
 
@@ -35,12 +35,14 @@ var (
 	jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (parallel experiment)")
 	maxprocs = flag.Int("workers", 8, "largest worker count for the parallel experiment")
 	writes   = flag.Int("writes", 20000, "synthetic write-burst size for the storage experiment")
+	wireReqs = flag.Int("wire-requests", 400, "timed requests per surface for the wire experiment")
+	wireDep  = flag.Int("wire-depth", 32, "in-flight pipeline depth for the wire experiment")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|compress|storage|all")
+		fmt.Fprintln(os.Stderr, "usage: xbench [flags] tables3-6|fig4|fig5|fig6|table7|table8|table9|table10|ablation-decay|ablation-searchfor|ablation-slca|ablation-beam|elca|parallel|obs|update|shard|compress|storage|wire|all")
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
@@ -63,6 +65,7 @@ func main() {
 		"shard":              shardCompare,
 		"compress":           compressCompare,
 		"storage":            storageCompare,
+		"wire":               wireCompare,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -70,7 +73,7 @@ func main() {
 			"tables3-6", "fig4", "fig5", "fig6", "table7", "table8",
 			"table9", "table10", "ablation-decay", "ablation-searchfor",
 			"ablation-slca", "ablation-beam", "elca", "parallel", "obs",
-			"update", "shard", "compress", "storage",
+			"update", "shard", "compress", "storage", "wire",
 		} {
 			if err := runners[n](); err != nil {
 				fatal(err)
@@ -661,6 +664,31 @@ func updateBench() error {
 	fmt.Fprintf(w, "query latency idle\tavg %s\tp95 %s\n", ms(baseAvg), ms(baseP95))
 	fmt.Fprintf(w, "query latency under writes\tavg %s\tp95 %s\n", ms(mixAvg), ms(mixP95))
 	fmt.Fprintf(w, "final epoch\t%d\n", mixed.Epoch())
+	return w.Flush()
+}
+
+func wireCompare() error {
+	c, err := corpus()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.WireCompare(c, []int{1, 10}, *wireReqs, *wireDep)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(struct {
+			GOMAXPROCS int                   `json:"gomaxprocs"`
+			Rows       []experiments.WireRow `json:"rows"`
+		}{runtime.GOMAXPROCS(0), rows})
+	}
+	w := header(fmt.Sprintf("Wire: binary protocol vs HTTP, %d requests/surface, pipeline depth %d, GOMAXPROCS=%d",
+		*wireReqs, *wireDep, runtime.GOMAXPROCS(0)))
+	fmt.Fprintln(w, "surface\tk\tQPS\tQPS/core\tp50 ms\tp99 ms\tspeedup vs http")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.3f\t%.3f\t%.2fx\n",
+			r.Surface, r.K, r.QPS, r.QPSCore, r.P50MS, r.P99MS, r.Speedup)
+	}
 	return w.Flush()
 }
 

@@ -7,6 +7,7 @@
 //	xrefine search -xml dblp.xml "online databse"
 //	xrefine search -index dblp.kv -k 5 -strategy sle "efficient key word search"
 //	xrefine search -shards dblp-shards "online databse"
+//	xrefine search -wire localhost:7070 "online databse"
 //	xrefine apply  -index dblp.kv -batch updates.txt
 //	xrefine repl   -xml dblp.xml
 package main
@@ -26,6 +27,7 @@ import (
 
 	"xrefine"
 	"xrefine/internal/obs"
+	"xrefine/internal/wire"
 )
 
 func main() {
@@ -207,16 +209,49 @@ func cmdSearch(args []string) {
 	fs.Duration("hedge-after", 0, "hedge a slow shard scan onto the next replica after this delay (0 = off)")
 	k := fs.Int("k", 3, "number of refined queries")
 	strategy := fs.String("strategy", "partition", "partition | sle | stack")
-	fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
+	parallel := fs.Int("parallel", 0, "partition-walk workers (0 = all cores, 1 = sequential)")
 	explainTrace := fs.Bool("explain", false, "print the query's stage trace (spans with durations) after the answer")
+	wireAddr := fs.String("wire", "", "query a running xserve -wire server at this address and print the raw JSON payload")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("search needs a query"))
 	}
+	query := strings.Join(fs.Args(), " ")
+	if *wireAddr != "" {
+		wireSearch(*wireAddr, query, parseStrategy(*strategy), *k, *parallel)
+		return
+	}
 	eng, doc, closeFn := loadBackend(fs)
 	defer closeFn()
-	query := strings.Join(fs.Args(), " ")
 	answer(os.Stdout, eng, doc, query, parseStrategy(*strategy), *k, *explainTrace)
+}
+
+// wireSearch answers one query over the binary protocol and prints the
+// payload, which is byte-identical to the HTTP /search body for the same
+// server state — scripts/wire_diff.sh diffs the two surfaces through
+// this path.
+func wireSearch(addr, query string, strategy xrefine.Strategy, k, parallel int) {
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	terms := xrefine.Tokenize(query)
+	if len(terms) == 0 {
+		fatal(fmt.Errorf("empty query after tokenization"))
+	}
+	resp, err := c.Query(0, byte(strategy), k, parallel, terms)
+	if err != nil {
+		fatal(err)
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		os.Stdout.Write(resp.Payload)
+	case wire.StatusRetry:
+		fatal(fmt.Errorf("server at capacity, retry after %ds: %s", resp.RetryAfter, resp.Payload))
+	default:
+		fatal(fmt.Errorf("wire error %d: %s", resp.Code, resp.Payload))
+	}
 }
 
 func cmdBatch(args []string) {

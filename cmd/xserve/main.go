@@ -9,6 +9,7 @@
 //	xserve -index dblp.kv -live
 //	xserve -shards dblp-shards -addr :8080
 //	xserve -shards dblp-shards -live
+//	xserve -index dblp.kv -addr :8080 -wire :7070
 //
 // Endpoints:
 //
@@ -57,6 +58,13 @@
 //
 //	xserve -shards dblp-shards -replicas 2 -hedge-after 20ms -live
 //	xserve -shards dblp-shards -chaos rate=0.002,jitter=1ms-3ms
+//
+// With -wire set, the same backend additionally serves the length-
+// prefixed binary protocol (persistent pipelined connections; see
+// ARCHITECTURE.md §22) on that address. Query payloads are byte-identical
+// to the HTTP /search bodies, the -timeout and -max-inflight limits
+// apply equally, and SIGINT/SIGTERM drain both surfaces together.
+// `xrefine search -wire host:port <query>` is the matching client.
 package main
 
 import (
@@ -65,6 +73,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -76,6 +85,7 @@ import (
 	"xrefine/internal/obs"
 	"xrefine/internal/server"
 	"xrefine/internal/shard"
+	"xrefine/internal/wire"
 )
 
 func main() {
@@ -83,6 +93,7 @@ func main() {
 		xmlPath     = flag.String("xml", "", "XML document to index and serve")
 		indexPath   = flag.String("index", "", "prebuilt index file to serve")
 		addr        = flag.String("addr", ":8080", "listen address")
+		wireAddr    = flag.String("wire", "", "also serve the binary wire protocol on this address, e.g. :7070 (same backend, same limits)")
 		parallel    = flag.Int("parallel", 0, "partition-walk workers per query (0 = all cores, 1 = sequential)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline; overruns return partial results flagged degraded (0 = none)")
 		budget      = flag.Int("budget", 0, "per-query posting budget; exhaustion degrades the response (0 = unlimited)")
@@ -223,18 +234,48 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
 
+	// The binary surface shares the backend with HTTP — same engine, same
+	// admission limits, same flight recorder — so the two answer
+	// identically and drain together.
+	var wsrv *wire.Server
+	wireErrCh := make(chan error, 1)
+	if *wireAddr != "" {
+		wsrv = wire.NewServer(backend, wire.Options{
+			Timeout:     *timeout,
+			MaxInFlight: *maxInflight,
+		})
+		wl, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { wireErrCh <- wsrv.Serve(wl) }()
+		log.Printf("serving wire protocol on %s", *wireAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
+	case err := <-wireErrCh:
+		log.Fatal(err)
 	case s := <-sig:
 		log.Printf("received %v: draining for up to %v", s, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		incomplete := false
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("drain incomplete: %v", err)
+			log.Printf("http drain incomplete: %v", err)
 			srv.Close()
+			incomplete = true
+		}
+		if wsrv != nil {
+			if err := wsrv.Shutdown(ctx); err != nil {
+				log.Printf("wire drain incomplete: %v", err)
+				incomplete = true
+			}
+		}
+		if incomplete {
 			os.Exit(1)
 		}
 		log.Printf("drained cleanly")
@@ -243,5 +284,10 @@ func main() {
 	// would have been fatal above.
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	if wsrv != nil {
+		if err := <-wireErrCh; err != nil && !errors.Is(err, wire.ErrServerClosed) {
+			log.Fatal(err)
+		}
 	}
 }

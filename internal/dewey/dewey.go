@@ -87,6 +87,19 @@ func (d ID) String() string {
 	return b.String()
 }
 
+// AppendText appends the dotted decimal form of d (what String returns)
+// onto buf and returns the extended slice — the allocation-free variant
+// response encoders use on the serving hot path.
+func (d ID) AppendText(buf []byte) []byte {
+	for i, c := range d {
+		if i > 0 {
+			buf = append(buf, '.')
+		}
+		buf = strconv.AppendUint(buf, uint64(c), 10)
+	}
+	return buf
+}
+
 // Depth returns the number of edges from the root; the root has depth 0.
 func (d ID) Depth() int { return len(d) - 1 }
 

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"runtime"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/server"
+	"xrefine/internal/tokenize"
+	"xrefine/internal/wire"
+)
+
+// WireRow is one line of the binary-vs-HTTP serving comparison: one
+// surface and mode at one k, its throughput (absolute and per core) and
+// latency percentiles, and the speedup over the HTTP row at the same k.
+type WireRow struct {
+	Surface  string  `json:"surface"` // http | wire | wire-pipelined
+	K        int     `json:"k"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	QPSCore  float64 `json:"qps_per_core"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	Speedup  float64 `json:"speedup_vs_http"`
+}
+
+// wireBenchQueries is the query mix both surfaces replay: corpus
+// vocabulary plus misspellings that force refinement, so responses span
+// the small-payload and large-payload shapes.
+var wireBenchQueries = []string{
+	"database query",
+	"databse quary",
+	"keyword serch xml",
+	"twig matching pattern",
+	"online",
+	"system index",
+}
+
+// WireCompare drives the same query mix through the HTTP surface (one
+// persistent keep-alive connection) and the wire surface (one persistent
+// connection, first request-per-round-trip, then pipelined depth in
+// flight), requests times per k, and reports throughput and latency.
+// Each surface gets its own engine over the shared index so response
+// caches cannot leak between them; both engines cache, so the
+// measurement isolates transport and encode cost — the paths the binary
+// protocol exists to shrink.
+func WireCompare(c *Corpus, ks []int, requests, depth int) ([]WireRow, error) {
+	if depth <= 0 {
+		depth = 32
+	}
+	httpEng := core.NewFromIndex(c.Index, &core.Config{CacheSize: 64})
+	wireEng := core.NewFromIndex(c.Index, &core.Config{CacheSize: 64})
+
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: server.New(httpEng)}
+	go hsrv.Serve(hl)
+	defer hsrv.Close()
+
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	wsrv := wire.NewServer(wireEng, wire.Options{})
+	go wsrv.Serve(wl)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		wsrv.Shutdown(ctx)
+	}()
+
+	terms := make([][]string, len(wireBenchQueries))
+	for i, q := range wireBenchQueries {
+		terms[i] = tokenize.Query(q)
+	}
+
+	httpClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	httpOnce := func(q string, k int) error {
+		v := url.Values{"q": {q}, "k": {fmt.Sprint(k)}}
+		resp, err := httpClient.Get("http://" + hl.Addr().String() + "/search?" + v.Encode())
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("http /search: %s", resp.Status)
+		}
+		return nil
+	}
+
+	wc, err := wire.Dial(wl.Addr().String(), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer wc.Close()
+
+	cores := runtime.GOMAXPROCS(0)
+	var rows []WireRow
+	for _, k := range ks {
+		// Warm both engines' caches on the mix at this k so the timed
+		// loops compare transports, not first-touch index walks.
+		for i, q := range wireBenchQueries {
+			if err := httpOnce(q, k); err != nil {
+				return nil, err
+			}
+			if resp, err := wc.Query(0, byte(core.StrategyPartition), k, 0, terms[i]); err != nil {
+				return nil, err
+			} else if resp.Status != wire.StatusOK {
+				return nil, fmt.Errorf("wire warmup: status %d: %s", resp.Status, resp.Payload)
+			}
+		}
+
+		httpRow := WireRow{Surface: "http", K: k, Requests: requests, Speedup: 1}
+		lat := make([]time.Duration, 0, requests)
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			t0 := time.Now()
+			if err := httpOnce(wireBenchQueries[i%len(wireBenchQueries)], k); err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		fillWireRow(&httpRow, time.Since(start), lat, cores)
+		rows = append(rows, httpRow)
+
+		wireRow := WireRow{Surface: "wire", K: k, Requests: requests}
+		lat = lat[:0]
+		start = time.Now()
+		for i := 0; i < requests; i++ {
+			t0 := time.Now()
+			resp, err := wc.Query(0, byte(core.StrategyPartition), k, 0, terms[i%len(terms)])
+			if err != nil {
+				return nil, err
+			}
+			if resp.Status != wire.StatusOK {
+				return nil, fmt.Errorf("wire: status %d: %s", resp.Status, resp.Payload)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		fillWireRow(&wireRow, time.Since(start), lat, cores)
+		wireRow.Speedup = wireRow.QPS / httpRow.QPS
+		rows = append(rows, wireRow)
+
+		// Pipelined: keep depth requests in flight on the one connection.
+		// Latency here includes local queueing — the honest per-request
+		// wait a pipelining client observes.
+		pipeRow := WireRow{Surface: "wire-pipelined", K: k, Requests: requests}
+		lat = lat[:0]
+		sendTimes := make([]time.Time, 0, requests)
+		sent, received := 0, 0
+		start = time.Now()
+		for received < requests {
+			for sent < requests && sent-received < depth {
+				sendTimes = append(sendTimes, time.Now())
+				wc.Send(0, byte(core.StrategyPartition), k, 0, terms[sent%len(terms)])
+				sent++
+			}
+			resp, err := wc.Recv()
+			if err != nil {
+				return nil, err
+			}
+			if resp.Status != wire.StatusOK {
+				return nil, fmt.Errorf("wire pipelined: status %d: %s", resp.Status, resp.Payload)
+			}
+			lat = append(lat, time.Since(sendTimes[received]))
+			received++
+		}
+		fillWireRow(&pipeRow, time.Since(start), lat, cores)
+		pipeRow.Speedup = pipeRow.QPS / httpRow.QPS
+		rows = append(rows, pipeRow)
+	}
+	return rows, nil
+}
+
+func fillWireRow(r *WireRow, total time.Duration, lat []time.Duration, cores int) {
+	if total > 0 {
+		r.QPS = float64(r.Requests) / total.Seconds()
+		r.QPSCore = r.QPS / float64(cores)
+	}
+	r.P50MS = msFloat(percentile(lat, 50))
+	r.P99MS = msFloat(percentile(lat, 99))
+}

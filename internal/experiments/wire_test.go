@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestWireCompare smoke-runs the binary-vs-HTTP experiment on a small
+// corpus and checks row shape: three surfaces per k, sane throughput and
+// percentiles, and HTTP rows pinned to speedup 1.
+func TestWireCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark")
+	}
+	c, err := DBLPCorpus(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []int{1, 10}
+	rows, err := WireCompare(c, ks, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(ks) {
+		t.Fatalf("rows = %d, want %d", len(rows), 3*len(ks))
+	}
+	for i, r := range rows {
+		wantSurface := []string{"http", "wire", "wire-pipelined"}[i%3]
+		if r.Surface != wantSurface {
+			t.Errorf("row %d surface %q, want %q", i, r.Surface, wantSurface)
+		}
+		if r.K != ks[i/3] {
+			t.Errorf("row %d k = %d, want %d", i, r.K, ks[i/3])
+		}
+		if r.QPS <= 0 || r.QPSCore <= 0 || r.QPSCore > r.QPS {
+			t.Errorf("%s k=%d: QPS %v / per-core %v malformed", r.Surface, r.K, r.QPS, r.QPSCore)
+		}
+		if r.P50MS <= 0 || r.P99MS < r.P50MS {
+			t.Errorf("%s k=%d: p50 %v / p99 %v malformed", r.Surface, r.K, r.P50MS, r.P99MS)
+		}
+		if r.Surface == "http" && r.Speedup != 1 {
+			t.Errorf("http row speedup = %v, want 1", r.Speedup)
+		}
+		if r.Surface != "http" && r.Speedup <= 0 {
+			t.Errorf("%s k=%d: speedup %v not computed", r.Surface, r.K, r.Speedup)
+		}
+	}
+}

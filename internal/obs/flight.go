@@ -354,6 +354,25 @@ func NewReqInfo() *ReqInfo {
 	return &ReqInfo{Trace: NewTraceID(), shard: -1, replica: -1}
 }
 
+// Reset re-arms ri for a new request with a fresh trace ID, clearing the
+// sampling decision and serving attribution. It exists for serving loops
+// that handle requests strictly one at a time per connection (the binary
+// wire protocol): one ReqInfo per connection, reset per request, keeps the
+// steady-state request path allocation-free. It must never be called while
+// a request using ri is still in flight.
+func (ri *ReqInfo) Reset() {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.Trace = NewTraceID()
+	ri.Sampled = false
+	ri.shard, ri.replica = -1, -1
+	ri.hedged, ri.served, ri.retained = false, false, false
+	ri.durNS = 0
+	ri.mu.Unlock()
+}
+
 type reqInfoKey struct{}
 
 // WithReqInfo returns a context carrying ri.

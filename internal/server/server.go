@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -340,31 +341,34 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 	})
 }
 
-// resultJSON is one match in API form.
-type resultJSON struct {
+// ResultJSON is one match in API form.
+type ResultJSON struct {
 	ID      string `json:"id"`
 	Type    string `json:"type"`
 	Snippet string `json:"snippet,omitempty"`
 }
 
-// queryJSON is one (refined) query in API form.
-type queryJSON struct {
+// QueryJSON is one (refined) query in API form.
+type QueryJSON struct {
 	Keywords   []string     `json:"keywords"`
 	DSim       float64      `json:"dsim"`
 	Score      float64      `json:"score"`
 	IsOriginal bool         `json:"is_original,omitempty"`
 	Steps      []string     `json:"steps,omitempty"`
-	Results    []resultJSON `json:"results"`
+	Results    []ResultJSON `json:"results"`
 }
 
-// searchJSON is the /search response body. The degraded pair is omitted
+// SearchJSON is the /search response body. The degraded pair is omitted
 // when empty, so responses of unconstrained servers stay byte-identical to
-// the pre-hardening format.
-type searchJSON struct {
+// the pre-hardening format. The same document — byte for byte — is the
+// payload of a binary-protocol query response (internal/wire), whose
+// zero-copy encoder is differentially tested against this struct's
+// encoding/json form.
+type SearchJSON struct {
 	Terms      []string    `json:"terms"`
 	NeedRefine bool        `json:"need_refine"`
 	SearchFor  []string    `json:"search_for,omitempty"`
-	Queries    []queryJSON `json:"queries"`
+	Queries    []QueryJSON `json:"queries"`
 	// Degraded marks a partial answer: a deadline or posting budget
 	// expired mid-query. Every result listed is genuine, but more may
 	// exist.
@@ -374,6 +378,48 @@ type searchJSON struct {
 	// asked for it with explain=1 — omitted otherwise so no-explain
 	// bodies stay byte-identical to the pre-tracing format.
 	Explain *obs.SpanData `json:"explain,omitempty"`
+}
+
+// SearchBody converts an engine response into the API document served on
+// both surfaces: the HTTP /search handler encodes exactly this value, and
+// the wire protocol's hand-rolled encoder must produce its encoding/json
+// bytes. Snippets are attached through eng (nil skips them the way a
+// document-less engine does); explain rides along when non-nil.
+func SearchBody(eng Backend, resp *core.Response, explain *obs.SpanData) SearchJSON {
+	out := SearchJSON{
+		Terms:          resp.Terms,
+		NeedRefine:     resp.NeedRefine,
+		Degraded:       resp.Degraded,
+		DegradedReason: resp.DegradedReason,
+		Explain:        explain,
+	}
+	for _, c := range resp.SearchFor {
+		out.SearchFor = append(out.SearchFor, c.Type.Path())
+	}
+	for _, rq := range resp.Queries {
+		qj := QueryJSON{
+			Keywords:   rq.Keywords,
+			DSim:       rq.DSim,
+			Score:      rq.Score,
+			IsOriginal: rq.IsOriginal,
+			Results:    resultsJSON(eng, rq.Results),
+		}
+		for _, st := range rq.Steps {
+			qj.Steps = append(qj.Steps, st.String())
+		}
+		out.Queries = append(out.Queries, qj)
+	}
+	return out
+}
+
+// EncodeBody writes v exactly the way every JSON response body of this
+// server is written: two-space indent, HTML-escaped strings, trailing
+// newline. Exported so the wire surface (and its conformance suite) can
+// produce reference bytes without an HTTP round trip.
+func EncodeBody(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -466,32 +512,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		})
 		s.retainTrace(ri, q, dur, trace, resp.Degraded, resp.DegradedReason)
 	}
-	out := searchJSON{
-		Terms:          resp.Terms,
-		NeedRefine:     resp.NeedRefine,
-		Degraded:       resp.Degraded,
-		DegradedReason: resp.DegradedReason,
-	}
+	var explainTrace *obs.SpanData
 	if explain {
-		out.Explain = trace
+		explainTrace = trace
 	}
-	for _, c := range resp.SearchFor {
-		out.SearchFor = append(out.SearchFor, c.Type.Path())
-	}
-	for _, rq := range resp.Queries {
-		qj := queryJSON{
-			Keywords:   rq.Keywords,
-			DSim:       rq.DSim,
-			Score:      rq.Score,
-			IsOriginal: rq.IsOriginal,
-			Results:    s.results(rq.Results),
-		}
-		for _, st := range rq.Steps {
-			qj.Steps = append(qj.Steps, st.String())
-		}
-		out.Queries = append(out.Queries, qj)
-	}
-	writeJSON(w, out)
+	writeJSON(w, SearchBody(s.eng, resp, explainTrace))
 }
 
 // retainTrace deposits one sampled query's span tree (with its envelope:
@@ -835,15 +860,17 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// results converts matches to API form, attaching snippets when the
+// resultsJSON converts matches to API form, attaching snippets when the
 // backend can render them (it still holds a source document — for a shard
 // router, the owning shard's).
-func (s *Server) results(ms []refine.Match) []resultJSON {
-	out := make([]resultJSON, 0, len(ms))
+func resultsJSON(eng Backend, ms []refine.Match) []ResultJSON {
+	out := make([]ResultJSON, 0, len(ms))
 	for _, m := range ms {
-		rj := resultJSON{ID: m.ID.String(), Type: m.Type.Path()}
-		if snip, ok := s.eng.Snippet(m, 80); ok {
-			rj.Snippet = snip
+		rj := ResultJSON{ID: m.ID.String(), Type: m.Type.Path()}
+		if eng != nil {
+			if snip, ok := eng.Snippet(m, 80); ok {
+				rj.Snippet = snip
+			}
 		}
 		out = append(out, rj)
 	}

@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"xrefine/internal/core"
+	"xrefine/internal/datagen"
+	"xrefine/internal/server"
+	"xrefine/internal/shard"
+	"xrefine/internal/tokenize"
+	"xrefine/internal/xmltree"
+)
+
+// The HTTP-differential conformance suite: the binary surface must be a
+// transport, not a dialect. For the same engine state and the same query
+// mix — every strategy, k, parallelism, sharded and replicated backends,
+// live updates, degradation — the payload inside a wire OK frame must be
+// byte-identical to the HTTP /search response body, including degraded
+// markers and reasons. Each surface gets its own engine built from the
+// same document so caches and counters cannot leak across the
+// comparison; byte equality is then evidence about the code paths, not
+// shared state.
+
+var diffStrategies = []struct {
+	name string
+	s    core.Strategy
+}{
+	{"partition", core.StrategyPartition},
+	{"sle", core.StrategySLE},
+	{"stack", core.StrategyStack},
+}
+
+var diffQueries = []string{
+	"database query",
+	"databse quary",     // misspellings force refinement
+	"keyword serch xml", // partial mismatch
+	"twig matching pattern",
+}
+
+// httpSearch fetches the /search body from an HTTP server. k < 0 omits
+// the parameter to exercise the handler's default.
+func httpSearch(t *testing.T, h http.Handler, q, strategy string, k, parallel int) (int, string) {
+	t.Helper()
+	v := url.Values{"q": {q}, "strategy": {strategy}}
+	if k >= 0 {
+		v.Set("k", fmt.Sprint(k))
+	}
+	if parallel > 0 {
+		v.Set("parallel", fmt.Sprint(parallel))
+	}
+	req := httptest.NewRequest(http.MethodGet, "/search?"+v.Encode(), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// wireSearch round-trips the same query over the binary surface. The
+// returned payload is copied out of the client's reused buffer so
+// callers may hold several at once.
+func wireSearch(t *testing.T, c *Client, q string, strategy byte, k, parallel int) *Response {
+	t.Helper()
+	resp, err := c.Query(0, strategy, k, parallel, tokenize.Query(q))
+	if err != nil {
+		t.Fatalf("wire query %q: %v", q, err)
+	}
+	cp := *resp
+	cp.Payload = append([]byte(nil), resp.Payload...)
+	return &cp
+}
+
+func diffDoc(t *testing.T, authors int, seed int64) *xmltree.Document {
+	t.Helper()
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: authors, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// comparePair runs the full query mix against one HTTP handler and one
+// wire client and requires byte-identical payloads. ks may include -1
+// (HTTP k omitted, wire k=0) to pin default-k parity.
+func comparePair(t *testing.T, h http.Handler, c *Client, queries []string, ks, parallels []int) {
+	t.Helper()
+	for _, strat := range diffStrategies {
+		for _, q := range queries {
+			for _, k := range ks {
+				wireK := k
+				if k < 0 {
+					wireK = 0
+				}
+				for _, parallel := range parallels {
+					code, want := httpSearch(t, h, q, strat.name, k, parallel)
+					if code != http.StatusOK {
+						t.Fatalf("http %q strategy=%s k=%d: %d %s", q, strat.name, k, code, want)
+					}
+					resp := wireSearch(t, c, q, byte(strat.s), wireK, parallel)
+					if resp.Status != StatusOK {
+						t.Fatalf("wire %q strategy=%s k=%d: status %d: %s", q, strat.name, k, resp.Status, resp.Payload)
+					}
+					if !bytes.Equal(resp.Payload, []byte(want)) {
+						t.Errorf("%q strategy=%s k=%d parallel=%d: wire payload diverges from HTTP body\nwire: %s\nhttp: %s",
+							q, strat.name, k, parallel, resp.Payload, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWireHTTPDifferential is the headline conformance run on plain
+// engines: strategies × k (including each surface's default) ×
+// parallelism.
+func TestWireHTTPDifferential(t *testing.T) {
+	doc := diffDoc(t, 120, 3)
+	httpH := server.New(core.NewFromDocument(doc, nil))
+	_, addr := startServer(t, core.NewFromDocument(doc, nil), Options{})
+	c := dial(t, addr)
+	comparePair(t, httpH, c, diffQueries, []int{-1, 1, 10}, []int{0, 2, 4})
+}
+
+// TestWireHTTPDifferentialDegraded pins degradation parity: with a
+// one-posting budget every query degrades, and the degraded flag and
+// "posting-budget" reason must serialize identically on both surfaces.
+func TestWireHTTPDifferentialDegraded(t *testing.T) {
+	doc := diffDoc(t, 80, 3)
+	cfg := &core.Config{PostingBudget: 1}
+	httpH := server.New(core.NewFromDocument(doc, cfg))
+	_, addr := startServer(t, core.NewFromDocument(doc, cfg), Options{})
+	c := dial(t, addr)
+
+	sawReason := false
+	for _, q := range diffQueries {
+		_, want := httpSearch(t, httpH, q, "partition", 3, 0)
+		resp := wireSearch(t, c, q, byte(core.StrategyPartition), 3, 0)
+		if !bytes.Equal(resp.Payload, []byte(want)) {
+			t.Errorf("%q: degraded payload diverges\nwire: %s\nhttp: %s", q, resp.Payload, want)
+		}
+		sawReason = sawReason || strings.Contains(want, `"degraded_reason": "posting-budget"`)
+	}
+	if !sawReason {
+		t.Error("budgeted corpus never produced a posting-budget degraded response; the parity check is vacuous")
+	}
+}
+
+// TestWireHTTPDifferentialLiveUpdates feeds both surfaces' engines the
+// same update batches — the HTTP engine through POST /update, the wire
+// engine through Engine.Apply — and requires query parity afterwards.
+// This pins the wire surface to the rebuild-equivalence guarantee the
+// HTTP suite already enforces.
+func TestWireHTTPDifferentialLiveUpdates(t *testing.T) {
+	doc := diffDoc(t, 60, 11)
+	httpEng := core.NewFromDocument(doc, nil)
+	wireEng := core.NewFromDocument(doc, nil)
+	httpH := server.New(httpEng)
+	_, addr := startServer(t, wireEng, Options{})
+	c := dial(t, addr)
+
+	batches, err := datagen.Updates(doc, datagen.UpdatesConfig{Batches: 6, Ops: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		j, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/update", strings.NewReader(string(j)))
+		rec := httptest.NewRecorder()
+		httpH.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch %d: /update = %d %s", i, rec.Code, rec.Body.String())
+		}
+		if _, err := wireEng.Apply(b); err != nil {
+			t.Fatalf("batch %d: wire-side Apply: %v", i, err)
+		}
+	}
+	if h, w := httpEng.Epoch(), wireEng.Epoch(); h != w || h != uint64(len(batches)) {
+		t.Fatalf("epochs diverged: http=%d wire=%d want %d", h, w, len(batches))
+	}
+	queries := append(append([]string(nil), diffQueries...), "refinement suggestion", "keyword databse onlin")
+	comparePair(t, httpH, c, queries, []int{3}, []int{0, 2})
+}
+
+// replicatedRouter writes a replicated shard directory and opens a
+// router over it.
+func replicatedRouter(t *testing.T, doc *xmltree.Document, shards, replicas int, opts shard.Options) *shard.Router {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := shard.WriteReplicatedStores(doc, dir, shards, shard.ModeRange, replicas); err != nil {
+		t.Fatal(err)
+	}
+	r, err := shard.Open(dir, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestWireHTTPDifferentialSharded runs the suite over replicated shard
+// routers — the fan-out, merge, and snippet paths — one router per
+// surface from the same on-disk layout.
+func TestWireHTTPDifferentialSharded(t *testing.T) {
+	doc := diffDoc(t, 90, 5)
+	httpH := server.NewFromBackend(replicatedRouter(t, doc, 3, 2, shard.Options{}), server.Config{})
+	_, addr := startServer(t, replicatedRouter(t, doc, 3, 2, shard.Options{}), Options{})
+	c := dial(t, addr)
+	comparePair(t, httpH, c, diffQueries, []int{3}, []int{0, 2})
+}
+
+// TestWireHTTPDifferentialChaos arms a seeded fault injector on every
+// replica of both routers and replays the mix. Individual responses may
+// legitimately degrade shard-partial (each surface rolls its own faults),
+// so parity is asserted only between non-degraded answers — the same
+// rule scripts/wire_diff.sh applies — while every response must still be
+// a well-formed OK frame.
+func TestWireHTTPDifferentialChaos(t *testing.T) {
+	doc := diffDoc(t, 60, 9)
+	chaos, err := shard.ParseChaos("rate=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := shard.Options{Chaos: chaos, Retries: 2}
+	httpH := server.NewFromBackend(replicatedRouter(t, doc, 2, 2, opts), server.Config{})
+	_, addr := startServer(t, replicatedRouter(t, doc, 2, 2, opts), Options{})
+	c := dial(t, addr)
+
+	compared, skipped := 0, 0
+	for round := 0; round < 5; round++ {
+		for _, q := range diffQueries {
+			code, want := httpSearch(t, httpH, q, "partition", 3, 0)
+			if code != http.StatusOK {
+				t.Fatalf("http %q under chaos: %d %s", q, code, want)
+			}
+			resp := wireSearch(t, c, q, byte(core.StrategyPartition), 3, 0)
+			if resp.Status != StatusOK {
+				t.Fatalf("wire %q under chaos: status %d: %s", q, resp.Status, resp.Payload)
+			}
+			if strings.Contains(want, `"degraded"`) || bytes.Contains(resp.Payload, []byte(`"degraded"`)) {
+				skipped++
+				continue
+			}
+			compared++
+			if !bytes.Equal(resp.Payload, []byte(want)) {
+				t.Errorf("%q under chaos: non-degraded payloads diverge\nwire: %s\nhttp: %s", q, resp.Payload, want)
+			}
+		}
+	}
+	t.Logf("chaos differential: %d compared, %d skipped as degraded", compared, skipped)
+	if compared == 0 {
+		t.Error("every chaos response degraded; the parity check is vacuous — lower the fault rate")
+	}
+}
+
+// TestWireHTTPDifferentialErrors pins error-code parity: requests the
+// HTTP handler rejects with 400 map to wire error frames carrying
+// CodeBadRequest, on a connection that stays usable.
+func TestWireHTTPDifferentialErrors(t *testing.T) {
+	doc := diffDoc(t, 40, 3)
+	httpH := server.New(core.NewFromDocument(doc, nil))
+	_, addr := startServer(t, core.NewFromDocument(doc, nil), Options{})
+	c := dial(t, addr)
+
+	// Empty query: HTTP rejects missing q; the wire codec rejects a
+	// zero-term request at decode time.
+	if code, _ := httpSearch(t, httpH, "", "partition", 3, 0); code != http.StatusBadRequest {
+		t.Errorf("http empty q = %d, want 400", code)
+	}
+	if _, err := c.nc.Write(AppendRequest(nil, 0, 0, 3, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	c.inflight++
+	resp, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || resp.Code != CodeBadRequest {
+		t.Errorf("wire empty query: status=%d code=%d, want error 400", resp.Status, resp.Code)
+	}
+
+	// Unknown strategy: HTTP 400; the wire codec rejects strategy bytes
+	// outside the enum the same way.
+	if code, _ := httpSearch(t, httpH, "database", "bogus", 3, 0); code != http.StatusBadRequest {
+		t.Errorf("http bogus strategy = %d, want 400", code)
+	}
+	if _, err := c.nc.Write(AppendRequest(nil, 0, 9, 3, 0, []string{"database"})); err != nil {
+		t.Fatal(err)
+	}
+	c.inflight++
+	if resp, err = c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || resp.Code != CodeBadRequest {
+		t.Errorf("wire bogus strategy: status=%d code=%d, want error 400", resp.Status, resp.Code)
+	}
+
+	// Both surfaces remain healthy afterwards.
+	if code, _ := httpSearch(t, httpH, "database", "partition", 3, 0); code != http.StatusOK {
+		t.Errorf("http unhealthy after rejects: %d", code)
+	}
+	if err := c.Ping(); err != nil {
+		t.Errorf("wire connection unhealthy after rejects: %v", err)
+	}
+}

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"xrefine/internal/core"
+	"xrefine/internal/refine"
+	"xrefine/internal/rules"
+)
+
+// The zero-copy response encoder: a query response is rendered straight
+// from the engine's rank output (*core.Response) into the connection's
+// write buffer, with no intermediate API structs and no reflection. The
+// bytes produced are exactly what the HTTP surface serves — encoding/json
+// of server.SearchBody with two-space indent, HTML-escaped strings and a
+// trailing newline — so the two surfaces are comparable byte-for-byte
+// inside their envelopes. TestEncoderMatchesJSON pins that equivalence
+// against encoding/json itself; the differential suite pins it against
+// the live HTTP handler.
+
+// Snippeter renders match previews; *core.Engine and the shard router
+// implement it. A nil Snippeter omits snippets the way a document-less
+// engine does.
+type Snippeter interface {
+	Snippet(m refine.Match, max int) (string, bool)
+}
+
+// snippetMax mirrors the HTTP handler's preview budget.
+const snippetMax = 80
+
+// AppendSearchBody appends the /search JSON document for resp onto dst
+// and returns the extended slice. It allocates only when dst must grow or
+// a snippet is rendered, so a warm connection buffer makes the encode
+// allocation-free.
+func AppendSearchBody(dst []byte, resp *core.Response, snip Snippeter) []byte {
+	dst = append(dst, '{')
+	dst = appendIndent(dst, 1)
+	dst = append(dst, `"terms": `...)
+	dst = appendStringArray(dst, resp.Terms, 1)
+	dst = append(dst, ',')
+	dst = appendIndent(dst, 1)
+	dst = append(dst, `"need_refine": `...)
+	dst = appendBool(dst, resp.NeedRefine)
+	if len(resp.SearchFor) > 0 {
+		dst = append(dst, ',')
+		dst = appendIndent(dst, 1)
+		dst = append(dst, `"search_for": [`...)
+		for i, c := range resp.SearchFor {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendIndent(dst, 2)
+			dst = appendJSONString(dst, c.Type.Path())
+		}
+		dst = appendIndent(dst, 1)
+		dst = append(dst, ']')
+	}
+	dst = append(dst, ',')
+	dst = appendIndent(dst, 1)
+	dst = append(dst, `"queries": `...)
+	switch {
+	case len(resp.Queries) == 0:
+		// The HTTP projection rebuilds this list with append, so an
+		// engine response with zero queries serializes as null, not [].
+		dst = append(dst, "null"...)
+	default:
+		dst = append(dst, '[')
+		for i := range resp.Queries {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendIndent(dst, 2)
+			dst = appendRankedQuery(dst, &resp.Queries[i], snip)
+		}
+		dst = appendIndent(dst, 1)
+		dst = append(dst, ']')
+	}
+	if resp.Degraded {
+		dst = append(dst, ',')
+		dst = appendIndent(dst, 1)
+		dst = append(dst, `"degraded": true`...)
+	}
+	if resp.DegradedReason != "" {
+		dst = append(dst, ',')
+		dst = appendIndent(dst, 1)
+		dst = append(dst, `"degraded_reason": `...)
+		dst = appendJSONString(dst, resp.DegradedReason)
+	}
+	dst = appendIndent(dst, 0)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendRankedQuery renders one queries[] object at depth 2 (keys at 3).
+func appendRankedQuery(dst []byte, rq *core.RankedQuery, snip Snippeter) []byte {
+	dst = append(dst, '{')
+	dst = appendIndent(dst, 3)
+	dst = append(dst, `"keywords": `...)
+	dst = appendStringArray(dst, rq.Keywords, 3)
+	dst = append(dst, ',')
+	dst = appendIndent(dst, 3)
+	dst = append(dst, `"dsim": `...)
+	dst = appendJSONFloat(dst, rq.DSim)
+	dst = append(dst, ',')
+	dst = appendIndent(dst, 3)
+	dst = append(dst, `"score": `...)
+	dst = appendJSONFloat(dst, rq.Score)
+	if rq.IsOriginal {
+		dst = append(dst, ',')
+		dst = appendIndent(dst, 3)
+		dst = append(dst, `"is_original": true`...)
+	}
+	if len(rq.Steps) > 0 {
+		dst = append(dst, ',')
+		dst = appendIndent(dst, 3)
+		dst = append(dst, `"steps": [`...)
+		for i := range rq.Steps {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendIndent(dst, 4)
+			dst = appendStep(dst, &rq.Steps[i])
+		}
+		dst = appendIndent(dst, 3)
+		dst = append(dst, ']')
+	}
+	dst = append(dst, ',')
+	dst = appendIndent(dst, 3)
+	dst = append(dst, `"results": `...)
+	if len(rq.Results) == 0 {
+		// The HTTP layer materializes results into a non-nil slice, so
+		// an empty result list is always [], never null.
+		dst = append(dst, '[', ']')
+	} else {
+		dst = append(dst, '[')
+		for i := range rq.Results {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendIndent(dst, 4)
+			dst = appendResult(dst, rq.Results[i], snip)
+		}
+		dst = appendIndent(dst, 3)
+		dst = append(dst, ']')
+	}
+	dst = appendIndent(dst, 2)
+	return append(dst, '}')
+}
+
+// appendResult renders one results[] object at depth 4 (keys at 5).
+func appendResult(dst []byte, m refine.Match, snip Snippeter) []byte {
+	dst = append(dst, '{')
+	dst = appendIndent(dst, 5)
+	// Dewey labels are digits and dots — JSON-safe by construction, so
+	// the ID goes straight into the buffer with no escape scan.
+	dst = append(dst, `"id": "`...)
+	dst = m.ID.AppendText(dst)
+	dst = append(dst, '"', ',')
+	dst = appendIndent(dst, 5)
+	dst = append(dst, `"type": `...)
+	dst = appendJSONString(dst, m.Type.Path())
+	if snip != nil {
+		if s, ok := snip.Snippet(m, snippetMax); ok {
+			dst = append(dst, ',')
+			dst = appendIndent(dst, 5)
+			dst = append(dst, `"snippet": `...)
+			dst = appendJSONString(dst, s)
+		}
+	}
+	dst = appendIndent(dst, 4)
+	return append(dst, '}')
+}
+
+// appendStep renders one refinement step as the JSON string of
+// refine.Step.String() without materializing it: "delete <kw>" or the
+// rule's arrow notation "<lhs> -><op> <rhs> (ds=<score>)".
+func appendStep(dst []byte, st *refine.Step) []byte {
+	dst = append(dst, '"')
+	switch {
+	case st.Delete != "":
+		dst = append(dst, "delete "...)
+		dst = appendEscaped(dst, st.Delete)
+	case st.Rule != nil:
+		r := st.Rule
+		for i, t := range r.LHS {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendEscaped(dst, t)
+		}
+		dst = append(dst, ` -\u003e`...)
+		dst = appendEscaped(dst, opName(r.Op))
+		dst = append(dst, ' ')
+		for i, t := range r.RHS {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendEscaped(dst, t)
+		}
+		dst = append(dst, " (ds="...)
+		dst = strconv.AppendFloat(dst, r.Score, 'g', -1, 64)
+		dst = append(dst, ')')
+	default:
+		dst = append(dst, '?')
+	}
+	return append(dst, '"')
+}
+
+// opName mirrors rules.Op.String without the fmt machinery.
+func opName(o rules.Op) string {
+	switch o {
+	case rules.OpMerge:
+		return "merge"
+	case rules.OpSplit:
+		return "split"
+	case rules.OpSubstitute:
+		return "substitute"
+	}
+	return "unknown"
+}
+
+// appendStringArray renders a []string at the given depth (elements one
+// deeper), with encoding/json's nil/empty distinction.
+func appendStringArray(dst []byte, ss []string, depth int) []byte {
+	if ss == nil {
+		return append(dst, "null"...)
+	}
+	if len(ss) == 0 {
+		return append(dst, '[', ']')
+	}
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendIndent(dst, depth+1)
+		dst = appendJSONString(dst, s)
+	}
+	dst = appendIndent(dst, depth)
+	return append(dst, ']')
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendIndent starts a new line at the given nesting depth (two spaces
+// per level), matching json.Encoder.SetIndent("", "  ").
+func appendIndent(dst []byte, depth int) []byte {
+	dst = append(dst, '\n')
+	for i := 0; i < depth; i++ {
+		dst = append(dst, ' ', ' ')
+	}
+	return dst
+}
+
+// appendJSONFloat appends f exactly as encoding/json does: shortest
+// round-trip form, 'f' format except for magnitudes outside [1e-6, 1e21)
+// which use 'e' with Go's exponent-digit cleanup.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendJSONString appends s as a quoted JSON string with encoding/json's
+// default (HTML-escaping) rules.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	dst = appendEscaped(dst, s)
+	return append(dst, '"')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendEscaped appends the escaped body of s (no surrounding quotes),
+// byte-identical to encoding/json with SetEscapeHTML(true): control
+// characters, quote and backslash escaped; <, >, & as \u00XX; invalid
+// UTF-8 byte as the six-byte escape \ufffd; U+2028/U+2029 as \u2028/\u2029.
+func appendEscaped(dst []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	return append(dst, s[start:]...)
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xrefine/internal/core"
+	"xrefine/internal/datagen"
+	"xrefine/internal/dewey"
+	"xrefine/internal/refine"
+	"xrefine/internal/rules"
+	"xrefine/internal/searchfor"
+	"xrefine/internal/server"
+	"xrefine/internal/tokenize"
+	"xrefine/internal/xmltree"
+)
+
+// refBody renders resp the way the HTTP surface does: the shared
+// SearchBody projection through encoding/json with the handler's encoder
+// settings. This is the encoder's ground truth.
+func refBody(t *testing.T, eng server.Backend, resp *core.Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := server.EncodeBody(&buf, server.SearchBody(eng, resp, nil)); err != nil {
+		t.Fatalf("reference encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// engSnippeter adapts a Backend to the encoder's Snippeter input, nil
+// for nil so both encoders omit snippets together.
+func engSnippeter(eng server.Backend) Snippeter {
+	if eng == nil {
+		return nil
+	}
+	return eng
+}
+
+func checkBody(t *testing.T, name string, eng server.Backend, resp *core.Response) {
+	t.Helper()
+	got := AppendSearchBody(nil, resp, engSnippeter(eng))
+	want := refBody(t, eng, resp)
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: encoder diverges from encoding/json\n got: %q\nwant: %q", name, got, want)
+	}
+}
+
+// TestEncoderMatchesJSON pins the zero-copy encoder to encoding/json on
+// synthetic responses chosen to hit every branch: nil vs empty slices,
+// omitempty fields, degraded markers, steps of both kinds, floats in
+// both of encoding/json's formats, and strings that need every escape
+// class.
+func TestEncoderMatchesJSON(t *testing.T) {
+	reg := xmltree.NewRegistry()
+	root := reg.Intern(nil, "bib")
+	paper := reg.Intern(root, "paper")
+	title := reg.Intern(paper, "title")
+
+	nastyStrings := []string{
+		"plain",
+		`quotes " and \ backslash`,
+		"tabs\tnewlines\nreturns\r",
+		"ctrl \x01\x1f bytes",
+		"html <b>&amp;</b> bits",
+		"unicode: héllo wörld 漢字",
+		"line seps   and  ",
+		"invalid utf8: \xff\xfe tail",
+		"",
+	}
+
+	cases := []struct {
+		name string
+		resp core.Response
+	}{
+		{"zero", core.Response{}},
+		{"nil-queries", core.Response{Terms: []string{"a"}, NeedRefine: true}},
+		{"empty-queries", core.Response{Terms: []string{}, Queries: []core.RankedQuery{}}},
+		{"search-for", core.Response{
+			Terms:     []string{"db"},
+			SearchFor: []searchfor.Candidate{{Type: paper, Confidence: 0.5}, {Type: title}},
+		}},
+		{"degraded", core.Response{
+			Terms:          []string{"x"},
+			Degraded:       true,
+			DegradedReason: "posting-budget",
+			Queries:        []core.RankedQuery{},
+		}},
+		{"nasty-strings", core.Response{
+			Terms:          nastyStrings,
+			DegradedReason: nastyStrings[4],
+			Degraded:       true,
+			Queries: []core.RankedQuery{{
+				Keywords: nastyStrings,
+				Steps: []refine.Step{
+					{Delete: nastyStrings[1]},
+					{Rule: &rules.Rule{Op: rules.OpSubstitute,
+						LHS: []string{nastyStrings[2]}, RHS: []string{nastyStrings[5], "x"}, Score: 0.25}},
+				},
+			}},
+		}},
+		{"floats", core.Response{
+			Queries: []core.RankedQuery{
+				{DSim: 0, Score: 0},
+				{DSim: 0.30000000000000004, Score: math.Pi},
+				{DSim: 1e-7, Score: -1e-7},             // 'e' format with exponent cleanup
+				{DSim: 1.5e21, Score: -2.25e21},        // 'e' format, positive exponent
+				{DSim: math.Copysign(0, -1), Score: 1}, // negative zero
+				{DSim: 1e20, Score: 9.999999e20},       // 'f' right at the boundary
+				{DSim: math.SmallestNonzeroFloat64, Score: math.MaxFloat64},
+			},
+		}},
+		{"steps-and-results", core.Response{
+			Terms:      []string{"online", "databse"},
+			NeedRefine: true,
+			Queries: []core.RankedQuery{
+				{
+					Keywords:   []string{"online", "databse"},
+					IsOriginal: true,
+					Results:    []refine.Match{},
+				},
+				{
+					Keywords: []string{"database", "online"},
+					DSim:     1,
+					Score:    0.75,
+					Steps: []refine.Step{
+						{Rule: &rules.Rule{Op: rules.OpSubstitute, LHS: []string{"databse"}, RHS: []string{"database"}, Score: 1}},
+						{Rule: &rules.Rule{Op: rules.OpMerge, LHS: []string{"on", "line"}, RHS: []string{"online"}, Score: 1}},
+						{Rule: &rules.Rule{Op: rules.OpSplit, LHS: []string{"keywordsearch"}, RHS: []string{"keyword", "search"}, Score: 1.5}},
+						{Delete: "stray"},
+						{}, // the "?" fallback
+					},
+					Results: []refine.Match{
+						{ID: dewey.MustParse("0"), Type: root},
+						{ID: dewey.MustParse("0.12.345"), Type: paper},
+						{ID: dewey.ID{0, 1, 4294967295}, Type: title},
+					},
+				},
+			},
+		}},
+	}
+	for _, tc := range cases {
+		checkBody(t, tc.name, nil, &tc.resp)
+	}
+}
+
+// TestEncoderMatchesJSONOnEngineOutput runs real queries — including ones
+// that refine, degrade, and carry snippets — and pins the encoder to the
+// HTTP projection of each live response.
+func TestEncoderMatchesJSONOnEngineOutput(t *testing.T) {
+	doc, err := datagen.DBLPDocument(datagen.DBLPConfig{Authors: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewFromDocument(doc, nil)
+	budgeted := core.NewFromDocument(doc, &core.Config{PostingBudget: 1})
+	queries := []string{
+		"database query",
+		"databse quary",
+		"keyword serch xml",
+		"twig matching pattern",
+	}
+	for _, e := range []*core.Engine{eng, budgeted} {
+		for _, q := range queries {
+			for strat := core.Strategy(0); strat <= 2; strat++ {
+				resp, err := e.QueryTermsCtx(t.Context(), tokenize.Query(q), strat, 3, 0)
+				if err != nil {
+					t.Fatalf("%q strategy=%d: %v", q, strat, err)
+				}
+				checkBody(t, q, e, resp)
+			}
+		}
+	}
+}
+
+// TestAppendJSONStringMatchesJSON fuzzes the string escaper against
+// encoding/json over random byte soup as well as targeted escapes.
+func TestAppendJSONStringMatchesJSON(t *testing.T) {
+	check := func(s string) {
+		t.Helper()
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONString(nil, s); !bytes.Equal(got, want) {
+			t.Errorf("string %q: got %q want %q", s, got, want)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		check(string(rune(i)))
+		check(string([]byte{byte(i)})) // raw byte, possibly invalid UTF-8
+	}
+	check("  �￿")
+	check(strings.Repeat("<&>\"\\\x00", 7))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(40))
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		check(string(b))
+	}
+}
+
+// TestAppendJSONFloatMatchesJSON fuzzes the float formatter against
+// encoding/json across magnitudes, signs, and format boundaries.
+func TestAppendJSONFloatMatchesJSON(t *testing.T) {
+	check := func(f float64) {
+		t.Helper()
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f); !bytes.Equal(got, want) {
+			t.Errorf("float %v: got %q want %q", f, got, want)
+		}
+	}
+	for _, f := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1.0 / 3.0,
+		1e-6, 9.999999e-7, 1e-7, 1e21, 9.999e20, 1.0000001e21,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.Pi, 0.30000000000000004, 1e100, 1e-100,
+	} {
+		check(f)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue // encoding/json rejects these; the engine never emits them
+		}
+		check(f)
+	}
+}

@@ -1,0 +1,531 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xrefine/internal/core"
+	"xrefine/internal/obs"
+	"xrefine/internal/server"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// Options tunes the wire server's protective edges, mirroring the HTTP
+// server's Config: the same per-request deadline and bounded-concurrency
+// admission gate, applied at the frame boundary instead of the request
+// line.
+type Options struct {
+	// Timeout bounds each query's handling when positive, with the
+	// engine's deadline semantics: an overrunning query returns partial
+	// results flagged degraded rather than holding the connection.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently-executing queries across all
+	// connections when positive. Excess requests are answered immediately
+	// with StatusRetry and a jittered backoff hint — the binary
+	// equivalent of HTTP 503 + Retry-After.
+	MaxInFlight int
+	// PipelineDepth bounds how many decoded requests may queue behind an
+	// executing one per connection; beyond it the reader stops pulling
+	// frames and TCP backpressure reaches the client. 0 means 32.
+	PipelineDepth int
+}
+
+const defaultPipelineDepth = 32
+
+// defaultK mirrors the HTTP handler's k default so a request that leaves
+// K zero gets the same answer from both surfaces.
+const defaultK = 3
+
+// helloBody is the feature document OpHello answers with.
+var helloBody = []byte(`{"version":1,"features":["pipelining","trace-id","retry-hint"]}` + "\n")
+
+// Server serves the binary protocol over persistent connections. Each
+// connection runs two goroutines: a reader that frames and decodes
+// requests, and a worker that executes them in order — so a pipeline of
+// requests overlaps decode with query execution while responses still
+// come back in request order. All per-request state (frame buffers,
+// decode scratch, the response encode buffer, the term intern table) is
+// per-connection and reused, which is what keeps the steady-state path
+// within the engine's ≤2-allocs-per-request envelope.
+type Server struct {
+	eng  server.Backend
+	opts Options
+	gate chan struct{} // admission semaphore; nil when unbounded
+
+	flight *obs.FlightRecorder
+
+	mConns    *obs.Counter
+	mOpen     *obs.Gauge
+	mInflight *obs.Gauge
+	mShed     *obs.Counter
+	mPanics   *obs.Counter
+	mSeconds  *obs.Histogram
+	// Request counters pre-bound per (op, code): CounterVec.With is
+	// variadic and would cost an allocation per call on the hot path.
+	mQueryOK, mQueryBad, mQueryCancel, mQueryErr, mQueryShed *obs.Counter
+	mPing, mHello, mFrameErr                                 *obs.Counter
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	inShutdown atomic.Bool
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+}
+
+// NewServer builds a wire server around the same Backend the HTTP server
+// serves. Metrics land in the backend's registry under the
+// xrefine_wire_* namespace; a metrics-disabled backend serves untracked.
+func NewServer(eng server.Backend, opts Options) *Server {
+	if opts.PipelineDepth <= 0 {
+		opts.PipelineDepth = defaultPipelineDepth
+	}
+	s := &Server{
+		eng:       eng,
+		opts:      opts,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if opts.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, opts.MaxInFlight)
+	}
+	reg := eng.Metrics()
+	s.flight = reg.Flight()
+	s.mConns = reg.Counter("xrefine_wire_connections_total",
+		"Wire connections accepted.")
+	s.mOpen = reg.Gauge("xrefine_wire_connections_open",
+		"Wire connections currently open.")
+	s.mInflight = reg.Gauge("xrefine_wire_inflight",
+		"Wire queries currently executing.")
+	s.mShed = reg.Counter("xrefine_wire_shed_total",
+		"Wire requests rejected by the admission gate.")
+	s.mPanics = reg.Counter("xrefine_wire_panics_total",
+		"Wire request panics contained.")
+	s.mSeconds = reg.Histogram("xrefine_wire_request_seconds",
+		"Wire request latency in seconds (query frames only).", obs.DefBuckets)
+	reqs := reg.CounterVec("xrefine_wire_requests_total",
+		"Wire requests served, by op and status code.", "op", "code")
+	s.mQueryOK = reqs.With("query", "200")
+	s.mQueryBad = reqs.With("query", "400")
+	s.mQueryCancel = reqs.With("query", "499")
+	s.mQueryErr = reqs.With("query", "500")
+	s.mQueryShed = reqs.With("query", "503")
+	s.mPing = reqs.With("ping", "200")
+	s.mHello = reqs.With("hello", "200")
+	s.mFrameErr = reqs.With("frame", "400")
+	return s
+}
+
+// Serve accepts connections on l until Shutdown. Each connection gets its
+// own reader/worker pair; Serve itself only accepts.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.inShutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if s.inShutdown.Load() {
+			nc.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// ServeConn serves one pre-established connection (tests drive net.Pipe
+// and TCP loopback through this) and blocks until it is done.
+func (s *Server) ServeConn(nc net.Conn) {
+	s.wg.Add(1)
+	s.serveConn(nc)
+}
+
+// Shutdown drains: it stops accepting, lets queued and in-flight
+// requests on every connection finish and flush, then closes the
+// connections. If ctx expires first the remaining work is cancelled and
+// connections are closed immediately — the same two-phase drain the HTTP
+// surface gets from http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Unblock every reader parked in a frame read; with the shutdown flag
+	// up they treat the deadline as "no more requests" rather than a
+	// disconnect, so queued work still completes.
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// pendingReq is one framed request travelling from the reader to the
+// worker. Instances cycle through a per-connection freelist so the
+// steady state allocates none.
+type pendingReq struct {
+	buf []byte  // owned copy of the frame payload
+	req Request // decoded view; Terms alias buf
+
+	// Decode-failure report, answered in pipeline order like any result.
+	errCode  uint16
+	errMsg   string
+	closeNow bool // framing violation: answer, then close the connection
+}
+
+// conn is one persistent client connection.
+type conn struct {
+	srv    *Server
+	nc     net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+	reqCtx context.Context // carries ri; reused across requests
+	ri     *obs.ReqInfo
+
+	pending chan *pendingReq
+	free    chan *pendingReq
+
+	rbuf   []byte            // reader: frame payload scratch
+	wbuf   []byte            // worker: response frame scratch
+	wout   *connWriter       // worker: buffered writes to nc
+	intern map[string]string // worker: term interning table
+}
+
+// connWriter is a minimal buffered writer (bufio.Writer's Write path
+// allocates nothing either, but an explicit one keeps the flush policy
+// visible and the buffer reusable by size).
+type connWriter struct {
+	nc  net.Conn
+	buf []byte
+	err error
+}
+
+const writeBufSize = 64 << 10
+
+func (w *connWriter) Write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(w.buf)+len(p) <= writeBufSize || len(w.buf) == 0 {
+		w.buf = append(w.buf, p...)
+		return
+	}
+	w.Flush()
+	w.buf = append(w.buf, p...)
+}
+
+func (w *connWriter) Flush() {
+	if w.err != nil || len(w.buf) == 0 {
+		return
+	}
+	_, w.err = w.nc.Write(w.buf)
+	w.buf = w.buf[:0]
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		pending: make(chan *pendingReq, s.opts.PipelineDepth),
+		free:    make(chan *pendingReq, s.opts.PipelineDepth+1),
+		rbuf:    make([]byte, 0, 4096),
+		wbuf:    make([]byte, 0, 4096),
+		wout:    &connWriter{nc: nc, buf: make([]byte, 0, 4096)},
+		intern:  make(map[string]string),
+		ri:      obs.NewReqInfo(),
+	}
+	c.ctx, c.cancel = context.WithCancel(s.baseCtx)
+	c.reqCtx = obs.WithReqInfo(c.ctx, c.ri)
+	s.mu.Lock()
+	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.mConns.Inc()
+	s.mOpen.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.mOpen.Add(-1)
+		c.cancel()
+		nc.Close()
+	}()
+	go c.readLoop()
+	c.workLoop()
+}
+
+// readLoop frames and decodes requests in arrival order. Decoding here,
+// on the reader goroutine, overlaps the next request's parse with the
+// current query's execution — the pipelining win beyond saved
+// round-trips. On any transport error the in-flight query is cancelled
+// promptly (a mid-pipeline disconnect must not keep burning engine time);
+// the exception is the drain deadline, which means "finish what you
+// have".
+func (c *conn) readLoop() {
+	defer close(c.pending)
+	for {
+		buf, payload, err := ReadFrame(c.nc, c.rbuf, MaxRequestFrame)
+		c.rbuf = buf
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				c.enqueueError(CodeFrameTooBig, err.Error(), true)
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && c.srv.inShutdown.Load() {
+				return // draining: answer what is queued, send no more
+			}
+			// EOF, reset, or a frame cut mid-payload: the client is gone
+			// or the stream is unrecoverable. Cancel promptly.
+			c.cancel()
+			return
+		}
+		pr := c.takeReq()
+		pr.buf = append(pr.buf[:0], payload...)
+		if err := pr.req.Decode(pr.buf); err != nil {
+			pr.errCode, pr.errMsg = CodeBadRequest, err.Error()
+			// A structurally bad body is answered and the connection
+			// stays usable (byte alignment is intact; version mismatch
+			// in particular must leave room to negotiate down).
+			pr.closeNow = false
+		}
+		select {
+		case c.pending <- pr:
+		case <-c.ctx.Done():
+			return
+		}
+	}
+}
+
+func (c *conn) takeReq() *pendingReq {
+	select {
+	case pr := <-c.free:
+		pr.errCode, pr.errMsg, pr.closeNow = 0, "", false
+		return pr
+	default:
+		return &pendingReq{}
+	}
+}
+
+func (c *conn) enqueueError(code uint16, msg string, closeNow bool) {
+	pr := c.takeReq()
+	pr.errCode, pr.errMsg, pr.closeNow = code, msg, closeNow
+	select {
+	case c.pending <- pr:
+	case <-c.ctx.Done():
+	}
+}
+
+// workLoop executes queued requests in order and writes responses,
+// flushing whenever the pipeline runs dry so a lone request is answered
+// immediately while a burst shares one syscall.
+func (c *conn) workLoop() {
+	closing := false
+	for pr := range c.pending {
+		if !closing {
+			closing = c.handle(pr)
+			if len(c.pending) == 0 || closing {
+				c.wout.Flush()
+			}
+			if closing || c.wout.err != nil {
+				closing = true
+				c.cancel()
+				c.nc.Close() // unblocks the reader; remaining frames drain below
+			}
+		}
+		select {
+		case c.free <- pr:
+		default:
+		}
+	}
+	c.wout.Flush()
+}
+
+// handle answers one request and reports whether the connection must
+// close afterwards. Panics are contained to the request, as on the HTTP
+// surface.
+func (c *conn) handle(pr *pendingReq) (closeConn bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			c.srv.mPanics.Inc()
+			log.Printf("wire: panic serving request: %v", v)
+			c.wbuf = AppendError(c.wbuf[:0], pr.req.Trace, CodeInternal, "internal error")
+			c.wout.Write(c.wbuf)
+		}
+	}()
+	if pr.errCode != 0 {
+		c.srv.mFrameErr.Inc()
+		c.wbuf = AppendError(c.wbuf[:0], pr.req.Trace, pr.errCode, pr.errMsg)
+		c.wout.Write(c.wbuf)
+		return pr.closeNow
+	}
+	switch pr.req.Op {
+	case OpPing:
+		c.srv.mPing.Inc()
+		c.wbuf, _ = appendRespHeader(c.wbuf[:0], StatusOK, pr.req.Trace)
+		c.wbuf = patchFrameLen(c.wbuf, 0)
+		c.wout.Write(c.wbuf)
+		return false
+	case OpHello:
+		c.srv.mHello.Inc()
+		c.wbuf, _ = appendRespHeader(c.wbuf[:0], StatusOK, pr.req.Trace)
+		c.wbuf = append(c.wbuf, helloBody...)
+		c.wbuf = patchFrameLen(c.wbuf, 0)
+		c.wout.Write(c.wbuf)
+		return false
+	default:
+		return c.handleQuery(pr)
+	}
+}
+
+// handleQuery is the binary hot path: admission, trace bookkeeping, the
+// engine call, and the zero-copy encode. Its per-request allocations are
+// the terms slice the engine retains (responses and the query cache keep
+// it, so it cannot be pooled) and whatever the engine itself does — the
+// TestWireAllocOverhead ratchet holds the full round-trip to within two
+// allocations of a direct engine call.
+func (c *conn) handleQuery(pr *pendingReq) (closeConn bool) {
+	s := c.srv
+	start := time.Now()
+	ri := c.ri
+	ri.Reset()
+	if pr.req.Trace != 0 {
+		ri.Trace = pr.req.Trace
+	}
+	s.flight.Record(obs.Event{Trace: ri.Trace, Kind: obs.EvAdmit,
+		Shard: -1, Replica: -1, Note: "wire:query"})
+	code := 200
+	defer func() {
+		dur := time.Since(start)
+		s.flight.Record(obs.Event{Trace: ri.Trace, Kind: obs.EvFinish,
+			Shard: -1, Replica: -1, DurNS: int64(dur), N: int64(code), Note: "wire:query"})
+		s.mSeconds.Observe(dur.Seconds())
+	}()
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		default:
+			// Shed with the same jittered hint HTTP sends in Retry-After,
+			// so a fleet of shed clients does not retry in lockstep.
+			code = 503
+			s.mShed.Inc()
+			s.mQueryShed.Inc()
+			c.wbuf = AppendRetry(c.wbuf[:0], ri.Trace, 1+rand.Intn(3), "server at capacity")
+			c.wout.Write(c.wbuf)
+			return false
+		}
+	}
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+
+	// The engine retains the terms slice in its response and query cache,
+	// so it gets a fresh slice; the term strings themselves come from the
+	// per-connection intern table, so a repeated vocabulary costs one
+	// small allocation per request, not one per term.
+	terms := make([]string, 0, len(pr.req.Terms))
+	for _, tb := range pr.req.Terms {
+		terms = append(terms, c.internTerm(tb))
+	}
+	k := pr.req.K
+	if k <= 0 {
+		k = defaultK
+	}
+	ctx := c.reqCtx
+	if s.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		defer cancel()
+	}
+	resp, err := s.eng.QueryTermsCtx(ctx, terms, core.Strategy(pr.req.Strategy), k, pr.req.Parallel)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			code = 499
+			s.mQueryCancel.Inc()
+			c.wbuf = AppendError(c.wbuf[:0], ri.Trace, CodeCancelled, "client closed request")
+			c.wout.Write(c.wbuf)
+			// The client is normally gone; the write surfaces that and
+			// closes the connection via workLoop's error check.
+			return false
+		}
+		code = 500
+		s.mQueryErr.Inc()
+		c.wbuf = AppendError(c.wbuf[:0], ri.Trace, CodeInternal, err.Error())
+		c.wout.Write(c.wbuf)
+		return false
+	}
+	s.mQueryOK.Inc()
+	c.wbuf, _ = appendRespHeader(c.wbuf[:0], StatusOK, ri.Trace)
+	c.wbuf = AppendSearchBody(c.wbuf, resp, c.srv.eng)
+	c.wbuf = patchFrameLen(c.wbuf, 0)
+	c.wout.Write(c.wbuf)
+	return false
+}
+
+// internMaxEntries bounds the per-connection intern table so an
+// adversarial vocabulary cannot grow memory without bound; past the cap
+// terms are copied per request instead.
+const internMaxEntries = 4096
+
+// internTerm returns a stable string for the term bytes. The map lookup
+// on a []byte key compiles without a conversion allocation, so a warm
+// vocabulary makes this free.
+func (c *conn) internTerm(tb []byte) string {
+	if s, ok := c.intern[string(tb)]; ok {
+		return s
+	}
+	s := string(tb)
+	if len(c.intern) < internMaxEntries {
+		c.intern[s] = s
+	}
+	return s
+}
